@@ -1,0 +1,146 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. Pipeline-parallel overlap on/off for breadth-first (the
+//      one-extra-micro-batch rule, Section 4.2).
+//   2. Data-parallel reduction overlap on/off (Figure 2a vs 2b).
+//   3. DP_FS aggregation: breadth-first (per stage) vs 1F1B (per
+//      micro-batch) network traffic (Eqs. 24-26 / Appendix C).
+//   4. Latency sensitivity: the depth-first collapse of Figure 6 as a
+//      function of the blocking-boundary cost (Section 5.2's claim that
+//      the overhead is latency/synchronization, not bandwidth).
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+#include "runtime/pipeline_sim.h"
+
+using namespace bfpp;
+using parallel::DpSharding;
+using parallel::ParallelConfig;
+using parallel::ScheduleKind;
+
+namespace {
+
+ParallelConfig fig5a(ScheduleKind kind, int n_loop, int n_mb) {
+  ParallelConfig cfg;
+  cfg.n_pp = 8;
+  cfg.n_tp = 8;
+  cfg.n_dp = 1;
+  cfg.s_mb = 1;
+  cfg.n_mb = n_mb;
+  cfg.n_loop = n_loop;
+  cfg.schedule = kind;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto spec52 = model::model_52b();
+  const auto spec66 = model::model_6_6b();
+  const auto cluster = hw::dgx1_v100_infiniband();
+
+  std::printf("== Ablation 1: pipeline-parallel overlap (52B, BF, N_loop=4) "
+              "==\n\n");
+  {
+    Table t({"N_mb", "overlap on", "overlap off"});
+    for (int n_mb : {8, 9, 16, 32}) {
+      auto on = fig5a(ScheduleKind::kBreadthFirst, 4, n_mb);
+      auto off = on;
+      off.overlap_pp = false;
+      t.add_row({std::to_string(n_mb),
+                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
+                                                  spec52, on, cluster)
+                                                  .utilization),
+                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
+                                                  spec52, off, cluster)
+                                                  .utilization)});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  std::printf("== Ablation 2: data-parallel overlap (6.6B, BF, N_PP=4, "
+              "N_TP=2, N_DP=8, N_loop=4) ==\n\n");
+  {
+    Table t({"N_mb", "overlap on", "overlap off"});
+    for (int n_mb : {8, 16, 32, 64}) {
+      ParallelConfig on;
+      on.n_pp = 4;
+      on.n_tp = 2;
+      on.n_dp = 8;
+      on.s_mb = 1;
+      on.n_mb = n_mb;
+      on.n_loop = 4;
+      on.schedule = ScheduleKind::kBreadthFirst;
+      auto off = on;
+      off.overlap_dp = false;
+      t.add_row({std::to_string(n_mb),
+                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
+                                                  spec66, on, cluster)
+                                                  .utilization),
+                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
+                                                  spec66, off, cluster)
+                                                  .utilization)});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  std::printf("== Ablation 3: DP_FS network aggregation (6.6B, N_PP=4, "
+              "N_TP=2, N_DP=8) ==\n\n");
+  {
+    Table t({"N_mb", "BF util (per-stage FS ops)", "1F1B util (per-mb FS ops)"});
+    for (int n_mb : {4, 8, 16, 32}) {
+      ParallelConfig bf;
+      bf.n_pp = 4;
+      bf.n_tp = 2;
+      bf.n_dp = 8;
+      bf.s_mb = 1;
+      bf.n_mb = n_mb;
+      bf.n_loop = 4;
+      bf.schedule = ScheduleKind::kBreadthFirst;
+      bf.sharding = DpSharding::kFull;
+      auto fb = bf;
+      fb.schedule = ScheduleKind::kOneFOneB;
+      fb.n_loop = 1;
+      t.add_row({std::to_string(n_mb),
+                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
+                                                  spec66, bf, cluster)
+                                                  .utilization),
+                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
+                                                  spec66, fb, cluster)
+                                                  .utilization)});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  std::printf("== Ablation 4: latency sensitivity of depth-first looping "
+              "(52B, B=64, N_loop=8) ==\n\n");
+  {
+    Table t({"blocking p2p overhead", "DF utilization", "BF utilization"});
+    for (double overhead_us : {0.0, 150.0, 500.0, 1500.0, 3000.0}) {
+      hw::ClusterSpec custom = cluster;
+      custom.inter_node.blocking_p2p_overhead = overhead_us * 1e-6;
+      custom.intra_node.blocking_p2p_overhead = overhead_us * 1e-6 / 4.0;
+      auto df = parallel::with_megatron_flags(
+          fig5a(ScheduleKind::kDepthFirst, 8, 64));
+      auto bf = fig5a(ScheduleKind::kBreadthFirst, 8, 64);
+      t.add_row({str_format("%.0f us", overhead_us),
+                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
+                                                  spec52, df, custom)
+                                                  .utilization),
+                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
+                                                  spec52, bf, custom)
+                                                  .utilization)});
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  std::printf(
+      "Checks: (1) overlap gains shrink as N_mb grows past N_PP; (2) DP\n"
+      "overlap matters most at small N_mb; (3) BF keeps FS traffic flat\n"
+      "in N_mb while 1F1B's grows; (4) the depth-first collapse is driven\n"
+      "by the per-boundary blocking cost, not bandwidth - at 0 us DF\n"
+      "looping is fine, matching Section 5.2's attribution.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 1 (headline): predicted training time and per-GPU memory for
+// the 52B model on a cluster of 4096 V100s, per method. Time comes from
+// the Figure 8 extrapolation at N_GPU = 4096; memory is the at-scale
+// ("minimum") estimate of the chosen configuration.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "autotune/autotune.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "tradeoff/tradeoff.h"
+
+using namespace bfpp;
+
+int main() {
+  const auto spec = model::model_52b();
+  const auto cluster = hw::dgx1_v100_infiniband();
+  const int n_gpus = 4096;
+
+  std::printf("== Figure 1: 52B model on 4096 V100s ==\n\n");
+  Table t({"Method", "Training time (days)", "Memory / GPU (at scale)",
+           "beta", "Utilization"});
+  struct Row {
+    const char* label;
+    autotune::Method method;
+  };
+  for (const Row& row :
+       {Row{"3d (Ours)", autotune::Method::kBreadthFirst},
+        Row{"3d (Megatron-LM)", autotune::Method::kDepthFirst},
+        Row{"3d (GPipe/1F1B)", autotune::Method::kNonLooped},
+        Row{"2d", autotune::Method::kNoPipeline}}) {
+    // Best operating point per beta at the measured 64-GPU scale, then
+    // the time-optimal extrapolation to 4096 GPUs.
+    std::vector<tradeoff::BetaUtil> curve;
+    double best_mem = 0.0;
+    double best_util = 0.0;
+    for (int batch : autotune::paper_batch_sizes_52b()) {
+      const auto r = find_best(spec, cluster, row.method, batch);
+      if (!r.best) continue;
+      curve.push_back({static_cast<double>(batch) / 64.0,
+                       r.best->result.utilization});
+    }
+    if (curve.empty()) continue;
+    const auto frontier = tradeoff::method_frontier(
+        spec, cluster.gpu, curve, {n_gpus}, tradeoff::kCriticalBatch52b);
+    const auto& p = frontier.front();
+    // Re-search the chosen beta to report its memory footprint.
+    // At scale, data parallelism is plentiful and sharding becomes
+    // available even at small beta; search a 512-GPU cluster at the
+    // chosen beta and report the most frugal near-optimal variant's
+    // at-scale footprint (the Figure 1b bar).
+    const auto big = hw::dgx1_v100_infiniband(64);
+    const int batch512 =
+        std::max(1, static_cast<int>(p.beta * big.total_gpus() + 0.5));
+    const auto chosen = find_best(spec, big, row.method, batch512);
+    if (chosen.frugal) {
+      best_mem = chosen.frugal->memory_min.total();
+      best_util = chosen.frugal->result.utilization;
+    }
+    t.add_row({row.label, str_format("%.1f", p.time_days),
+               format_bytes(best_mem), format_number(p.beta, 3),
+               str_format("%.1f%%", 100.0 * best_util)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "Paper checks (Figure 1): ours has the shortest training time; the\n"
+      "2d (no-pipeline) approach is slowest at this scale because it\n"
+      "needs a large batch per GPU; memory per GPU stays in the\n"
+      "single-digit GB range for the sharded methods.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 5: GPU utilization of the four schedules as a function of the
+// batch size per GPU, at fixed distributed configurations (S_mb = 1,
+// N_loop = 4 for the looped schedules):
+//   (a) 52B model:  N_PP = N_TP = 8, N_DP = 1
+//   (b) 6.6B model: N_PP = 4, N_TP = 2, N_DP = 8
+#include <cstdio>
+#include <vector>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+#include "runtime/pipeline_sim.h"
+
+using namespace bfpp;
+
+namespace {
+
+std::string cell(const model::TransformerSpec& spec,
+                 const parallel::ParallelConfig& cfg) {
+  try {
+    const auto r =
+        runtime::simulate_batch(spec, cfg, hw::dgx1_v100_infiniband());
+    return str_format("%5.1f%%", 100.0 * r.utilization);
+  } catch (const Error&) {
+    return "  oom";
+  }
+}
+
+void emit(const char* title, const model::TransformerSpec& spec, int n_pp,
+          int n_tp, int n_dp, const std::vector<int>& batches) {
+  std::printf("%s\n", title);
+  Table t({"B", "beta", "Breadth-first", "Depth-first", "GPipe", "1F1B"});
+  for (int batch : batches) {
+    const int n_mb = batch / n_dp;
+    if (n_mb < n_pp) continue;
+    parallel::ParallelConfig base;
+    base.n_pp = n_pp;
+    base.n_tp = n_tp;
+    base.n_dp = n_dp;
+    base.s_mb = 1;
+    base.n_mb = n_mb;
+
+    auto bf = base;
+    bf.schedule = parallel::ScheduleKind::kBreadthFirst;
+    bf.n_loop = 4;
+    auto df = base;
+    df.schedule = parallel::ScheduleKind::kDepthFirst;
+    df.n_loop = 4;
+    df = parallel::with_megatron_flags(df);
+    auto gp = base;
+    gp.schedule = parallel::ScheduleKind::kGpipe;
+    auto fb = base;
+    fb.schedule = parallel::ScheduleKind::kOneFOneB;
+    fb = parallel::with_megatron_flags(fb);
+
+    const double beta = static_cast<double>(batch) / 64.0;
+    std::vector<std::string> row = {std::to_string(batch),
+                                    format_number(beta, 3), cell(spec, bf),
+                                    (n_mb % n_pp == 0) ? cell(spec, df) : "n/a",
+                                    cell(spec, gp), cell(spec, fb)};
+    t.add_row(std::move(row));
+  }
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 5: utilization vs batch size per GPU, fixed "
+              "configurations (S_mb = 1, N_loop = 4) ==\n\n");
+  emit("(a) 52B model (N_PP = N_TP = 8, N_DP = 1):", model::model_52b(), 8, 8,
+       1, {8, 16, 24, 32, 48, 64, 96, 128});
+  emit("(b) 6.6B model (N_PP = 4, N_TP = 2, N_DP = 8):", model::model_6_6b(),
+       4, 2, 8, {32, 64, 96, 128, 192, 256, 384, 512});
+  std::printf(
+      "Paper checks: at small B the breadth-first schedule is by far the\n"
+      "most efficient; depth-first trails the non-looped schedules for\n"
+      "most batch sizes (network overhead); at large B 1F1B/GPipe close\n"
+      "the gap as the bubble shrinks.\n");
+  return 0;
+}

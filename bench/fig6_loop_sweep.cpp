@@ -1,0 +1,60 @@
+// Figure 6: GPU utilization of the breadth-first (ours) and depth-first
+// (Megatron-LM) schedules as a function of the number of stages per
+// device N_loop, for the 52B model (N_PP = N_TP = 8, N_DP = 1, S_mb = 1)
+// at B = 16 and B = 64. N_loop = 1 corresponds to GPipe and 1F1B.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+#include "runtime/pipeline_sim.h"
+
+using namespace bfpp;
+
+int main() {
+  const auto spec = model::model_52b();
+  const auto cluster = hw::dgx1_v100_infiniband();
+  std::printf("== Figure 6: utilization vs stages per device (52B, "
+              "N_PP = N_TP = 8, S_mb = 1) ==\n\n");
+  for (int batch : {16, 64}) {
+    std::printf("(%c) B = %d:\n", batch == 16 ? 'a' : 'b', batch);
+    Table t({"N_loop", "Breadth-first", "Depth-first"});
+    double df1 = 0.0, df8 = 0.0;
+    for (int n_loop : {1, 2, 4, 8}) {
+      parallel::ParallelConfig bf;
+      bf.n_pp = 8;
+      bf.n_tp = 8;
+      bf.n_dp = 1;
+      bf.s_mb = 1;
+      bf.n_mb = batch;
+      bf.n_loop = n_loop;
+      bf.schedule = n_loop == 1 ? parallel::ScheduleKind::kGpipe
+                                : parallel::ScheduleKind::kBreadthFirst;
+      auto df = bf;
+      df.schedule = n_loop == 1 ? parallel::ScheduleKind::kOneFOneB
+                                : parallel::ScheduleKind::kDepthFirst;
+      df = parallel::with_megatron_flags(df);
+      const auto rb = runtime::simulate_batch(spec, bf, cluster);
+      const auto rd = runtime::simulate_batch(spec, df, cluster);
+      if (n_loop == 1) df1 = rd.utilization;
+      if (n_loop == 8) df8 = rd.utilization;
+      t.add_row({std::to_string(n_loop),
+                 str_format("%5.1f%%", 100.0 * rb.utilization),
+                 str_format("%5.1f%%", 100.0 * rd.utilization)});
+    }
+    std::printf("%s", t.to_string().c_str());
+    if (batch == 64) {
+      std::printf("Depth-first network overhead at N_loop = 8: %.0f%% "
+                  "(paper estimates at least 40%%: 30%% vs 43%% util).\n",
+                  100.0 * (df1 / df8 - 1.0));
+    }
+    std::printf("\n");
+  }
+  std::printf("Paper checks: both schedules benefit from the bubble\n"
+              "reduction at small N_loop, but the depth-first schedule's\n"
+              "blocking communication erases the gains by N_loop = 8,\n"
+              "while breadth-first keeps improving (overlap).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 9: gradient-accumulation schedules on a single pipeline device
+// (Appendix C), depth-first vs breadth-first, with DP_0 and DP_FS.
+// Rows show the compute stream and the data-parallel network stream;
+// with DP_FS the depth-first order repeats the weight reconstruction (W)
+// for every micro-batch while breadth-first aggregates per layer group.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+#include "runtime/pipeline_sim.h"
+#include "sim/gantt.h"
+
+using namespace bfpp;
+
+namespace {
+
+double emit(const char* title, parallel::ScheduleKind kind,
+            parallel::DpSharding sharding) {
+  model::TransformerSpec spec = model::model_6_6b();
+  parallel::ParallelConfig cfg;
+  cfg.n_pp = 1;
+  cfg.n_tp = 8;
+  cfg.n_dp = 8;
+  cfg.s_mb = 2;
+  cfg.n_mb = 4;
+  cfg.n_loop = 4;  // four layer-group stages, as the figure draws
+  cfg.schedule = kind;
+  cfg.sharding = sharding;
+  runtime::PipelineSim sim(spec, cfg, hw::dgx1_v100_infiniband());
+  const auto result = sim.run();
+  std::printf("%s (batch time %s)\n", title,
+              format_time(result.batch_time).c_str());
+  sim::GanttOptions opt;
+  opt.width = 104;
+  opt.show_legend = false;
+  std::printf("%s\n", sim::render_gantt(sim.graph(), sim.result(),
+                                        sim.display_streams(), opt)
+                          .c_str());
+  return result.batch_time;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 9: gradient accumulation on one device (4 stages, "
+              "4 micro-batches, N_DP = 8) ==\n"
+              "legend: 0-9 forward(mb)  a-d backward(mb)  G grad-reduce  "
+              "W weight-gather  S optimizer  . idle\n\n");
+  const double a = emit("(a) Depth-first (DP_0)",
+                        parallel::ScheduleKind::kDepthFirst,
+                        parallel::DpSharding::kNone);
+  const double b = emit("(b) Depth-first (DP_FS)",
+                        parallel::ScheduleKind::kDepthFirst,
+                        parallel::DpSharding::kFull);
+  const double c = emit("(c) Breadth-first (DP_0)",
+                        parallel::ScheduleKind::kBreadthFirst,
+                        parallel::DpSharding::kNone);
+  const double d = emit("(d) Breadth-first (DP_FS)",
+                        parallel::ScheduleKind::kBreadthFirst,
+                        parallel::DpSharding::kFull);
+  std::printf("Paper checks: the depth-first DP_FS schedule repeats the\n"
+              "network operations per micro-batch ((b) slowest: %.0f ms);\n"
+              "breadth-first overlaps the reduction with most of the\n"
+              "backward pass and avoids the duplication ((d): %.0f ms,\n"
+              "(c): %.0f ms vs (a): %.0f ms).\n",
+              b * 1e3, d * 1e3, c * 1e3, a * 1e3);
+  return 0;
+}

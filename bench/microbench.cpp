@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks of the library's own hot paths:
+// schedule generation, schedule validation, task-graph simulation and a
+// full autotuner probe. These measure the reproduction tooling itself
+// (the figure/table benches above measure the *simulated* system).
+#include <benchmark/benchmark.h>
+
+#include "autotune/autotune.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+#include "runtime/pipeline_sim.h"
+#include "schedule/schedule.h"
+
+using namespace bfpp;
+
+namespace {
+
+void BM_BreadthFirstGeneration(benchmark::State& state) {
+  const int n_mb = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule::breadth_first(8, 8, n_mb));
+  }
+}
+BENCHMARK(BM_BreadthFirstGeneration)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DepthFirstGeneration(benchmark::State& state) {
+  const int n_mb = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule::depth_first(8, 8, n_mb));
+  }
+}
+BENCHMARK(BM_DepthFirstGeneration)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ScheduleValidation(benchmark::State& state) {
+  const auto sched = schedule::breadth_first(8, 8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    schedule::validate(sched);
+  }
+}
+BENCHMARK(BM_ScheduleValidation)->Arg(16)->Arg(64);
+
+void BM_PipelineSimulation(benchmark::State& state) {
+  const auto spec = model::model_52b();
+  const auto cluster = hw::dgx1_v100_infiniband();
+  parallel::ParallelConfig cfg;
+  cfg.n_pp = 8;
+  cfg.n_tp = 8;
+  cfg.n_dp = 1;
+  cfg.s_mb = 1;
+  cfg.n_mb = static_cast<int>(state.range(0));
+  cfg.n_loop = 4;
+  cfg.schedule = parallel::ScheduleKind::kBreadthFirst;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::simulate_batch(spec, cfg, cluster));
+  }
+}
+BENCHMARK(BM_PipelineSimulation)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_AutotuneEnumeration(benchmark::State& state) {
+  const auto spec = model::model_52b();
+  const auto cluster = hw::dgx1_v100_infiniband();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_configs(
+        spec, cluster, autotune::Method::kBreadthFirst, 64));
+  }
+}
+BENCHMARK(BM_AutotuneEnumeration);
+
+void BM_AutotuneSearch(benchmark::State& state) {
+  const auto spec = model::model_6_6b();
+  const auto cluster = hw::dgx1_v100_infiniband();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        find_best(spec, cluster, autotune::Method::kDepthFirst, 64));
+  }
+}
+BENCHMARK(BM_AutotuneSearch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Table 5.1: details of the evaluated models, plus derived accounting
+// (parameters, flops per sample) used throughout the reproduction.
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "model/transformer.h"
+
+using namespace bfpp;
+
+int main() {
+  std::printf("== Table 5.1: model details ==\n\n");
+  Table t({"Model", "Num layers", "Attention heads", "Head size",
+           "Hidden size", "Seq length", "Params", "Train flop/sample"});
+  for (const auto& spec :
+       {model::model_52b(), model::model_6_6b(), model::model_gpt3(),
+        model::model_1t()}) {
+    t.add_row({spec.name, std::to_string(spec.n_layers),
+               std::to_string(spec.n_heads), std::to_string(spec.head_size),
+               std::to_string(spec.hidden_size), std::to_string(spec.seq_len),
+               str_format("%.1fB", spec.total_params() / 1e9),
+               str_format("%.2e", spec.train_flops_per_sample())});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Paper check: the 52B and 6.6B rows match Table 5.1; GPT-3\n"
+              "and 1T are the Appendix A.1 analysis examples.\n");
+  return 0;
+}

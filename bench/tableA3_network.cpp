@@ -1,0 +1,73 @@
+// Appendix A.3 arithmetic-intensity examples: DP/FS/PP/TP intensities
+// and the hardware intensities of the A100 presets, with the paper's
+// quoted numbers for comparison.
+#include <cmath>
+#include <cstdio>
+
+#include "analytic/theory.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+using namespace bfpp;
+
+int main() {
+  const auto gpt3 = model::model_gpt3();
+  const auto t1 = model::model_1t();
+
+  std::printf("== Appendix A.3: arithmetic intensities (flop/byte) ==\n\n");
+
+  Table hwt({"Quantity", "Computed", "Paper"});
+  const auto a100 = hw::a100_sxm4_80gb();
+  hwt.add_row({"I_NVLink (A100, 559 GB/s)",
+               str_format("%.0f", analytic::hardware_intensity(
+                                      a100.peak_flops, 559e9)),
+               "520"});
+  hwt.add_row({"I_IB (A100, 46.6 GB/s)",
+               str_format("%.0f", analytic::hardware_intensity(
+                                      a100.peak_flops, 46.6e9)),
+               "6240"});
+  hwt.add_row({"beta_net = ceil(I_IB / S_seq), S_seq=2048",
+               str_format("%.0f", std::ceil(analytic::hardware_intensity(
+                                                a100.peak_flops, 46.6e9) /
+                                            2048.0)),
+               "4"});
+  std::printf("%s\n", hwt.to_string().c_str());
+
+  Table dpt({"Intensity", "Formula", "Value (S_mb=1, S_seq=2048)"});
+  dpt.add_row({"I_0 = I_PS (N_mb=1)", "N_mb*S_mb*S_seq",
+               format_number(analytic::intensity_dp(1, 1, 2048))});
+  dpt.add_row({"I_FS non-looped", "2/3*S_mb*S_seq",
+               format_number(analytic::intensity_fs_non_looped(1, 2048))});
+  dpt.add_row({"I_FS depth-first (N_PP=4)", "2/3*N_PP*S_mb*S_seq",
+               format_number(analytic::intensity_fs_depth_first(4, 1, 2048))});
+  dpt.add_row({"I_FS breadth-first (N_mb=8)", "2/3*N_mb*S_mb*S_seq",
+               format_number(
+                   analytic::intensity_fs_breadth_first(8, 1, 2048))});
+  std::printf("%s\n", dpt.to_string().c_str());
+
+  Table ppt({"Model", "N_PP", "N_loop", "I_PP computed", "Paper"});
+  ppt.add_row({"GPT-3", "4", "1",
+               str_format("%.1fM", analytic::intensity_pp(gpt3, 4, 1) / 1e6),
+               "7.1M"});
+  ppt.add_row({"1T", "4", "1",
+               str_format("%.1fM", analytic::intensity_pp(t1, 4, 1) / 1e6),
+               "19.7M"});
+  ppt.add_row({"GPT-3", "4", "24 (max)",
+               str_format("%.0fK", analytic::intensity_pp(gpt3, 4, 24) / 1e3),
+               "294K"});
+  ppt.add_row({"1T", "4", "32 (max)",
+               str_format("%.0fK", analytic::intensity_pp(t1, 4, 32) / 1e3),
+               "614K"});
+  std::printf("%s\n", ppt.to_string().c_str());
+
+  Table tpt({"Model", "N_TP", "I_TP computed", "Paper", "Expected overhead"});
+  tpt.add_row({"GPT-3", "8",
+               format_number(analytic::intensity_tp(gpt3, 8)), "3072",
+               "~11%"});
+  tpt.add_row({"1T", "8", format_number(analytic::intensity_tp(t1, 8)),
+               "6400", "~5%"});
+  std::printf("%s\n", tpt.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Example: really *train* a model under every pipeline schedule, with
+// the threaded reference executor, and verify they all optimize the
+// model identically.
+//
+// This is the executable version of the repo's correctness argument:
+// schedules differ only in *when* work happens, never in *what* is
+// computed. We train a 8-block residual MLP on a synthetic regression
+// task under GPipe / 1F1B / depth-first / breadth-first, plus a serial
+// single-device reference, and print the (identical) loss curves.
+//
+// Run: ./build/examples/pipeline_trainer
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "exec/threaded_pipeline.h"
+#include "nn/layers.h"
+#include "parallel/config.h"
+#include "schedule/schedule.h"
+
+using namespace bfpp;
+using tensor::Tensor;
+
+namespace {
+
+constexpr int kHidden = 16;
+constexpr int kBlocks = 8;
+constexpr int kMicroBatches = 8;
+constexpr int kRows = 4;
+constexpr int kSteps = 20;
+constexpr uint64_t kSeed = 2023;
+
+std::vector<float> train(parallel::ScheduleKind kind, int n_pp, int n_loop) {
+  Rng model_rng(kSeed);
+  nn::BlockStack model(kBlocks, kHidden, model_rng);
+  Rng data_rng(kSeed + 1);
+  std::vector<Tensor> inputs, targets;
+  for (int m = 0; m < kMicroBatches; ++m) {
+    inputs.push_back(Tensor::randn(kRows, kHidden, data_rng, 0.5));
+    targets.push_back(Tensor::randn(kRows, kHidden, data_rng, 0.3));
+  }
+
+  exec::ThreadedPipeline pipe(std::move(model), n_pp, n_loop);
+  const auto sched = schedule::make_schedule(kind, n_pp, n_loop, kMicroBatches);
+  nn::Sgd sgd{0.002f};
+  std::vector<float> losses;
+  for (int step = 0; step < kSteps; ++step) {
+    pipe.model().zero_grad();
+    losses.push_back(pipe.run_batch(sched, inputs, targets).loss_sum);
+    for (auto& block : pipe.model().blocks)
+      sgd.apply(block.parameters(), block.gradients());
+  }
+  return losses;
+}
+
+std::vector<float> train_serial() {
+  Rng model_rng(kSeed);
+  nn::BlockStack model(kBlocks, kHidden, model_rng);
+  Rng data_rng(kSeed + 1);
+  std::vector<Tensor> inputs, targets;
+  for (int m = 0; m < kMicroBatches; ++m) {
+    inputs.push_back(Tensor::randn(kRows, kHidden, data_rng, 0.5));
+    targets.push_back(Tensor::randn(kRows, kHidden, data_rng, 0.3));
+  }
+  nn::Sgd sgd{0.002f};
+  std::vector<float> losses;
+  for (int step = 0; step < kSteps; ++step) {
+    model.zero_grad();
+    float loss = 0.0f;
+    for (int m = 0; m < kMicroBatches; ++m)
+      loss += model.train_step_accumulate(inputs[static_cast<size_t>(m)],
+                                          targets[static_cast<size_t>(m)]);
+    losses.push_back(loss);
+    for (auto& block : model.blocks)
+      sgd.apply(block.parameters(), block.gradients());
+  }
+  return losses;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Training an %d-block model (%d micro-batches/step, %d steps) "
+              "under every schedule, on real threads:\n\n",
+              kBlocks, kMicroBatches, kSteps);
+  const auto serial = train_serial();
+  const auto gpipe = train(parallel::ScheduleKind::kGpipe, 4, 1);
+  const auto fb = train(parallel::ScheduleKind::kOneFOneB, 4, 1);
+  const auto df = train(parallel::ScheduleKind::kDepthFirst, 4, 2);
+  const auto bf = train(parallel::ScheduleKind::kBreadthFirst, 4, 2);
+
+  Table t({"Step", "Serial", "GPipe pp4", "1F1B pp4", "Depth-first pp4x2",
+           "Breadth-first pp4x2"});
+  for (int step = 0; step < kSteps; step += 2) {
+    const auto i = static_cast<size_t>(step);
+    t.add_row({std::to_string(step), str_format("%.5f", serial[i]),
+               str_format("%.5f", gpipe[i]), str_format("%.5f", fb[i]),
+               str_format("%.5f", df[i]), str_format("%.5f", bf[i])});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  bool identical = true;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    identical = identical && serial[i] == gpipe[i] && serial[i] == fb[i] &&
+                serial[i] == df[i] && serial[i] == bf[i];
+  }
+  std::printf("All five loss curves bitwise identical: %s\n",
+              identical ? "YES" : "NO (bug!)");
+  std::printf("Loss fell from %.4f to %.4f - the pipeline really trains.\n",
+              serial.front(), serial.back());
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+#include "analytic/table41.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace bfpp::analytic {
+
+const char* to_string(Mark mark) {
+  switch (mark) {
+    case Mark::kGood:
+      return "+";
+    case Mark::kOkay:
+      return "~";
+    case Mark::kBad:
+      return "-";
+  }
+  return "?";
+}
+
+std::vector<MethodRow> table41_rows() {
+  using M = Mark;
+  // Formula strings follow the paper's Table 4.1 cells; N_l = N_layers,
+  // N_Ch = Chimera pipelines.
+  return {
+      {"No pipeline", "0", M::kGood, "4", M::kGood, "S_mb", M::kGood, "2",
+       M::kBad, "(1-1/N_l)/N_mb", M::kGood, "n/a", M::kGood, false},
+      {"No pipeline (DP_FS)", "0", M::kGood, "2", M::kGood, "S_mb", M::kGood,
+       "3*N_mb", M::kBad, "(1-1/N_l)/N_mb", M::kGood, "n/a", M::kGood, false},
+      {"GPipe", "1", M::kBad, "N_l/N_PP", M::kGood, "S_mb*N_mb/N_PP", M::kOkay,
+       "2/N_PP", M::kGood, "(1-N_PP/N_l)/N_mb", M::kBad, "1", M::kGood, true},
+      {"1F1B", "1", M::kBad, "N_l/N_PP", M::kGood, "<~ 2*S_mb", M::kGood,
+       "2/N_PP", M::kGood, "(1-N_PP/N_l)/N_mb", M::kBad, "1", M::kOkay, true},
+      {"1F1B (DP_FS)", "1", M::kBad, "2", M::kGood, "<~ 2*S_mb", M::kGood,
+       "3*N_mb/N_PP", M::kBad, "1-N_PP/N_l", M::kGood, "1", M::kOkay, true},
+      {"Chimera", "1/N_Ch", M::kGood, "N_Ch*N_l/N_PP", M::kBad, "<= 2*S_mb",
+       M::kGood, "2*N_Ch/N_PP", M::kBad, "~1-1/N_Ch", M::kOkay, "1", M::kOkay,
+       false},
+      {"Depth-first", "1/N_loop", M::kGood, "N_l/N_PP", M::kGood,
+       "<~ S_mb+S_mb/N_loop", M::kGood, "2/N_PP", M::kGood,
+       "(1-N_PP/N_l)*N_PP/N_mb", M::kBad, "N_loop", M::kBad, false},
+      {"Breadth-first", "1/N_loop", M::kGood, "N_l/N_PP", M::kGood,
+       "S_mb*N_mb/N_PP", M::kOkay, "2/N_PP", M::kGood, "1-N_PP/N_l", M::kGood,
+       "N_loop", M::kGood, true},
+      {"Breadth-first (DP_FS)", "1/N_loop", M::kGood, "2", M::kGood,
+       "S_mb*N_mb/N_PP", M::kOkay, "3/N_PP", M::kGood, "1-N_PP/N_l", M::kGood,
+       "N_loop", M::kGood, true},
+  };
+}
+
+std::vector<MethodNumbers> table41_numbers(int n_layers, int n_pp, int n_loop,
+                                           int n_mb) {
+  check(n_layers >= 1 && n_pp >= 1 && n_loop >= 1 && n_mb >= 1,
+        "table41: sizes must be >= 1");
+  const double l = n_layers;
+  const double pp = n_pp;
+  const double mb = n_mb;
+  const double loop = n_loop;
+  const double bubble_non_looped = (pp - 1.0) / mb;       // Eq. 4
+  const double bubble_looped = (pp - 1.0) / (mb * loop);  // Eq. 9
+  auto clamp01 = [](double x) { return std::clamp(x, 0.0, 1.0); };
+  return {
+      {"No pipeline", 0.0, clamp01((1.0 - 1.0 / l) / mb)},
+      {"GPipe", bubble_non_looped, clamp01((1.0 - pp / l) / mb)},
+      {"1F1B", bubble_non_looped, clamp01((1.0 - pp / l) / mb)},
+      {"Chimera (N_Ch=2)", bubble_non_looped / 2.0, clamp01(1.0 - 0.5)},
+      {"Depth-first", bubble_looped, clamp01((1.0 - pp / l) * pp / mb)},
+      {"Breadth-first", bubble_looped, clamp01(1.0 - pp / l)},
+  };
+}
+
+}  // namespace bfpp::analytic

@@ -1,0 +1,52 @@
+// Table 4.1: relative performance of distributed training methods.
+//
+// The paper's table is symbolic (formulas plus good/bad marks). We
+// reproduce it as structured data: each row carries the formula strings
+// and qualitative marks, plus a numeric evaluation of the two key
+// quantities (pipeline bubble and data-parallel overlap fraction) for a
+// concrete configuration so the bench can print both forms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bfpp::analytic {
+
+enum class Mark { kGood, kOkay, kBad };
+
+// Renders a mark as "+", "~" or "-".
+const char* to_string(Mark mark);
+
+struct MethodRow {
+  std::string method;
+  std::string bubble;            // formula
+  Mark bubble_mark;
+  std::string state_memory;      // formula (bytes/param terms)
+  Mark state_mark;
+  std::string activation_memory;
+  Mark activation_mark;
+  std::string dp_network;        // relative DP traffic
+  Mark dp_network_mark;
+  std::string dp_overlap;        // overlappable fraction
+  Mark dp_overlap_mark;
+  std::string pp_overlap;        // ease of pipeline-network overlap
+  Mark pp_overlap_mark;
+  bool flexible_n_mb;            // no divisibility constraint on N_mb
+};
+
+// The table's rows in the paper's order.
+std::vector<MethodRow> table41_rows();
+
+// Numeric evaluation for one configuration (N_layers layers, N_PP
+// devices, N_loop stages/device, N_mb micro-batches): pipeline bubble
+// fraction and the fraction of the gradient reduction that can overlap
+// with compute, per method. Used by tests and the bench's numeric panel.
+struct MethodNumbers {
+  std::string method;
+  double bubble;      // overhead fraction (Eqs. 4 and 9)
+  double dp_overlap;  // overlappable fraction of the reduction window
+};
+std::vector<MethodNumbers> table41_numbers(int n_layers, int n_pp, int n_loop,
+                                           int n_mb);
+
+}  // namespace bfpp::analytic

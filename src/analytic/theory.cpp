@@ -1,0 +1,116 @@
+#include "analytic/theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace bfpp::analytic {
+
+double theoretical_efficiency(double beta, const TheoryConfig& c) {
+  check(beta > 0.0, "theory: beta must be positive");
+  check(c.n_pp >= 1 && c.n_tp >= 1 && c.n_loop >= 1, "theory: bad config");
+
+  // beta_min = 1/N_TP (Eq. 6).
+  if (beta * c.n_tp < 1.0 - 1e-12) return 0.0;
+
+  // Micro-batch count at S_mb = 1: the batch of one pipeline replica.
+  const double n_mb = beta * c.n_tp * c.n_pp;
+  if (c.n_pp > 1 && n_mb < c.n_pp - 1e-12) return 0.0;  // unfilled pipeline
+
+  // Pipeline bubble (Eq. 9; zero for pure DP).
+  const double bubble =
+      c.n_pp > 1 ? (c.n_pp - 1.0) / (n_mb * c.n_loop) : 0.0;
+
+  // Data-parallel network exposure, in units where T_comp == beta.
+  // The reduction covers this device's shard of the model: 1/(N_PP*N_TP)
+  // of the full gradient (Eq. 5-6).
+  const double t_net = c.beta_net / (c.n_pp * c.n_tp);
+  double t_overlap = 0.0;
+  if (c.dp_overlap) {
+    switch (c.window) {
+      case TheoryConfig::Window::kBatch:
+        t_overlap = beta;
+        break;
+      case TheoryConfig::Window::kSequence:
+        t_overlap = beta * c.n_pp / n_mb;
+        break;
+      case TheoryConfig::Window::kMicroBatch:
+        t_overlap = beta / n_mb;
+        break;
+    }
+  }
+  const double dp_exposed = std::max(0.0, t_net - t_overlap);
+
+  // Pipeline-parallel communication: negligible when overlapped with
+  // slack micro-batches (N_mb > N_PP, Section 4.2); otherwise a per-loop
+  // cost - the "jump near beta_min" of Figure 2a.
+  double pp_cost = 0.0;
+  if (c.n_pp > 1) {
+    const bool can_overlap = c.pp_overlap && n_mb > c.n_pp + 1e-12;
+    if (!can_overlap) pp_cost = c.pp_loop_cost * c.n_loop;
+  }
+
+  return 1.0 / (1.0 + bubble + dp_exposed / beta + pp_cost);
+}
+
+TheoryConfig curve_looped(int n_loop, bool overlap) {
+  TheoryConfig c;
+  c.n_loop = n_loop;
+  c.window = TheoryConfig::Window::kBatch;
+  c.dp_overlap = overlap;
+  c.pp_overlap = overlap;
+  return c;
+}
+
+TheoryConfig curve_non_looped(bool overlap) {
+  TheoryConfig c;
+  c.n_loop = 1;
+  c.window = TheoryConfig::Window::kMicroBatch;
+  c.dp_overlap = overlap;
+  c.pp_overlap = overlap;
+  return c;
+}
+
+TheoryConfig curve_pure_dp(bool overlap) {
+  TheoryConfig c;
+  c.n_pp = 1;
+  c.n_loop = 1;
+  c.window = TheoryConfig::Window::kBatch;
+  c.dp_overlap = overlap;
+  return c;
+}
+
+double intensity_dp(int n_mb, int s_mb, int seq_len) {
+  return static_cast<double>(n_mb) * s_mb * seq_len;
+}
+
+double intensity_fs_non_looped(int s_mb, int seq_len) {
+  return 2.0 / 3.0 * s_mb * seq_len;
+}
+
+double intensity_fs_depth_first(int n_pp, int s_mb, int seq_len) {
+  return 2.0 / 3.0 * n_pp * s_mb * seq_len;
+}
+
+double intensity_fs_breadth_first(int n_mb, int s_mb, int seq_len) {
+  return 2.0 / 3.0 * n_mb * s_mb * seq_len;
+}
+
+double intensity_pp(const model::TransformerSpec& spec, int n_pp, int n_loop) {
+  // Eq. 30: 24 * S_h * N_layers / (N_PP * N_loop).
+  return 24.0 * spec.hidden_size * spec.n_layers /
+         (static_cast<double>(n_pp) * n_loop);
+}
+
+double intensity_tp(const model::TransformerSpec& spec, int n_tp) {
+  // Eq. 31: 2 * S_h / N_TP.
+  return 2.0 * spec.hidden_size / n_tp;
+}
+
+double hardware_intensity(double peak_flops, double network_bw) {
+  check(network_bw > 0.0, "theory: network bandwidth must be positive");
+  return peak_flops / network_bw;
+}
+
+}  // namespace bfpp::analytic

@@ -1,0 +1,57 @@
+// Closed-form efficiency model (Figure 2) and the arithmetic-intensity
+// formulas of Appendix A.3.
+//
+// This module implements the *paper's own analytic approximations*, not
+// the simulator: Figure 2 and the Appendix A.3 examples are theoretical
+// plots, so reproducing them means evaluating the same formulas. The
+// simulator (src/runtime) exists to check that the measured behaviour
+// agrees with these predictions.
+#pragma once
+
+#include "model/transformer.h"
+
+namespace bfpp::analytic {
+
+// Configuration of a theoretical efficiency curve (one line of Fig. 2).
+struct TheoryConfig {
+  int n_pp = 8;       // pipeline depth (1 = pure data parallelism)
+  int n_tp = 1;
+  int n_loop = 1;     // stages per device (1 = non-looped)
+  double beta_net = 6.0;  // the figure's example value (caption)
+  // Overlap windows by schedule: breadth-first overlaps the gradient
+  // reduction with the entire batch, depth-first with a sequence of
+  // N_PP micro-batches, non-looped with one micro-batch (Section 4.2).
+  enum class Window { kBatch, kSequence, kMicroBatch } window = Window::kBatch;
+  bool dp_overlap = true;  // Figure 2a vs 2b
+  bool pp_overlap = true;
+  // Fractional per-loop cost of unoverlapped pipeline communication;
+  // produces the "jump near beta_min" of Figure 2a.
+  double pp_loop_cost = 0.06;
+};
+
+// Maximum GPU utilization (0..1 of achievable peak) at batch size per
+// GPU `beta`, with S_mb = 1 (the figures' convention). Returns 0 for
+// infeasible beta (below beta_min = 1/N_TP, or an unfilled pipeline).
+double theoretical_efficiency(double beta, const TheoryConfig& config);
+
+// Convenience constructors for the four Figure 2 curves.
+TheoryConfig curve_looped(int n_loop, bool overlap);
+TheoryConfig curve_non_looped(bool overlap);
+TheoryConfig curve_pure_dp(bool overlap);
+
+// ---- Appendix A.3 arithmetic intensities (flop per byte) ----
+
+// Eq. 20: DP_0 / DP_PS gradient-reduction intensity.
+double intensity_dp(int n_mb, int s_mb, int seq_len);
+// Eqs. 24-26: DP_FS intensity by schedule aggregation.
+double intensity_fs_non_looped(int s_mb, int seq_len);
+double intensity_fs_depth_first(int n_pp, int s_mb, int seq_len);
+double intensity_fs_breadth_first(int n_mb, int s_mb, int seq_len);
+// Eq. 30: pipeline-parallel intensity.
+double intensity_pp(const model::TransformerSpec& spec, int n_pp, int n_loop);
+// Eq. 31: tensor-parallel intensity.
+double intensity_tp(const model::TransformerSpec& spec, int n_tp);
+// Eq. 19: hardware intensity of a device+network pair.
+double hardware_intensity(double peak_flops, double network_bw);
+
+}  // namespace bfpp::analytic

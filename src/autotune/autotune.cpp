@@ -1,0 +1,171 @@
+#include "autotune/autotune.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace bfpp::autotune {
+
+namespace {
+
+using parallel::DpSharding;
+using parallel::ParallelConfig;
+using parallel::ScheduleKind;
+
+// Candidate loop counts: powers of two, bounded by layers per device.
+std::vector<int> loop_candidates(int layers_per_device, int min_loop) {
+  std::vector<int> loops;
+  for (int l = min_loop; l <= layers_per_device; l *= 2) loops.push_back(l);
+  return loops;
+}
+
+void push_sharding_variants(std::vector<ParallelConfig>& out,
+                            const ParallelConfig& base,
+                            const std::vector<DpSharding>& options) {
+  for (DpSharding sharding : options) {
+    if (sharding != DpSharding::kNone && base.n_dp <= 1) continue;
+    ParallelConfig cfg = base;
+    cfg.sharding = sharding;
+    out.push_back(cfg);
+  }
+}
+
+}  // namespace
+
+const char* to_string(Method method) {
+  switch (method) {
+    case Method::kBreadthFirst:
+      return "Breadth-first";
+    case Method::kDepthFirst:
+      return "Depth-first";
+    case Method::kNonLooped:
+      return "Non-looped";
+    case Method::kNoPipeline:
+      return "No pipeline";
+  }
+  return "?";
+}
+
+std::vector<ParallelConfig> enumerate_configs(
+    const model::TransformerSpec& spec, const hw::ClusterSpec& cluster,
+    Method method, int batch_size) {
+  check(batch_size >= 1, "autotune: batch size must be >= 1");
+  std::vector<ParallelConfig> out;
+  const int n_gpus = cluster.total_gpus();
+
+  for (int n_tp = 1; n_tp <= cluster.gpus_per_node; n_tp *= 2) {
+    const int max_pp = n_gpus / n_tp;
+    for (int n_pp = 1; n_pp <= std::min(max_pp, spec.n_layers); n_pp *= 2) {
+      const bool pipelined = n_pp > 1;
+      if (method == Method::kNoPipeline && pipelined) continue;
+      if (method != Method::kNoPipeline && !pipelined) continue;
+      const int n_dp = n_gpus / (n_tp * n_pp);
+      if (batch_size % n_dp != 0) continue;
+      const int per_replica = batch_size / n_dp;  // S_mb * N_mb
+
+      for (int s_mb = 1; s_mb <= per_replica; s_mb *= 2) {
+        if (per_replica % s_mb != 0) continue;
+        const int n_mb = per_replica / s_mb;
+        if (pipelined && n_mb < n_pp) continue;
+
+        ParallelConfig base;
+        base.n_dp = n_dp;
+        base.n_tp = n_tp;
+        base.n_pp = n_pp;
+        base.s_mb = s_mb;
+        base.n_mb = n_mb;
+
+        switch (method) {
+          case Method::kBreadthFirst:
+            for (int n_loop : loop_candidates(spec.n_layers / n_pp, 2)) {
+              ParallelConfig cfg = base;
+              cfg.schedule = ScheduleKind::kBreadthFirst;
+              cfg.n_loop = n_loop;
+              push_sharding_variants(out, cfg,
+                                     {DpSharding::kNone, DpSharding::kFull});
+            }
+            break;
+          case Method::kDepthFirst:
+            if (n_mb % n_pp != 0) break;
+            for (int n_loop : loop_candidates(spec.n_layers / n_pp, 2)) {
+              ParallelConfig cfg = base;
+              cfg.schedule = ScheduleKind::kDepthFirst;
+              cfg.n_loop = n_loop;
+              cfg = parallel::with_megatron_flags(cfg);
+              out.push_back(cfg);
+            }
+            break;
+          case Method::kNonLooped: {
+            // Ours (GPipe, overlapped, optionally DP_PS).
+            ParallelConfig ours = base;
+            ours.schedule = ScheduleKind::kGpipe;
+            push_sharding_variants(out, ours,
+                                   {DpSharding::kNone, DpSharding::kPartial});
+            // Megatron-LM (1F1B, blocking, DP_0).
+            ParallelConfig mega = base;
+            mega.schedule = ScheduleKind::kOneFOneB;
+            mega = parallel::with_megatron_flags(mega);
+            out.push_back(mega);
+            break;
+          }
+          case Method::kNoPipeline: {
+            // Breadth-first gradient accumulation over per-layer stages
+            // (Appendix C); sharded and unsharded.
+            ParallelConfig cfg = base;
+            cfg.schedule = ScheduleKind::kBreadthFirst;
+            cfg.n_loop = spec.n_layers;
+            push_sharding_variants(out, cfg,
+                                   {DpSharding::kNone, DpSharding::kFull});
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SearchResult find_best(const model::TransformerSpec& spec,
+                       const hw::ClusterSpec& cluster, Method method,
+                       int batch_size) {
+  SearchResult result;
+  std::vector<Candidate> candidates;
+  for (const ParallelConfig& cfg :
+       enumerate_configs(spec, cluster, method, batch_size)) {
+    try {
+      const runtime::RunResult run = runtime::simulate_batch(spec, cfg, cluster);
+      ++result.evaluated;
+      candidates.push_back(Candidate{cfg, run, memmodel::estimate(spec, cfg),
+                                     memmodel::estimate(spec, cfg, true)});
+      if (!result.best ||
+          run.throughput_per_gpu > result.best->result.throughput_per_gpu) {
+        result.best = candidates.back();
+      }
+    } catch (const ConfigError&) {
+      ++result.infeasible;
+    } catch (const OutOfMemoryError&) {
+      ++result.infeasible;
+    }
+  }
+  if (result.best) {
+    const double floor = 0.93 * result.best->result.throughput_per_gpu;
+    for (const Candidate& c : candidates) {
+      if (c.result.throughput_per_gpu < floor) continue;
+      if (!result.frugal ||
+          c.memory_min.total() < result.frugal->memory_min.total()) {
+        result.frugal = c;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> paper_batch_sizes_52b() {
+  return {8, 9, 12, 16, 24, 32, 48, 64, 128, 256, 512};
+}
+
+std::vector<int> paper_batch_sizes_6_6b() {
+  return {32, 48, 64, 96, 128, 192, 256, 384, 512};
+}
+
+}  // namespace bfpp::autotune

@@ -1,0 +1,65 @@
+// Configuration grid search (Appendix E / Section 5.3).
+//
+// For each method and global batch size, enumerates the configuration
+// space the paper searched - (N_PP, N_TP, S_mb, N_mb, N_loop, sharding) -
+// filters out structurally invalid and out-of-memory candidates, runs
+// the simulator on the rest, and reports the highest-throughput
+// configuration. The four methods match Section 3.4 / Figure 7:
+//
+//   kBreadthFirst  ours, overlapped, DP_0 or DP_FS
+//   kDepthFirst    Megatron-LM interleaved: no overlap, DP_0 only
+//   kNonLooped     GPipe on our implementation (DP_0/DP_PS, overlapped)
+//                  and 1F1B on Megatron-LM (DP_0, no overlap)
+//   kNoPipeline    pure (sharded) data parallelism with breadth-first
+//                  gradient accumulation (Appendix C)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "memmodel/memory.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+#include "runtime/pipeline_sim.h"
+
+namespace bfpp::autotune {
+
+enum class Method { kBreadthFirst, kDepthFirst, kNonLooped, kNoPipeline };
+
+const char* to_string(Method method);
+
+struct Candidate {
+  parallel::ParallelConfig config;
+  runtime::RunResult result;
+  memmodel::MemoryEstimate memory;      // on the actual cluster
+  memmodel::MemoryEstimate memory_min;  // at arbitrarily large N_DP
+};
+
+struct SearchResult {
+  std::optional<Candidate> best;
+  // The most memory-frugal candidate within 7% of the best throughput:
+  // the configuration one would deploy at scale, where sharding matters
+  // (used by the Figure 1 memory panel).
+  std::optional<Candidate> frugal;
+  int evaluated = 0;   // configurations simulated
+  int infeasible = 0;  // rejected (invalid or out of memory)
+};
+
+// All structurally plausible configurations for (method, batch_size) on
+// the cluster. Does not check memory; find_best() does.
+std::vector<parallel::ParallelConfig> enumerate_configs(
+    const model::TransformerSpec& spec, const hw::ClusterSpec& cluster,
+    Method method, int batch_size);
+
+// Grid search: simulate every feasible candidate, return the best by
+// throughput. best is empty when nothing fits.
+SearchResult find_best(const model::TransformerSpec& spec,
+                       const hw::ClusterSpec& cluster, Method method,
+                       int batch_size);
+
+// The batch-size sweeps of Figure 7 (per model).
+std::vector<int> paper_batch_sizes_52b();
+std::vector<int> paper_batch_sizes_6_6b();
+
+}  // namespace bfpp::autotune

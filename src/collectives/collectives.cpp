@@ -1,0 +1,58 @@
+#include "collectives/collectives.h"
+
+#include "common/error.h"
+
+namespace bfpp::collectives {
+
+namespace {
+
+void check_args(double payload_bytes, int group_size) {
+  check(payload_bytes >= 0.0, "collectives: negative payload");
+  check(group_size >= 1, "collectives: group size must be >= 1");
+}
+
+}  // namespace
+
+double all_reduce_wire_bytes(double payload_bytes, int group_size) {
+  check_args(payload_bytes, group_size);
+  if (group_size == 1) return 0.0;
+  const double n = group_size;
+  return 2.0 * (n - 1.0) / n * payload_bytes;
+}
+
+double shard_op_wire_bytes(double payload_bytes, int group_size) {
+  check_args(payload_bytes, group_size);
+  if (group_size == 1) return 0.0;
+  const double n = group_size;
+  return (n - 1.0) / n * payload_bytes;
+}
+
+double all_reduce_time(const hw::NetTier& tier, double payload_bytes,
+                       int group_size) {
+  if (group_size == 1) return 0.0;
+  const double wire = all_reduce_wire_bytes(payload_bytes, group_size);
+  const double hops = 2.0 * (group_size - 1);
+  return tier.sync_overhead + hops * tier.latency + wire / tier.allreduce_bw;
+}
+
+double reduce_scatter_time(const hw::NetTier& tier, double payload_bytes,
+                           int group_size) {
+  if (group_size == 1) return 0.0;
+  const double wire = shard_op_wire_bytes(payload_bytes, group_size);
+  const double hops = static_cast<double>(group_size - 1);
+  return tier.sync_overhead + hops * tier.latency + wire / tier.allreduce_bw;
+}
+
+double all_gather_time(const hw::NetTier& tier, double payload_bytes,
+                       int group_size) {
+  // Same ring pattern as reduce-scatter (no reduction arithmetic, which
+  // we do not model separately).
+  return reduce_scatter_time(tier, payload_bytes, group_size);
+}
+
+double p2p_time(const hw::NetTier& tier, double bytes) {
+  check(bytes >= 0.0, "collectives: negative transfer size");
+  return tier.latency + bytes / tier.p2p_bw;
+}
+
+}  // namespace bfpp::collectives

@@ -1,0 +1,46 @@
+// Cost model for NCCL-style collective operations.
+//
+// All collectives are modelled as ring algorithms under the alpha-beta
+// (latency + bandwidth) model:
+//   time = hops * latency + transferred_bytes / bus_bandwidth
+// where `transferred_bytes` is the per-GPU wire traffic of the ring:
+//   all-reduce       2*(n-1)/n * payload     (reduce-scatter + all-gather)
+//   reduce-scatter     (n-1)/n * payload
+//   all-gather         (n-1)/n * payload
+// With fp32 payloads (4 bytes/parameter) this reproduces the paper's
+// accounting of "approximately 8 bytes per parameter per batch" for
+// DP_0/DP_PS and 12 bytes (1.5x) per pass for DP_FS (Appendix A.3.1,
+// Eqs. 20 and 24).
+//
+// A fixed per-operation `sync_overhead` (kernel launch, stream sync,
+// NCCL bookkeeping) is added on top; Section 5.2 shows this term, not
+// bandwidth, dominates the pipeline-parallel cost of looping.
+#pragma once
+
+#include "hw/cluster.h"
+
+namespace bfpp::collectives {
+
+// Payload sizes per parameter (bytes). Gradients are reduced in fp32 and
+// master weights gathered in fp32 (mixed-precision training keeps fp32
+// master copies; see Appendix A.2.1).
+inline constexpr double kGradPayloadBytesPerParam = 4.0;
+inline constexpr double kWeightPayloadBytesPerParam = 4.0;
+
+// Per-GPU wire bytes of a ring all-reduce over `payload_bytes`.
+double all_reduce_wire_bytes(double payload_bytes, int group_size);
+// Per-GPU wire bytes of a ring reduce-scatter (== all-gather).
+double shard_op_wire_bytes(double payload_bytes, int group_size);
+
+// Times. `group_size` == 1 returns 0 (no communication needed).
+double all_reduce_time(const hw::NetTier& tier, double payload_bytes,
+                       int group_size);
+double reduce_scatter_time(const hw::NetTier& tier, double payload_bytes,
+                           int group_size);
+double all_gather_time(const hw::NetTier& tier, double payload_bytes,
+                       int group_size);
+
+// Point-to-point transfer of `bytes` over one link of `tier`.
+double p2p_time(const hw::NetTier& tier, double bytes);
+
+}  // namespace bfpp::collectives

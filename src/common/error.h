@@ -1,0 +1,45 @@
+// Error handling for the bfpp library.
+//
+// All precondition / invariant violations throw bfpp::Error. We use
+// exceptions (not status codes) because configuration errors are rare,
+// unrecoverable at the call site, and carry a human-readable explanation
+// that the autotuner surfaces when it rejects a configuration.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bfpp {
+
+// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown when a requested parallel configuration is structurally invalid
+// (e.g. stages do not divide layers). The autotuner catches this to prune
+// the search space, so it must be distinguishable from logic bugs.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+// Thrown by the memory model / runtime when a configuration does not fit
+// in device memory. Also caught (and counted) by the autotuner.
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
+// Throws Error with `message` when `condition` is false.
+inline void check(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+// Throws ConfigError with `message` when `condition` is false.
+inline void check_config(bool condition, const std::string& message) {
+  if (!condition) throw ConfigError(message);
+}
+
+}  // namespace bfpp

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (gradient-noise experiments, synthetic data,
+// weight init in the reference executor) draw from this generator so that
+// every test and bench run is bit-reproducible across platforms. The core
+// is SplitMix64 (Steele et al.), which is tiny, fast and has no shared
+// state, making it safe to hand one instance per thread.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace bfpp {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  // Next raw 64-bit value (SplitMix64).
+  uint64_t next_u64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  uint64_t uniform_index(uint64_t n) { return next_u64() % n; }
+
+  // Standard normal via Box-Muller. Uses both transform outputs.
+  double normal() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Avoid log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  // Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+ private:
+  uint64_t state_;
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace bfpp

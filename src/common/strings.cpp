@@ -1,0 +1,48 @@
+#include "common/strings.h"
+
+#include <cmath>
+
+namespace bfpp {
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_bytes(double bytes) {
+  if (bytes >= 1e12) return str_format("%.2f TB", bytes / 1e12);
+  if (bytes >= 1e9) return str_format("%.2f GB", bytes / 1e9);
+  if (bytes >= 1e6) return str_format("%.2f MB", bytes / 1e6);
+  if (bytes >= 1e3) return str_format("%.2f KB", bytes / 1e3);
+  return str_format("%.0f B", bytes);
+}
+
+std::string format_flops(double flops_per_s) {
+  if (flops_per_s >= 1e15) return str_format("%.2f Pflop/s", flops_per_s / 1e15);
+  if (flops_per_s >= 1e12) return str_format("%.2f Tflop/s", flops_per_s / 1e12);
+  if (flops_per_s >= 1e9) return str_format("%.2f Gflop/s", flops_per_s / 1e9);
+  return str_format("%.0f flop/s", flops_per_s);
+}
+
+std::string format_time(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a >= 1.0) return str_format("%.3f s", seconds);
+  if (a >= 1e-3) return str_format("%.3f ms", seconds * 1e3);
+  if (a >= 1e-6) return str_format("%.3f us", seconds * 1e6);
+  return str_format("%.1f ns", seconds * 1e9);
+}
+
+std::string format_number(double x, int digits) {
+  std::string s = str_format("%.*f", digits, x);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace bfpp

@@ -1,0 +1,41 @@
+// Small string-formatting helpers used across the library.
+//
+// libstdc++ 12 does not ship std::format, so we provide a checked
+// snprintf wrapper plus the handful of helpers the table printers need.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bfpp {
+
+// snprintf into a std::string. The format string must be a literal-style
+// printf format; the result is exact (no truncation).
+template <typename... Args>
+std::string str_format(const char* fmt, Args... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  if (n <= 0) return {};
+  std::string out(static_cast<size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Human-readable byte count, e.g. "15.96 GB" (decimal units, matching the
+// paper's tables which report GB).
+std::string format_bytes(double bytes);
+
+// Human-readable flop/s, e.g. "36.3 Tflop/s".
+std::string format_flops(double flops_per_s);
+
+// Seconds with adaptive unit (ns/us/ms/s), used by timeline printers.
+std::string format_time(double seconds);
+
+// Formats `x` with `digits` significant decimal places, trimming trailing
+// zeros ("42.77", "8", "0.5").
+std::string format_number(double x, int digits = 2);
+
+}  // namespace bfpp

@@ -1,0 +1,62 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace bfpp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  check(!header_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  check(row.size() == header_.size(),
+        "Table row has wrong number of columns");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::to_string() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += " " + row[c];
+      out.append(width[c] - row[c].size() + 1, ' ');
+      out += "|";
+    }
+    out += "\n";
+  };
+  auto emit_rule = [&](std::string& out) {
+    out += "+";
+    for (size_t c = 0; c < width.size(); ++c) {
+      out.append(width[c] + 2, '-');
+      out += "+";
+    }
+    out += "\n";
+  };
+
+  std::string out;
+  emit_rule(out);
+  emit_row(header_, out);
+  emit_rule(out);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule(out);
+    } else {
+      emit_row(row, out);
+    }
+  }
+  emit_rule(out);
+  return out;
+}
+
+}  // namespace bfpp

@@ -1,0 +1,33 @@
+// Plain-text table printer used by the bench harnesses to emit the
+// paper's tables (5.1, 4.1, E.1-E.3) and figure data series in a fixed,
+// diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bfpp {
+
+// Column-aligned ASCII table. Usage:
+//   Table t({"Method", "Batch", "Throughput"});
+//   t.add_row({"Breadth-first", "8", "36.28"});
+//   std::string s = t.to_string();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Inserts a horizontal separator line before the next added row.
+  void add_separator();
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace bfpp

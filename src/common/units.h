@@ -1,0 +1,31 @@
+// Unit constants shared across the hardware and memory models.
+//
+// The paper (and NVIDIA marketing) mixes decimal and binary units; we
+// follow the paper's Appendix A.3 convention: bandwidths and flop rates
+// are decimal (1 GB/s = 1e9 B/s), device memory capacities are binary
+// (a "32 GB" V100 has 32 GiB), and reported table values are decimal GB.
+#pragma once
+
+#include <cstdint>
+
+namespace bfpp {
+
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+inline constexpr double kGflop = 1e9;
+inline constexpr double kTflop = 1e12;
+inline constexpr double kPflop = 1e15;
+
+inline constexpr double kMicrosecond = 1e-6;
+inline constexpr double kMillisecond = 1e-3;
+
+inline constexpr double kSecondsPerDay = 86400.0;
+
+}  // namespace bfpp

@@ -1,0 +1,156 @@
+#include "gradnoise/gradnoise.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace bfpp::gradnoise {
+
+NoisyQuadratic::NoisyQuadratic(std::vector<double> curvature,
+                               std::vector<double> noise_std)
+    : curvature_(std::move(curvature)), noise_std_(std::move(noise_std)) {
+  check(!curvature_.empty(), "gradnoise: empty problem");
+  check(curvature_.size() == noise_std_.size(),
+        "gradnoise: curvature/noise size mismatch");
+  for (double h : curvature_) check(h > 0.0, "gradnoise: curvature must be > 0");
+  for (double s : noise_std_) check(s >= 0.0, "gradnoise: noise must be >= 0");
+}
+
+double NoisyQuadratic::loss(const std::vector<double>& theta) const {
+  check(theta.size() == dim(), "gradnoise: dimension mismatch");
+  double sum = 0.0;
+  for (size_t i = 0; i < dim(); ++i)
+    sum += 0.5 * curvature_[i] * theta[i] * theta[i];
+  return sum;
+}
+
+std::vector<double> NoisyQuadratic::gradient(
+    const std::vector<double>& theta) const {
+  check(theta.size() == dim(), "gradnoise: dimension mismatch");
+  std::vector<double> g(dim());
+  for (size_t i = 0; i < dim(); ++i) g[i] = curvature_[i] * theta[i];
+  return g;
+}
+
+std::vector<double> NoisyQuadratic::batch_gradient(
+    const std::vector<double>& theta, int batch, Rng& rng) const {
+  check(batch >= 1, "gradnoise: batch must be >= 1");
+  std::vector<double> g = gradient(theta);
+  // Averaging B iid N(0, sigma^2) noises = one N(0, sigma^2/B) draw.
+  const double scale = 1.0 / std::sqrt(static_cast<double>(batch));
+  for (size_t i = 0; i < dim(); ++i)
+    g[i] += noise_std_[i] * scale * rng.normal();
+  return g;
+}
+
+double NoisyQuadratic::analytic_noise_scale(
+    const std::vector<double>& theta) const {
+  const std::vector<double> g = gradient(theta);
+  double tr_sigma = 0.0;
+  double g_sq = 0.0;
+  for (size_t i = 0; i < dim(); ++i) {
+    tr_sigma += noise_std_[i] * noise_std_[i];
+    g_sq += g[i] * g[i];
+  }
+  check(g_sq > 0.0, "gradnoise: zero gradient");
+  return tr_sigma / g_sq;
+}
+
+double NoisyQuadratic::analytic_noise_scale_hessian(
+    const std::vector<double>& theta) const {
+  const std::vector<double> g = gradient(theta);
+  double tr_h_sigma = 0.0;
+  double ghg = 0.0;
+  for (size_t i = 0; i < dim(); ++i) {
+    tr_h_sigma += curvature_[i] * noise_std_[i] * noise_std_[i];
+    ghg += curvature_[i] * g[i] * g[i];
+  }
+  check(ghg > 0.0, "gradnoise: zero gradient");
+  return tr_h_sigma / ghg;
+}
+
+SgdRun steps_to_target(const NoisyQuadratic& problem,
+                       std::vector<double> theta, int batch,
+                       double target_loss, int max_steps, Rng& rng) {
+  check(target_loss > 0.0, "gradnoise: target loss must be > 0");
+  SgdRun run;
+  for (run.steps = 0; run.steps < max_steps; ++run.steps) {
+    if (problem.loss(theta) <= target_loss) {
+      run.converged = true;
+      return run;
+    }
+    // Optimal step size of Eq. (34):
+    //   eps = |G|^2 / (G^T H G + tr(H Sigma)/B).
+    const std::vector<double> g = problem.gradient(theta);
+    double g_sq = 0.0;
+    double ghg = 0.0;
+    for (size_t i = 0; i < problem.dim(); ++i) {
+      g_sq += g[i] * g[i];
+      ghg += problem.curvature()[i] * g[i] * g[i];
+    }
+    const double noise_term =
+        problem.analytic_noise_scale_hessian(theta) * ghg / batch;
+    const double eps = g_sq / (ghg + noise_term);
+
+    const std::vector<double> g_est = problem.batch_gradient(theta, batch, rng);
+    for (size_t i = 0; i < problem.dim(); ++i) theta[i] -= eps * g_est[i];
+  }
+  run.converged = problem.loss(theta) <= target_loss;
+  return run;
+}
+
+CriticalBatchFit fit_critical_batch(
+    const std::vector<std::pair<int, double>>& steps_by_batch) {
+  check(steps_by_batch.size() >= 2,
+        "gradnoise: need at least two batch sizes to fit");
+  // Linear least squares on steps = a + c * (1/B);
+  // then s_min = a, b_crit = c / a.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const double n = static_cast<double>(steps_by_batch.size());
+  for (const auto& [batch, steps] : steps_by_batch) {
+    check(batch >= 1, "gradnoise: batch must be >= 1");
+    const double x = 1.0 / batch;
+    sx += x;
+    sy += steps;
+    sxx += x * x;
+    sxy += x * steps;
+  }
+  const double denom = n * sxx - sx * sx;
+  check(std::fabs(denom) > 1e-12, "gradnoise: degenerate fit");
+  const double c = (n * sxy - sx * sy) / denom;
+  const double a = (sy - c * sx) / n;
+  check(a > 0.0, "gradnoise: fit produced non-positive s_min");
+  return {a, c / a};
+}
+
+double estimate_noise_scale(double grad_sq_small, double grad_sq_big,
+                            int batch_small, int batch_big) {
+  check(batch_small >= 1 && batch_big > batch_small,
+        "gradnoise: need batch_small < batch_big");
+  // E|G_B|^2 = |G|^2 + tr(Sigma)/B (McCandlish Appendix A):
+  const double bs = batch_small;
+  const double bb = batch_big;
+  const double g_sq =
+      (bb * grad_sq_big - bs * grad_sq_small) / (bb - bs);
+  const double tr_sigma =
+      (grad_sq_small - grad_sq_big) / (1.0 / bs - 1.0 / bb);
+  check(g_sq > 0.0, "gradnoise: estimator produced |G|^2 <= 0 "
+                    "(increase the number of trials)");
+  return tr_sigma / g_sq;
+}
+
+double mean_grad_sq(const NoisyQuadratic& problem,
+                    const std::vector<double>& theta, int batch, int trials,
+                    Rng& rng) {
+  check(trials >= 1, "gradnoise: trials must be >= 1");
+  double sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<double> g = problem.batch_gradient(theta, batch, rng);
+    double g_sq = 0.0;
+    for (double v : g) g_sq += v * v;
+    sum += g_sq;
+  }
+  return sum / trials;
+}
+
+}  // namespace bfpp::gradnoise

@@ -1,0 +1,83 @@
+// Critical batch size and gradient noise scale (Appendix B).
+//
+// Implements the McCandlish et al. machinery the paper's trade-off model
+// rests on: a noisy-quadratic SGD testbed where Eq. (7)
+// (Samples ~ 1 + B/B_crit) can be verified end-to-end, the analytic
+// noise scale B_noise = tr(Sigma)/|G|^2 (Eq. 35), and the two-batch
+// statistical estimator used in practice when the Hessian and noise
+// covariance are unavailable.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bfpp::gradnoise {
+
+// Quadratic loss L(theta) = 1/2 sum_i h_i theta_i^2 with additive
+// per-sample gradient noise xi ~ N(0, diag(sigma_i^2)). The exact
+// setting of Appendix B with H diagonal.
+class NoisyQuadratic {
+ public:
+  NoisyQuadratic(std::vector<double> curvature, std::vector<double> noise_std);
+
+  [[nodiscard]] size_t dim() const { return curvature_.size(); }
+  [[nodiscard]] double loss(const std::vector<double>& theta) const;
+  // True gradient G = H theta.
+  [[nodiscard]] std::vector<double> gradient(
+      const std::vector<double>& theta) const;
+  // Average of `batch` noisy per-sample gradients.
+  [[nodiscard]] std::vector<double> batch_gradient(
+      const std::vector<double>& theta, int batch, Rng& rng) const;
+
+  // Eq. 35: B_noise ~ tr(Sigma)/|G|^2 at the given point (the "simple"
+  // noise scale; exact when H ~ identity).
+  [[nodiscard]] double analytic_noise_scale(
+      const std::vector<double>& theta) const;
+  // The Hessian-weighted noise scale tr(H Sigma)/(G^T H G) (Eq. 35 lhs).
+  [[nodiscard]] double analytic_noise_scale_hessian(
+      const std::vector<double>& theta) const;
+
+  [[nodiscard]] const std::vector<double>& curvature() const {
+    return curvature_;
+  }
+
+ private:
+  std::vector<double> curvature_;
+  std::vector<double> noise_std_;
+};
+
+struct SgdRun {
+  int steps = 0;
+  bool converged = false;
+};
+
+// Runs SGD with the per-step optimal learning rate of Eq. (34) until
+// loss(theta) <= target_loss. With that schedule, expected per-step
+// progress follows Eq. (36), so steps-to-target scales as
+// (1 + B_noise/B) - the property the fit below recovers.
+SgdRun steps_to_target(const NoisyQuadratic& problem,
+                       std::vector<double> theta0, int batch,
+                       double target_loss, int max_steps, Rng& rng);
+
+// Least-squares fit of steps(B) = s_min * (1 + b_crit / B).
+struct CriticalBatchFit {
+  double s_min = 0.0;
+  double b_crit = 0.0;
+};
+CriticalBatchFit fit_critical_batch(
+    const std::vector<std::pair<int, double>>& steps_by_batch);
+
+// Two-batch-size noise-scale estimator (McCandlish Appendix A):
+// given E|G_B|^2 measured at two batch sizes, recover tr(Sigma)/|G|^2.
+double estimate_noise_scale(double grad_sq_small, double grad_sq_big,
+                            int batch_small, int batch_big);
+
+// Measures E|G_B|^2 over `trials` batch gradients.
+double mean_grad_sq(const NoisyQuadratic& problem,
+                    const std::vector<double>& theta, int batch, int trials,
+                    Rng& rng);
+
+}  // namespace bfpp::gradnoise

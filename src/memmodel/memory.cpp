@@ -1,0 +1,139 @@
+#include "memmodel/memory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace bfpp::memmodel {
+
+namespace {
+
+using parallel::DpSharding;
+using parallel::ScheduleKind;
+
+// Gradients can be reduced as soon as a stage's backward pass finishes
+// when the schedule aggregates micro-batches per stage (breadth-first /
+// GPipe) or when there is no accumulation at all. This halves the buffer
+// term of Eq. 14 ("with PP_BF or N_mb = 1, the gradients can be reduced
+// immediately").
+bool immediate_reduce(const parallel::ParallelConfig& cfg) {
+  return cfg.schedule == ScheduleKind::kBreadthFirst ||
+         cfg.schedule == ScheduleKind::kGpipe || cfg.n_mb == 1;
+}
+
+}  // namespace
+
+MemoryEstimate estimate(const model::TransformerSpec& spec,
+                        const parallel::ParallelConfig& cfg, bool at_scale) {
+  MemoryEstimate est;
+  const double h = spec.hidden_size;
+  const double seq = spec.seq_len;
+  const double layers_per_device =
+      std::ceil(static_cast<double>(spec.n_layers) / cfg.n_pp);
+
+  // Worst device: its share of transformer layers plus the embedding.
+  const double params_per_gpu =
+      (spec.params_per_layer() * layers_per_device + spec.embedding_params()) /
+      cfg.n_tp;
+  // DP-sharded terms keep 1/N_DP locally; at scale they vanish.
+  const double shard_fraction =
+      at_scale ? 0.0 : 1.0 / static_cast<double>(cfg.n_dp);
+
+  // ---- Training state: fp32 master weights (4) + Adam momenta (8),
+  // plus fp32 gradients (4). Eqs. 13-15. With sharding, gradients are
+  // reduce-scattered into the fp32 shard, so the whole 16-byte block
+  // shards; accumulation happens in the fp16 gradient buffer below.
+  const bool reduce_now = immediate_reduce(cfg);
+  switch (cfg.sharding) {
+    case DpSharding::kNone:
+      // At scale, partially sharded state is always *achievable* without
+      // changing the communication volume (Section 3.1), so the paper's
+      // "minimum memory" columns shard the state even for DP_0 configs
+      // (compare Table E.1's Memory vs Memory-min for unsharded rows).
+      est.state_bytes = at_scale ? 0.0 : (12.0 + 4.0) * params_per_gpu;
+      break;
+    case DpSharding::kPartial:
+    case DpSharding::kFull:
+      est.state_bytes = (12.0 + 4.0) * params_per_gpu * shard_fraction;
+      break;
+  }
+
+  // ---- Half-precision working buffers (weights + gradients).
+  if (cfg.sharding == DpSharding::kFull) {
+    // Only the reconstructed stages are resident: double buffering keeps
+    // two stages' fp16 weights and gradients (Eq. 15: 8*N_p/(N_l*N_TP)
+    // when stages are single layers).
+    const double stages_per_device = cfg.n_loop;
+    const double layers_per_stage = layers_per_device / stages_per_device;
+    const double params_per_stage =
+        spec.params_per_layer() * layers_per_stage / cfg.n_tp;
+    est.buffer_bytes = 2.0 * (2.0 + 2.0) * params_per_stage;
+  } else {
+    // fp16 weights always resident; fp16 gradients free immediately when
+    // reduced per stage (Eq. 14: "2 or 4" bytes per parameter).
+    est.buffer_bytes =
+        2.0 * params_per_gpu + (reduce_now ? 0.0 : 2.0 * params_per_gpu);
+  }
+
+  // ---- Activation working set (Eq. 16), one micro-batch in flight.
+  est.activation_bytes =
+      seq * cfg.s_mb * h *
+      (10.0 + 24.0 / cfg.n_tp +
+       5.0 * seq * spec.n_heads / (h * cfg.n_tp));
+
+  // ---- Activation checkpoints (Eq. 17 with the schedule caps).
+  double ckpt_layers = 0.0;  // number of per-layer checkpoints held at peak
+  const double full = static_cast<double>(cfg.n_mb) * layers_per_device;
+  switch (cfg.schedule) {
+    case ScheduleKind::kGpipe:
+    case ScheduleKind::kBreadthFirst:
+      ckpt_layers = full;
+      break;
+    case ScheduleKind::kOneFOneB:
+      ckpt_layers = std::min(
+          full, static_cast<double>(2 * cfg.n_pp - 1) * layers_per_device);
+      break;
+    case ScheduleKind::kDepthFirst:
+      ckpt_layers = std::min(full, static_cast<double>(spec.n_layers) +
+                                       cfg.n_pp - 1);
+      break;
+  }
+  est.checkpoint_bytes = ckpt_layers * 2.0 * seq * cfg.s_mb * h / cfg.n_tp;
+
+  // ---- Pipeline receive buffers: double-buffered input activations and
+  // output gradients (fp16 boundary tensors).
+  if (cfg.n_pp > 1) {
+    est.p2p_buffer_bytes = 4.0 * 2.0 * seq * cfg.s_mb * h / cfg.n_tp;
+  }
+
+  return est;
+}
+
+bool fits(const model::TransformerSpec& spec,
+          const parallel::ParallelConfig& cfg,
+          const hw::ClusterSpec& cluster) {
+  return estimate(spec, cfg).total() <=
+         cluster.gpu.memory_bytes * kUsableMemoryFraction;
+}
+
+void check_fits(const model::TransformerSpec& spec,
+                const parallel::ParallelConfig& cfg,
+                const hw::ClusterSpec& cluster) {
+  const MemoryEstimate est = estimate(spec, cfg);
+  const double budget = cluster.gpu.memory_bytes * kUsableMemoryFraction;
+  if (est.total() > budget) {
+    throw OutOfMemoryError(str_format(
+        "config %s needs %s > budget %s (state %s, buffers %s, act %s, "
+        "ckpt %s, p2p %s)",
+        cfg.describe().c_str(), format_bytes(est.total()).c_str(),
+        format_bytes(budget).c_str(), format_bytes(est.state_bytes).c_str(),
+        format_bytes(est.buffer_bytes).c_str(),
+        format_bytes(est.activation_bytes).c_str(),
+        format_bytes(est.checkpoint_bytes).c_str(),
+        format_bytes(est.p2p_buffer_bytes).c_str()));
+  }
+}
+
+}  // namespace bfpp::memmodel

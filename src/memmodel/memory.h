@@ -1,0 +1,56 @@
+// Analytic per-GPU memory model (Appendix A.2).
+//
+// Implements the paper's state-memory formulas (Eqs. 13-15), the
+// activation working-set formula (Eq. 16), the checkpoint formula
+// (Eq. 17) with the 1F1B / depth-first caps, and the pipeline receive
+// buffers. Two variants are reported, matching Appendix E's two memory
+// columns:
+//   * finite-cluster usage ("Memory (GB)"): sharded terms divided by the
+//     actual N_DP of the configuration;
+//   * at-scale minimum ("Memory min (GB)"): sharded terms on an
+//     arbitrarily large cluster (divided out entirely).
+// The model is also the feasibility filter the autotuner applies before
+// simulating a configuration (out-of-memory exclusion, Appendix E).
+#pragma once
+
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+
+namespace bfpp::memmodel {
+
+struct MemoryEstimate {
+  double state_bytes = 0.0;        // fp32 weights + Adam momenta (+ grads)
+  double buffer_bytes = 0.0;       // fp16 weight/grad working buffers
+  double activation_bytes = 0.0;   // Eq. 16: one layer's activations+grads
+  double checkpoint_bytes = 0.0;   // Eq. 17 (schedule-dependent cap)
+  double p2p_buffer_bytes = 0.0;   // pipeline receive buffers (double-buffered)
+
+  [[nodiscard]] double total() const {
+    return state_bytes + buffer_bytes + activation_bytes + checkpoint_bytes +
+           p2p_buffer_bytes;
+  }
+};
+
+// Peak per-GPU memory estimate for running `cfg` on `spec`. With
+// `at_scale` true, data-parallel-sharded terms are taken in the
+// N_DP -> infinity limit (the paper's "minimum memory" columns).
+MemoryEstimate estimate(const model::TransformerSpec& spec,
+                        const parallel::ParallelConfig& cfg,
+                        bool at_scale = false);
+
+// Fraction of device memory the allocator can actually use; the paper's
+// Appendix D.2 documents heavy fragmentation, so feasibility keeps
+// headroom.
+inline constexpr double kUsableMemoryFraction = 0.92;
+
+// True when `cfg` fits in the cluster's device memory.
+bool fits(const model::TransformerSpec& spec,
+          const parallel::ParallelConfig& cfg, const hw::ClusterSpec& cluster);
+
+// Throws bfpp::OutOfMemoryError with a breakdown when it does not fit.
+void check_fits(const model::TransformerSpec& spec,
+                const parallel::ParallelConfig& cfg,
+                const hw::ClusterSpec& cluster);
+
+}  // namespace bfpp::memmodel

@@ -1,0 +1,114 @@
+// Transformer model accounting: parameters, flops and activation sizes.
+//
+// Implements the formulas of the paper's Appendix A.1/A.2 for a
+// BERT/GPT-style stack of identical transformer layers with hidden size
+// S_hidden, N_heads attention heads of size S_head (N_heads*S_head ==
+// S_hidden), an MLP of hidden size 4*S_hidden, mixed-precision training
+// with Adam and activation checkpointing.
+//
+// One correction relative to the arXiv text: Eq. (11) as printed omits a
+// factor S_seq (the token count per sample); with it, the formula agrees
+// with the standard 8 flop/parameter/token accounting and with every
+// numeric example in the paper (e.g. the Appendix A.3.2 intensities), so
+// we implement the corrected form and document it here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bfpp::model {
+
+struct TransformerSpec {
+  std::string name;
+  int n_layers = 0;
+  int n_heads = 0;
+  int head_size = 0;
+  int hidden_size = 0;   // == n_heads * head_size
+  int seq_len = 0;
+  int vocab_size = 0;
+
+  // ---- Parameter counts ----
+
+  // Parameters per transformer layer: 12 * S_hidden^2 (Appendix A.1).
+  [[nodiscard]] double params_per_layer() const {
+    const double h = hidden_size;
+    return 12.0 * h * h;
+  }
+
+  // Embedding (and tied output head) parameters.
+  [[nodiscard]] double embedding_params() const {
+    return static_cast<double>(vocab_size) * hidden_size;
+  }
+
+  // Total parameters, N_params ~ 12 * N_layers * S_hidden^2 (+ embeddings).
+  [[nodiscard]] double total_params() const {
+    return params_per_layer() * n_layers + embedding_params();
+  }
+
+  // ---- Flop counts (training: forward + backward + recompute) ----
+  // Per layer and token: 96*S_h^2 from the linear layers (8 flop per
+  // parameter per token: 2 forward, 4 backward, 2 recompute) plus
+  // 16*S_h*S_seq from self-attention (the S_seq/6 term of Eq. 11).
+
+  [[nodiscard]] double layer_forward_flops_per_token() const {
+    const double h = hidden_size;
+    return 24.0 * h * h + 4.0 * h * seq_len;
+  }
+  // Backward including the checkpoint recomputation (3x forward).
+  [[nodiscard]] double layer_backward_flops_per_token() const {
+    return 3.0 * layer_forward_flops_per_token();
+  }
+  [[nodiscard]] double layer_train_flops_per_token() const {
+    return 4.0 * layer_forward_flops_per_token();
+  }
+
+  // Output head (logits), the S_voc/(16*N_layers) term of Eq. 11:
+  // 2 forward + 4 backward flop per embedding parameter per token.
+  [[nodiscard]] double head_forward_flops_per_token() const {
+    return 2.0 * static_cast<double>(hidden_size) * vocab_size;
+  }
+  [[nodiscard]] double head_backward_flops_per_token() const {
+    return 2.0 * head_forward_flops_per_token();
+  }
+
+  // Total training flops for one sample (all layers + head), the
+  // corrected Eq. (11) aggregated over the model:
+  //   96 * S_seq * N_l * S_h * (S_h + S_seq/6 + S_voc/(16*N_l))
+  [[nodiscard]] double train_flops_per_sample() const {
+    return (layer_train_flops_per_token() * n_layers +
+            head_forward_flops_per_token() + head_backward_flops_per_token()) *
+           seq_len;
+  }
+
+  [[nodiscard]] double tokens_per_sample() const { return seq_len; }
+
+  // ---- Activation sizes ----
+
+  // Bytes of one micro-batch's boundary activation (fp16), per sample:
+  // S_seq * S_hidden * 2 bytes. This is what pipeline parallelism sends
+  // between stages (divided by N_TP when tensor-parallel).
+  [[nodiscard]] double boundary_activation_bytes_per_sample() const {
+    return 2.0 * static_cast<double>(seq_len) * hidden_size;
+  }
+};
+
+// Validates structural invariants (positive sizes, heads * head_size ==
+// hidden). Throws bfpp::ConfigError on violation.
+void validate(const TransformerSpec& spec);
+
+// ---- The paper's models ----
+
+// Table 5.1: 52B (64 layers, 64 heads of 128, hidden 8192, seq 1024).
+TransformerSpec model_52b();
+// Table 5.1: 6.6B (32 layers, 32 heads of 128, hidden 4096, seq 1024).
+TransformerSpec model_6_6b();
+// Appendix A.1 example: GPT-3 (96 layers, hidden 12288, seq 2048).
+TransformerSpec model_gpt3();
+// Appendix A.1 example: the trillion-parameter model of Narayanan et al.
+// (128 layers, 160 heads, hidden 25600, seq 2048). The arXiv text lists
+// hidden 12288 for this model, but its own intensity example (I_PP =
+// 19.7M, Appendix A.3.2) and the 1T parameter count require 25600, so we
+// use 25600.
+TransformerSpec model_1t();
+
+}  // namespace bfpp::model

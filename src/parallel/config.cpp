@@ -1,0 +1,153 @@
+#include "parallel/config.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace bfpp::parallel {
+
+const char* to_string(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kGpipe:
+      return "GPipe";
+    case ScheduleKind::kOneFOneB:
+      return "1F1B";
+    case ScheduleKind::kDepthFirst:
+      return "Depth-first";
+    case ScheduleKind::kBreadthFirst:
+      return "Breadth-first";
+  }
+  return "?";
+}
+
+const char* to_string(DpSharding sharding) {
+  switch (sharding) {
+    case DpSharding::kNone:
+      return "DP0";
+    case DpSharding::kPartial:
+      return "DP_PS";
+    case DpSharding::kFull:
+      return "DP_FS";
+  }
+  return "?";
+}
+
+std::string ParallelConfig::describe() const {
+  return str_format("%s pp%d tp%d dp%d smb%d nmb%d loop%d %s%s%s",
+                    to_string(schedule), n_pp, n_tp, n_dp, s_mb, n_mb, n_loop,
+                    to_string(sharding), overlap_dp ? "" : " no-dp-overlap",
+                    overlap_pp ? "" : " no-pp-overlap");
+}
+
+ParallelConfig with_megatron_flags(ParallelConfig cfg) {
+  cfg.overlap_dp = false;
+  cfg.overlap_pp = false;
+  if (cfg.sharding == DpSharding::kPartial) cfg.sharding = DpSharding::kNone;
+  return cfg;
+}
+
+void validate(const ParallelConfig& cfg, const model::TransformerSpec& spec,
+              const hw::ClusterSpec& cluster) {
+  model::validate(spec);
+  check_config(cfg.n_dp >= 1 && cfg.n_tp >= 1 && cfg.n_pp >= 1,
+               "parallel: group sizes must be >= 1");
+  check_config(cfg.s_mb >= 1, "parallel: micro-batch size must be >= 1");
+  check_config(cfg.n_mb >= 1, "parallel: micro-batch count must be >= 1");
+  check_config(cfg.n_loop >= 1, "parallel: loop count must be >= 1");
+  check_config(cfg.n_gpus() == cluster.total_gpus(),
+               str_format("parallel: grid %dx%dx%d = %d GPUs != cluster %d",
+                          cfg.n_dp, cfg.n_tp, cfg.n_pp, cfg.n_gpus(),
+                          cluster.total_gpus()));
+  check_config(cfg.n_tp <= cluster.gpus_per_node,
+               "parallel: tensor parallelism cannot span nodes");
+  check_config(cluster.gpus_per_node % cfg.n_tp == 0,
+               "parallel: N_TP must divide the node size");
+  check_config(spec.n_layers % cfg.n_stages() == 0 ||
+                   spec.n_layers > cfg.n_stages(),
+               str_format("parallel: %d stages for %d layers", cfg.n_stages(),
+                          spec.n_layers));
+  check_config(cfg.n_stages() <= spec.n_layers,
+               "parallel: more stages than layers");
+  if (cfg.schedule == ScheduleKind::kGpipe ||
+      cfg.schedule == ScheduleKind::kOneFOneB) {
+    check_config(cfg.n_loop == 1, "parallel: non-looped schedule needs N_loop=1");
+  }
+  if (cfg.schedule == ScheduleKind::kDepthFirst) {
+    // Section 4.1: the depth-first schedule constrains N_mb to a multiple
+    // of N_PP (micro-batches run in "sequences" of N_PP).
+    check_config(cfg.n_mb % cfg.n_pp == 0,
+                 "parallel: depth-first needs N_mb divisible by N_PP");
+  }
+  if (cfg.n_pp > 1) {
+    check_config(cfg.n_mb >= cfg.n_pp,
+                 "parallel: pipeline needs N_mb >= N_PP to fill (beta_min)");
+  }
+  if (cfg.sharding != DpSharding::kNone) {
+    check_config(cfg.n_dp > 1, "parallel: sharding requires N_DP > 1");
+  }
+}
+
+StagePlacement::StagePlacement(int n_layers, int n_pp, int n_loop)
+    : n_layers_(n_layers), n_pp_(n_pp), n_loop_(n_loop) {
+  check_config(n_layers >= 1 && n_pp >= 1 && n_loop >= 1,
+               "placement: sizes must be >= 1");
+  check_config(n_pp * n_loop <= n_layers,
+               "placement: more stages than layers");
+}
+
+int StagePlacement::device_of_stage(int stage) const {
+  check(stage >= 0 && stage < n_stages(), "placement: stage out of range");
+  return stage % n_pp_;
+}
+
+std::vector<int> StagePlacement::stages_of_device(int device) const {
+  check(device >= 0 && device < n_pp_, "placement: device out of range");
+  std::vector<int> stages;
+  stages.reserve(static_cast<size_t>(n_loop_));
+  for (int l = 0; l < n_loop_; ++l) stages.push_back(device + l * n_pp_);
+  return stages;
+}
+
+int StagePlacement::layers_in_stage(int stage) const {
+  check(stage >= 0 && stage < n_stages(), "placement: stage out of range");
+  const int base = n_layers_ / n_stages();
+  const int remainder = n_layers_ % n_stages();
+  return base + (stage < remainder ? 1 : 0);
+}
+
+int StagePlacement::first_layer_of_stage(int stage) const {
+  check(stage >= 0 && stage < n_stages(), "placement: stage out of range");
+  const int base = n_layers_ / n_stages();
+  const int remainder = n_layers_ % n_stages();
+  return stage * base + std::min(stage, remainder);
+}
+
+DeviceGrid::DeviceGrid(const ParallelConfig& cfg,
+                       const hw::ClusterSpec& cluster)
+    : cfg_(cfg), gpus_per_node_(cluster.gpus_per_node) {}
+
+int DeviceGrid::linear_rank(int dp, int pp, int tp) const {
+  return tp + cfg_.n_tp * (pp + cfg_.n_pp * dp);
+}
+
+int DeviceGrid::node_of_rank(int rank) const { return rank / gpus_per_node_; }
+
+bool DeviceGrid::pp_link_intra_node(int from_pp, int to_pp) const {
+  const int a = linear_rank(0, from_pp, 0);
+  const int b = linear_rank(0, to_pp, 0);
+  return node_of_rank(a) == node_of_rank(b);
+}
+
+int DeviceGrid::dp_group_extent() const {
+  const int stride = cfg_.n_tp * cfg_.n_pp;
+  return stride * (cfg_.n_dp - 1) + 1;
+}
+
+int DeviceGrid::dp_members_per_node() const {
+  const int stride = cfg_.n_tp * cfg_.n_pp;
+  if (stride >= gpus_per_node_) return 1;
+  return std::min(cfg_.n_dp, gpus_per_node_ / stride);
+}
+
+}  // namespace bfpp::parallel

@@ -1,0 +1,144 @@
+// Parallel configuration: the 3-D device grid (N_DP x N_TP x N_PP),
+// micro-batching, schedule selection and data-parallel sharding mode.
+//
+// Terminology follows the paper's Table A.1:
+//   N_DP / N_TP / N_PP   data/tensor/pipeline-parallel group sizes
+//   S_mb                 micro-batch size (samples)
+//   N_mb                 sequential micro-batches
+//   N_loop               stages per device, N_stage = N_PP * N_loop
+//   B                    batch size = N_DP * N_mb * S_mb
+//   beta                 batch size per GPU = B / N_GPU
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace bfpp::parallel {
+
+// Pipeline schedule. GPipe and 1F1B are the non-looped baselines
+// (Section 3.2); depth-first is the Megatron-LM interleaved schedule of
+// Narayanan et al.; breadth-first is the paper's contribution.
+enum class ScheduleKind {
+  kGpipe,
+  kOneFOneB,
+  kDepthFirst,
+  kBreadthFirst,
+};
+
+// Data-parallel sharding (Section 3.1 / ZeRO stages).
+enum class DpSharding {
+  kNone,     // DP_0: full replication, gradient all-reduce
+  kPartial,  // DP_PS (ZeRO-2): sharded optimizer state
+  kFull,     // DP_FS (ZeRO-3): sharded weights, gathered per use
+};
+
+const char* to_string(ScheduleKind kind);
+const char* to_string(DpSharding sharding);
+
+struct ParallelConfig {
+  int n_dp = 1;
+  int n_tp = 1;
+  int n_pp = 1;
+  int s_mb = 1;
+  int n_mb = 1;
+  int n_loop = 1;
+  ScheduleKind schedule = ScheduleKind::kBreadthFirst;
+  DpSharding sharding = DpSharding::kNone;
+
+  // Implementation capability flags. The paper's own implementation
+  // overlaps both kinds of communication; Megatron-LM (its baseline for
+  // 1F1B and depth-first) overlaps neither (Section 5, footnote 5).
+  bool overlap_dp = true;  // overlap grad-reduce / weight-gather w/ compute
+  bool overlap_pp = true;  // asynchronous pipeline sends/receives
+
+  [[nodiscard]] int n_gpus() const { return n_dp * n_tp * n_pp; }
+  [[nodiscard]] int n_stages() const { return n_pp * n_loop; }
+  [[nodiscard]] int batch_size() const { return n_dp * n_mb * s_mb; }
+  [[nodiscard]] double batch_per_gpu() const {
+    return static_cast<double>(batch_size()) / n_gpus();
+  }
+  [[nodiscard]] bool looped() const { return n_loop > 1; }
+
+  // Short human-readable description, e.g. "BF pp8 tp8 dp1 smb1 nmb8 loop4 FS".
+  [[nodiscard]] std::string describe() const;
+};
+
+// Returns the Megatron-LM behavioural variant of `cfg` (no overlap, no
+// sharding), used to model the paper's 1F1B / depth-first baselines.
+ParallelConfig with_megatron_flags(ParallelConfig cfg);
+
+// Checks that `cfg` is structurally valid for `spec` on `cluster`:
+// stages divide layers, the grid fits the cluster, N_TP fits a node,
+// the depth-first constraint N_mb % N_PP == 0 (Section 4.1), non-looped
+// schedules have N_loop == 1, and N_mb >= N_PP so the pipeline can fill
+// (Section 3.2). Throws bfpp::ConfigError explaining the violation.
+void validate(const ParallelConfig& cfg, const model::TransformerSpec& spec,
+              const hw::ClusterSpec& cluster);
+
+// ---- Stage placement (Figure 3) ----
+
+// Placement of N_stage = N_PP * N_loop stages on N_PP devices. Stage s
+// lives on device s % N_PP (the looping placement of Figure 3b; with
+// N_loop == 1 this reduces to the standard placement of Figure 3a) and
+// holds a contiguous chunk of layers.
+class StagePlacement {
+ public:
+  StagePlacement(int n_layers, int n_pp, int n_loop);
+
+  [[nodiscard]] int n_stages() const { return n_pp_ * n_loop_; }
+  [[nodiscard]] int n_pp() const { return n_pp_; }
+  [[nodiscard]] int n_loop() const { return n_loop_; }
+
+  // Device hosting stage `s`.
+  [[nodiscard]] int device_of_stage(int stage) const;
+  // Stages hosted by device `r`, in execution (loop) order.
+  [[nodiscard]] std::vector<int> stages_of_device(int device) const;
+  // Number of transformer layers in stage `s` (near-identical split:
+  // remainder layers go to the earliest stages).
+  [[nodiscard]] int layers_in_stage(int stage) const;
+  // First layer index of stage `s`.
+  [[nodiscard]] int first_layer_of_stage(int stage) const;
+
+ private:
+  int n_layers_;
+  int n_pp_;
+  int n_loop_;
+};
+
+// ---- Device grid topology ----
+
+// Maps the logical (dp, pp, tp) grid onto cluster nodes. Ranks are laid
+// out tp-innermost, then pp, then dp (the Megatron-LM order): tensor
+// groups always sit inside one node, pipeline neighbours share a node
+// when N_TP * N_PP fits, and data-parallel groups span nodes at scale.
+class DeviceGrid {
+ public:
+  DeviceGrid(const ParallelConfig& cfg, const hw::ClusterSpec& cluster);
+
+  [[nodiscard]] int linear_rank(int dp, int pp, int tp) const;
+  [[nodiscard]] int node_of_rank(int rank) const;
+
+  // True when the pipeline link from pp rank `from` to `to` (same dp/tp)
+  // stays within one node.
+  [[nodiscard]] bool pp_link_intra_node(int from_pp, int to_pp) const;
+
+  // Number of consecutive linear ranks spanned by a data-parallel group;
+  // used to pick the network tier bounding DP collectives.
+  [[nodiscard]] int dp_group_extent() const;
+  // Members of one data-parallel group living in the same node. NCCL's
+  // hierarchical rings let k co-located members share the node's NVLink
+  // before touching the inter-node fabric, multiplying the effective
+  // per-GPU inter-node collective bandwidth by k.
+  [[nodiscard]] int dp_members_per_node() const;
+  // Same for a tensor-parallel group (always <= node size by validation).
+  [[nodiscard]] int tp_group_extent() const { return cfg_.n_tp; }
+
+ private:
+  ParallelConfig cfg_;
+  int gpus_per_node_;
+};
+
+}  // namespace bfpp::parallel

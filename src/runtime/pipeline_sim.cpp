@@ -1,0 +1,476 @@
+#include "runtime/pipeline_sim.h"
+
+#include <algorithm>
+#include <map>
+
+#include "collectives/collectives.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "memmodel/memory.h"
+
+namespace bfpp::runtime {
+
+namespace {
+
+using parallel::DpSharding;
+using parallel::ScheduleKind;
+using schedule::Op;
+using schedule::OpKind;
+using sim::TaskId;
+using sim::TaskKind;
+using sim::TaskMeta;
+
+// Builds the effective compute schedule. With a single pipeline device
+// the schedule kinds degenerate to the gradient-accumulation orders of
+// Appendix C (stages = layer groups on one device).
+schedule::Schedule effective_schedule(const parallel::ParallelConfig& cfg) {
+  if (cfg.n_pp == 1) {
+    switch (cfg.schedule) {
+      case ScheduleKind::kBreadthFirst:
+      case ScheduleKind::kGpipe:
+        return schedule::grad_accumulation_breadth_first(cfg.n_loop, cfg.n_mb);
+      case ScheduleKind::kDepthFirst:
+      case ScheduleKind::kOneFOneB:
+        return schedule::grad_accumulation_depth_first(cfg.n_loop, cfg.n_mb);
+    }
+  }
+  return schedule::make_schedule(cfg.schedule, cfg.n_pp, cfg.n_loop, cfg.n_mb);
+}
+
+// Non-overlapped per-reconstruction cost charged to the compute stream
+// for every DP_FS weight gather: buffer management, casting and the
+// caching-allocator synchronizations Appendix D.2 documents (the paper's
+// implementation "fixed... most but not all" of these stalls). Charged
+// proportionally to the gathered payload at an effective 100 GB/s.
+constexpr double kFsReconstructStallBw = 100e9;
+
+}  // namespace
+
+PipelineSim::PipelineSim(model::TransformerSpec spec,
+                         parallel::ParallelConfig cfg, hw::ClusterSpec cluster,
+                         hw::KernelModel kernel)
+    : spec_(std::move(spec)),
+      cfg_(cfg),
+      cluster_(std::move(cluster)),
+      kernel_(kernel),
+      placement_(spec_.n_layers, cfg_.n_pp, cfg_.n_loop) {}
+
+double PipelineSim::stage_flops(int stage, bool forward) const {
+  const double tokens = static_cast<double>(cfg_.s_mb) * spec_.seq_len;
+  const double per_token = forward ? spec_.layer_forward_flops_per_token()
+                                   : spec_.layer_backward_flops_per_token();
+  double flops = placement_.layers_in_stage(stage) * per_token * tokens;
+  if (stage == placement_.n_stages() - 1) {
+    flops += (forward ? spec_.head_forward_flops_per_token()
+                      : spec_.head_backward_flops_per_token()) *
+             tokens;
+  }
+  return flops / cfg_.n_tp;
+}
+
+double PipelineSim::tp_comm_seconds() const {
+  if (cfg_.n_tp == 1) return 0.0;
+  // Two non-overlapped activation all-reduces per layer in each of the
+  // forward pass and the recompute (Appendix A.3.3, footnote 11). The
+  // two backward gradient all-reduces are overlapped and not charged.
+  const double tokens = static_cast<double>(cfg_.s_mb) * spec_.seq_len;
+  const double payload = 2.0 * tokens * spec_.hidden_size;  // fp16
+  return 2.0 * collectives::all_reduce_time(cluster_.intra_node, payload,
+                                            cfg_.n_tp);
+}
+
+double PipelineSim::forward_op_seconds(int stage) const {
+  const double tokens = static_cast<double>(cfg_.s_mb) * spec_.seq_len;
+  const double eff = kernel_.efficiency(
+      tokens, hw::KernelModel::narrow_dim(spec_.hidden_size, cfg_.n_tp));
+  return stage_flops(stage, /*forward=*/true) /
+             (cluster_.gpu.peak_flops * eff) +
+         placement_.layers_in_stage(stage) * tp_comm_seconds();
+}
+
+double PipelineSim::backward_op_seconds(int stage) const {
+  const double tokens = static_cast<double>(cfg_.s_mb) * spec_.seq_len;
+  const double eff = kernel_.efficiency(
+      tokens, hw::KernelModel::narrow_dim(spec_.hidden_size, cfg_.n_tp));
+  // The recompute repeats the forward all-reduces (non-overlapped).
+  return stage_flops(stage, /*forward=*/false) /
+             (cluster_.gpu.peak_flops * eff) +
+         placement_.layers_in_stage(stage) * tp_comm_seconds();
+}
+
+double PipelineSim::stage_payload_bytes(int stage) const {
+  double params = spec_.params_per_layer() * placement_.layers_in_stage(stage);
+  if (stage == 0) params += spec_.embedding_params();
+  return params / cfg_.n_tp * collectives::kGradPayloadBytesPerParam;
+}
+
+double PipelineSim::boundary_bytes() const {
+  return spec_.boundary_activation_bytes_per_sample() * cfg_.s_mb / cfg_.n_tp;
+}
+
+const sim::SimResult& PipelineSim::result() const {
+  check(result_ != nullptr, "PipelineSim: run() has not been called");
+  return *result_;
+}
+
+std::vector<sim::StreamId> PipelineSim::display_streams() const {
+  std::vector<sim::StreamId> out;
+  for (size_t r = 0; r < compute_streams_.size(); ++r) {
+    out.push_back(compute_streams_[r]);
+    if (r < dp_streams_.size()) out.push_back(dp_streams_[r]);
+  }
+  return out;
+}
+
+void PipelineSim::build() {
+  parallel::validate(cfg_, spec_, cluster_);
+  memmodel::check_fits(spec_, cfg_, cluster_);
+  check_config(cfg_.overlap_dp || cfg_.sharding != DpSharding::kFull,
+               "DP_FS requires an implementation with DP overlap");
+
+  const schedule::Schedule sched = effective_schedule(cfg_);
+  schedule::validate(sched);
+
+  const parallel::DeviceGrid grid(cfg_, cluster_);
+  // Effective data-parallel collective tier. When several DP-group
+  // members share a node, NCCL's hierarchical rings aggregate them over
+  // NVLink before crossing the inter-node fabric, multiplying the
+  // effective per-GPU inter-node bandwidth (capped by NVLink itself).
+  hw::NetTier dp_tier = cluster_.tier_for_group_extent(grid.dp_group_extent());
+  if (grid.dp_group_extent() > cluster_.gpus_per_node) {
+    dp_tier.allreduce_bw =
+        std::min(cluster_.intra_node.allreduce_bw,
+                 cluster_.inter_node.allreduce_bw * grid.dp_members_per_node());
+  }
+  const int n_pp = cfg_.n_pp;
+  const int n_stages = placement_.n_stages();
+  const int n_mb = cfg_.n_mb;
+  const bool fs = cfg_.sharding == DpSharding::kFull;
+  const bool has_dp = cfg_.n_dp > 1;
+
+  // ---- Streams.
+  compute_streams_.clear();
+  dp_streams_.clear();
+  for (int r = 0; r < n_pp; ++r) {
+    compute_streams_.push_back(
+        graph_.add_stream(str_format("gpu%d.compute", r)));
+    dp_streams_.push_back(graph_.add_stream(str_format("gpu%d.dp", r)));
+  }
+  // Directed pipeline links, created on demand (forward and backward
+  // traffic between the same device pair shares the physical link).
+  std::map<std::pair<int, int>, sim::StreamId> links;
+  auto link_stream = [&](int from, int to) {
+    auto it = links.find({from, to});
+    if (it != links.end()) return it->second;
+    const sim::StreamId s =
+        graph_.add_stream(str_format("link.%d->%d", from, to));
+    links.emplace(std::pair{from, to}, s);
+    return s;
+  };
+  auto link_tier = [&](int from, int to) -> const hw::NetTier& {
+    return grid.pp_link_intra_node(from, to) ? cluster_.intra_node
+                                             : cluster_.inter_node;
+  };
+
+  // ---- Pass A: reserve compute tasks and cross-device edge transfers.
+  auto idx = [n_mb](int stage, int mb) {
+    return static_cast<size_t>(stage) * static_cast<size_t>(n_mb) +
+           static_cast<size_t>(mb);
+  };
+  const size_t n_cells = static_cast<size_t>(n_stages) * n_mb;
+  std::vector<TaskId> fwd_task(n_cells, sim::kInvalidTask);
+  std::vector<TaskId> bwd_task(n_cells, sim::kInvalidTask);
+  std::vector<TaskId> fwd_edge(n_cells, sim::kInvalidTask);  // into stage s
+  std::vector<TaskId> bwd_edge(n_cells, sim::kInvalidTask);  // into stage s
+  // Rendezvous markers for blocking (non-overlapped) transfers: the wire
+  // transfer cannot start before the receiver posts its matching receive,
+  // which is how Megatron-LM-style blocking communication lets delays
+  // cascade around the pipeline ring (Section 5.2).
+  std::vector<TaskId> fwd_post(n_cells, sim::kInvalidTask);
+  std::vector<TaskId> bwd_post(n_cells, sim::kInvalidTask);
+  for (int s = 0; s < n_stages; ++s) {
+    for (int m = 0; m < n_mb; ++m) {
+      fwd_task[idx(s, m)] = graph_.reserve_task();
+      bwd_task[idx(s, m)] = graph_.reserve_task();
+      if (s > 0 && placement_.device_of_stage(s - 1) !=
+                       placement_.device_of_stage(s)) {
+        fwd_edge[idx(s, m)] = graph_.reserve_task();
+        if (!cfg_.overlap_pp) fwd_post[idx(s, m)] = graph_.reserve_task();
+      }
+      if (s < n_stages - 1 && placement_.device_of_stage(s + 1) !=
+                                  placement_.device_of_stage(s)) {
+        bwd_edge[idx(s, m)] = graph_.reserve_task();
+        if (!cfg_.overlap_pp) bwd_post[idx(s, m)] = graph_.reserve_task();
+      }
+    }
+  }
+
+  // Last backward op index per (device, stage), for DP_0/DP_PS overlapped
+  // gradient reduction.
+  std::vector<std::map<int, size_t>> last_bwd_of_stage(
+      static_cast<size_t>(n_pp));
+  for (int r = 0; r < n_pp; ++r) {
+    const auto& ops = sched.device_ops[static_cast<size_t>(r)];
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind == OpKind::kBackward)
+        last_bwd_of_stage[static_cast<size_t>(r)][ops[i].stage] = i;
+    }
+  }
+
+  // Contiguous same-stage same-direction runs per device: the unit of
+  // DP_FS weight reconstruction and gradient reduce-scatter (the
+  // contiguous-run rule, see header).
+  struct Run {
+    int stage = 0;
+    OpKind kind = OpKind::kForward;
+    size_t first = 0;
+    size_t last = 0;
+  };
+  std::vector<std::vector<Run>> device_runs(static_cast<size_t>(n_pp));
+  for (int r = 0; r < n_pp; ++r) {
+    const auto& ops = sched.device_ops[static_cast<size_t>(r)];
+    auto& runs = device_runs[static_cast<size_t>(r)];
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (runs.empty() || runs.back().stage != ops[i].stage ||
+          runs.back().kind != ops[i].kind) {
+        runs.push_back({ops[i].stage, ops[i].kind, i, i});
+      } else {
+        runs.back().last = i;
+      }
+    }
+  }
+
+  // ---- Pass B: define tasks device by device, in schedule order.
+  for (int r = 0; r < n_pp; ++r) {
+    const auto& ops = sched.device_ops[static_cast<size_t>(r)];
+    const sim::StreamId cs = compute_streams_[static_cast<size_t>(r)];
+    const sim::StreamId ds = dp_streams_[static_cast<size_t>(r)];
+    std::vector<TaskId> reduce_tasks;
+    double device_payload = 0.0;
+    for (int stage : placement_.stages_of_device(r))
+      device_payload += stage_payload_bytes(stage);
+
+    const auto& runs = device_runs[static_cast<size_t>(r)];
+    // DP_FS weight gathers, one per run. Double-buffered prefetch: the
+    // gather for run j+1 is posted when run j starts (so it overlaps run
+    // j's compute) and can only begin once run j-1's buffer is free.
+    // Posting the prefetch *before* run j's trailing reduce-scatter keeps
+    // the reduce from head-of-line-blocking the next reconstruction.
+    std::vector<TaskId> run_gather(runs.size(), sim::kInvalidTask);
+    size_t run_index = 0;  // run containing the current op
+    auto post_gather = [&](size_t j, std::vector<TaskId> gather_deps) {
+      if (j >= runs.size()) return;
+      run_gather[j] = graph_.add_task(
+          ds,
+          collectives::all_gather_time(dp_tier,
+                                       stage_payload_bytes(runs[j].stage),
+                                       cfg_.n_dp),
+          std::move(gather_deps),
+          {str_format("W s%d", runs[j].stage), TaskKind::kWeightGather,
+           runs[j].stage, -1});
+    };
+
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const Op& op = ops[i];
+      const int s = op.stage;
+      const int m = op.micro_batch;
+      std::vector<TaskId> deps;
+
+      if (run_index < runs.size() && i > runs[run_index].last) ++run_index;
+      double op_stall = 0.0;  // FS reconstruction stall (run-first ops)
+      if (fs && has_dp && i == runs[run_index].first) {
+        op_stall = stage_payload_bytes(s) / kFsReconstructStallBw;
+        if (run_index == 0) {
+          post_gather(0, {});
+          post_gather(1, {});
+        } else {
+          // Prefetch the next run's weights; buffer frees when the
+          // previous run's compute is done.
+          const Run& prev = runs[run_index - 1];
+          const Op& prev_last = ops[prev.last];
+          const TaskId prev_task =
+              prev_last.kind == OpKind::kForward
+                  ? fwd_task[idx(prev_last.stage, prev_last.micro_batch)]
+                  : bwd_task[idx(prev_last.stage, prev_last.micro_batch)];
+          post_gather(run_index + 1, {prev_task});
+        }
+        deps.push_back(run_gather[run_index]);
+      }
+
+      if (op.kind == OpKind::kForward) {
+        if (s > 0) {
+          if (placement_.device_of_stage(s - 1) == r) {
+            deps.push_back(fwd_task[idx(s - 1, m)]);
+          } else {
+            const TaskId edge = fwd_edge[idx(s, m)];
+            if (!cfg_.overlap_pp) {
+              // Blocking receive: post the receive (rendezvous marker),
+              // then wait inline for the transfer plus the sync cost.
+              const int from = placement_.device_of_stage(s - 1);
+              graph_.define_task(fwd_post[idx(s, m)], cs, 0.0, {},
+                                 {str_format("post f s%d m%d", s, m),
+                                  TaskKind::kP2P, s, m});
+              graph_.add_task(cs, link_tier(from, r).blocking_p2p_overhead,
+                              {edge},
+                              {str_format("recv f s%d m%d", s, m),
+                               TaskKind::kP2P, s, m});
+            }
+            deps.push_back(edge);
+          }
+        }
+        graph_.define_task(
+            fwd_task[idx(s, m)], cs, forward_op_seconds(s) + op_stall,
+            std::move(deps),
+            {str_format("F s%d m%d", s, m), TaskKind::kForward, s, m});
+      } else {
+        deps.push_back(fwd_task[idx(s, m)]);  // stashed boundary activation
+        if (s < n_stages - 1) {
+          if (placement_.device_of_stage(s + 1) == r) {
+            deps.push_back(bwd_task[idx(s + 1, m)]);
+          } else {
+            const TaskId edge = bwd_edge[idx(s, m)];
+            if (!cfg_.overlap_pp) {
+              const int from = placement_.device_of_stage(s + 1);
+              graph_.define_task(bwd_post[idx(s, m)], cs, 0.0, {},
+                                 {str_format("post b s%d m%d", s, m),
+                                  TaskKind::kP2P, s, m});
+              graph_.add_task(cs, link_tier(from, r).blocking_p2p_overhead,
+                              {edge},
+                              {str_format("recv b s%d m%d", s, m),
+                               TaskKind::kP2P, s, m});
+            }
+            deps.push_back(edge);
+          }
+        }
+        graph_.define_task(
+            bwd_task[idx(s, m)], cs, backward_op_seconds(s) + op_stall,
+            std::move(deps),
+            {str_format("B s%d m%d", s, m), TaskKind::kBackward, s, m});
+      }
+
+      // Outgoing cross-device transfer of the op's boundary tensor.
+      const bool sends_fwd = op.kind == OpKind::kForward && s < n_stages - 1 &&
+                             placement_.device_of_stage(s + 1) != r;
+      const bool sends_bwd = op.kind == OpKind::kBackward && s > 0 &&
+                             placement_.device_of_stage(s - 1) != r;
+      if (sends_fwd || sends_bwd) {
+        const int peer = sends_fwd ? placement_.device_of_stage(s + 1)
+                                   : placement_.device_of_stage(s - 1);
+        const TaskId edge =
+            sends_fwd ? fwd_edge[idx(s + 1, m)] : bwd_edge[idx(s - 1, m)];
+        const hw::NetTier& tier = link_tier(r, peer);
+        std::vector<TaskId> edge_deps;
+        if (cfg_.overlap_pp) {
+          edge_deps.push_back(op.kind == OpKind::kForward
+                                  ? fwd_task[idx(s, m)]
+                                  : bwd_task[idx(s, m)]);
+        } else {
+          // Blocking send: a launch on the compute stream (the batched
+          // isend), and a rendezvous on the receiver's matching post.
+          const TaskId launch = graph_.add_task(
+              cs, tier.blocking_p2p_overhead, {},
+              {str_format("send s%d m%d", s, m), TaskKind::kP2P, s, m});
+          edge_deps.push_back(launch);
+          const TaskId post = sends_fwd ? fwd_post[idx(s + 1, m)]
+                                        : bwd_post[idx(s - 1, m)];
+          edge_deps.push_back(post);
+        }
+        graph_.define_task(
+            edge, link_stream(r, peer),
+            tier.sync_overhead + collectives::p2p_time(tier, boundary_bytes()),
+            std::move(edge_deps),
+            {str_format("xfer s%d m%d", s, m), TaskKind::kP2P, s, m});
+      }
+
+      // Gradient reduction.
+      if (has_dp && op.kind == OpKind::kBackward) {
+        if (fs) {
+          // Reduce-scatter at the end of each backward run.
+          const bool run_end = i + 1 == ops.size() ||
+                               ops[i + 1].stage != s ||
+                               ops[i + 1].kind != OpKind::kBackward;
+          if (run_end) {
+            reduce_tasks.push_back(graph_.add_task(
+                ds,
+                collectives::reduce_scatter_time(
+                    dp_tier, stage_payload_bytes(s), cfg_.n_dp),
+                {bwd_task[idx(s, m)]},
+                {str_format("G s%d", s), TaskKind::kGradReduce, s, -1}));
+          }
+        } else if (cfg_.overlap_dp) {
+          // One reduction per stage, as soon as its gradients are final.
+          if (last_bwd_of_stage[static_cast<size_t>(r)].at(s) == i) {
+            const double payload = stage_payload_bytes(s);
+            const double dur =
+                cfg_.sharding == DpSharding::kNone
+                    ? collectives::all_reduce_time(dp_tier, payload, cfg_.n_dp)
+                    : collectives::reduce_scatter_time(dp_tier, payload,
+                                                       cfg_.n_dp);
+            reduce_tasks.push_back(graph_.add_task(
+                ds, dur, {bwd_task[idx(s, m)]},
+                {str_format("G s%d", s), TaskKind::kGradReduce, s, -1}));
+          }
+        }
+      }
+    }
+
+    // Megatron-LM behaviour: a single fused, blocking gradient reduction
+    // after all compute (Figure 4a/4b).
+    if (has_dp && !cfg_.overlap_dp) {
+      graph_.add_task(
+          cs,
+          collectives::all_reduce_time(dp_tier, device_payload, cfg_.n_dp),
+          {}, {"G fused", TaskKind::kGradReduce, -1, -1});
+    }
+
+    // Optimizer step (memory-bound; ~20 bytes of state traffic per
+    // locally updated parameter).
+    const double params_dev =
+        device_payload / collectives::kGradPayloadBytesPerParam;
+    const double update_share =
+        cfg_.sharding == DpSharding::kNone ? 1.0 : 1.0 / cfg_.n_dp;
+    const TaskId opt = graph_.add_task(
+        cs, 20.0 * params_dev * update_share / cluster_.gpu.hbm_bw,
+        reduce_tasks, {"S", TaskKind::kOptimizerStep, -1, -1});
+
+    // DP_PS: re-gather the updated weights (overlaps the next batch in
+    // steady state; charged here, see header).
+    if (has_dp && cfg_.sharding == DpSharding::kPartial) {
+      graph_.add_task(
+          cfg_.overlap_dp ? ds : cs,
+          collectives::all_gather_time(dp_tier, device_payload, cfg_.n_dp),
+          {opt}, {"W regather", TaskKind::kWeightGather, -1, -1});
+    }
+  }
+
+  built_ = true;
+}
+
+RunResult PipelineSim::run() {
+  if (!built_) build();
+  result_ = std::make_unique<sim::SimResult>(sim::run(graph_));
+
+  RunResult out;
+  out.batch_time = result_->makespan();
+  const double total_flops =
+      spec_.train_flops_per_sample() * cfg_.batch_size();
+  out.throughput_per_gpu = total_flops / cfg_.n_gpus() / out.batch_time;
+  out.utilization = out.throughput_per_gpu / cluster_.gpu.peak_flops;
+  double idle_sum = 0.0;
+  for (sim::StreamId cs : compute_streams_) {
+    const auto& st = result_->stream(cs);
+    const double span = st.last_end - st.first_start;
+    if (span > 0.0) idle_sum += st.idle_within_span() / span;
+  }
+  out.compute_idle_fraction = idle_sum / compute_streams_.size();
+  return out;
+}
+
+RunResult simulate_batch(const model::TransformerSpec& spec,
+                         const parallel::ParallelConfig& cfg,
+                         const hw::ClusterSpec& cluster) {
+  PipelineSim sim(spec, cfg, cluster);
+  return sim.run();
+}
+
+}  // namespace bfpp::runtime

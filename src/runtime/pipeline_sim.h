@@ -1,0 +1,114 @@
+// Pipeline training simulation: executes one training batch of a
+// (model, parallel config) pair on a simulated cluster and measures the
+// batch time, throughput and utilization the paper reports.
+//
+// The mapping from schedule to simulator follows Figure 4's stream
+// layout. Per pipeline device:
+//   compute stream  - forward/backward ops in the schedule's order, the
+//                     optimizer step, and (when communication is not
+//                     overlapped) blocking send/recv waits;
+//   dp stream       - data-parallel collectives: gradient reductions and
+//                     (DP_FS/DP_PS) weight all-gathers;
+//   link streams    - one per directed pipeline link, serializing the
+//                     activation/gradient transfers that cross devices.
+//
+// Key modelling rules (each mirrors a paper mechanism):
+//  * DP_FS aggregation follows the *contiguous-run rule*: weights are
+//    gathered once per maximal run of consecutive same-stage ops and
+//    gradients reduce-scattered at the end of each backward run. This
+//    reproduces Eqs. (24)-(26) emergently: breadth-first runs span the
+//    whole batch (one gather per stage per pass), depth-first runs span
+//    one sequence of N_PP micro-batches, and 1F1B/depth-first
+//    accumulation degenerate to per-micro-batch repetition.
+//  * A two-buffer LRU models the double-buffered reconstruction of
+//    Appendix D.1 (compute on one buffer, gather into the other).
+//  * Without DP overlap (Megatron-LM flags), the gradient reduction is a
+//    single fused all-reduce on the compute stream after all backward
+//    work, matching Figure 4a/4b's G row.
+//  * Without PP overlap, each cross-device boundary blocks both sides:
+//    the sender launches and waits for the transfer, the receiver waits
+//    for it before computing - which lets transfer delays cascade around
+//    the pipeline ring exactly as Section 5.2 describes.
+//  * Tensor-parallel all-reduces that cannot be overlapped (two in the
+//    forward pass, two in the recompute; Appendix A.3.3) are folded into
+//    the compute-op durations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "hw/kernel_model.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+#include "schedule/schedule.h"
+#include "sim/task_graph.h"
+
+namespace bfpp::runtime {
+
+struct RunResult {
+  double batch_time = 0.0;          // seconds per training batch
+  double throughput_per_gpu = 0.0;  // useful model flop/s per GPU (Eq. 11)
+  double utilization = 0.0;         // throughput / peak
+  double compute_idle_fraction = 0.0;  // mean idle share of compute streams
+                                       // within their busy span (bubble +
+                                       // network stalls)
+};
+
+// Simulates one training batch. Exposes the task graph and simulation
+// result so benches can render Figure 4/9 style timelines.
+class PipelineSim {
+ public:
+  PipelineSim(model::TransformerSpec spec, parallel::ParallelConfig cfg,
+              hw::ClusterSpec cluster, hw::KernelModel kernel = {});
+
+  // Builds the task graph and runs it. Throws bfpp::ConfigError /
+  // bfpp::OutOfMemoryError for invalid or infeasible configurations.
+  RunResult run();
+
+  [[nodiscard]] const sim::TaskGraph& graph() const { return graph_; }
+  [[nodiscard]] const sim::SimResult& result() const;
+  [[nodiscard]] const std::vector<sim::StreamId>& compute_streams() const {
+    return compute_streams_;
+  }
+  [[nodiscard]] const std::vector<sim::StreamId>& dp_streams() const {
+    return dp_streams_;
+  }
+  // Streams interleaved for display: compute[0], dp[0], compute[1], ...
+  [[nodiscard]] std::vector<sim::StreamId> display_streams() const;
+
+  // ---- Component cost queries (also used by tests) ----
+
+  // Duration of one forward / backward compute op on `stage` (including
+  // the non-overlapped tensor-parallel communication).
+  [[nodiscard]] double forward_op_seconds(int stage) const;
+  [[nodiscard]] double backward_op_seconds(int stage) const;
+  // Per-GPU payload bytes of one stage's gradients / weights.
+  [[nodiscard]] double stage_payload_bytes(int stage) const;
+  // Bytes of the boundary activation a pipeline transfer moves.
+  [[nodiscard]] double boundary_bytes() const;
+
+ private:
+  void build();
+  [[nodiscard]] double stage_flops(int stage, bool forward) const;
+  [[nodiscard]] double tp_comm_seconds() const;
+
+  model::TransformerSpec spec_;
+  parallel::ParallelConfig cfg_;
+  hw::ClusterSpec cluster_;
+  hw::KernelModel kernel_;
+  parallel::StagePlacement placement_;
+
+  sim::TaskGraph graph_;
+  std::unique_ptr<sim::SimResult> result_;
+  std::vector<sim::StreamId> compute_streams_;
+  std::vector<sim::StreamId> dp_streams_;
+  bool built_ = false;
+};
+
+// Convenience wrapper: build, run, summarize.
+RunResult simulate_batch(const model::TransformerSpec& spec,
+                         const parallel::ParallelConfig& cfg,
+                         const hw::ClusterSpec& cluster);
+
+}  // namespace bfpp::runtime

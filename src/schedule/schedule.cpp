@@ -1,0 +1,262 @@
+#include "schedule/schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace bfpp::schedule {
+
+namespace {
+
+void check_shape(int n_pp, int n_loop, int n_mb) {
+  check_config(n_pp >= 1, "schedule: n_pp must be >= 1");
+  check_config(n_loop >= 1, "schedule: n_loop must be >= 1");
+  check_config(n_mb >= 1, "schedule: n_mb must be >= 1");
+}
+
+Schedule make_empty(int n_pp, int n_loop, int n_mb) {
+  Schedule s;
+  s.n_pp = n_pp;
+  s.n_loop = n_loop;
+  s.n_mb = n_mb;
+  s.device_ops.resize(static_cast<size_t>(n_pp));
+  for (auto& ops : s.device_ops)
+    ops.reserve(static_cast<size_t>(2 * n_loop * n_mb));
+  return s;
+}
+
+}  // namespace
+
+Schedule breadth_first(int n_pp, int n_loop, int n_mb) {
+  check_shape(n_pp, n_loop, n_mb);
+  Schedule s = make_empty(n_pp, n_loop, n_mb);
+  for (int r = 0; r < n_pp; ++r) {
+    auto& ops = s.device_ops[static_cast<size_t>(r)];
+    // Forward pass: stages in loop order, all micro-batches per stage.
+    for (int l = 0; l < n_loop; ++l) {
+      const int stage = l * n_pp + r;
+      for (int m = 0; m < n_mb; ++m) ops.push_back({OpKind::kForward, stage, m});
+    }
+    // Backward pass: stages in reverse loop order.
+    for (int l = n_loop - 1; l >= 0; --l) {
+      const int stage = l * n_pp + r;
+      for (int m = 0; m < n_mb; ++m)
+        ops.push_back({OpKind::kBackward, stage, m});
+    }
+  }
+  return s;
+}
+
+Schedule depth_first(int n_pp, int n_loop, int n_mb) {
+  check_shape(n_pp, n_loop, n_mb);
+  check_config(n_mb % n_pp == 0,
+               str_format("depth-first schedule requires n_mb (%d) divisible "
+                          "by n_pp (%d)",
+                          n_mb, n_pp));
+  Schedule s = make_empty(n_pp, n_loop, n_mb);
+  const int total = n_loop * n_mb;  // chunk-passes per device per direction
+  const int group = n_pp * n_loop;  // one "sequence" of chunk-passes
+
+  // Iteration -> (stage, micro-batch) decoding, following the Megatron-LM
+  // interleaved schedule: micro-batches advance in groups ("sequences")
+  // of n_pp; within a group, all local chunks of the group's micro-batches
+  // run before the next group starts.
+  auto forward_op = [&](int r, int k) -> Op {
+    const int in_group = k % group;
+    const int chunk = in_group / n_pp;
+    const int mb = (k / group) * n_pp + in_group % n_pp;
+    return {OpKind::kForward, chunk * n_pp + r, mb};
+  };
+  auto backward_op = [&](int r, int k) -> Op {
+    const int in_group = k % group;
+    const int chunk = n_loop - 1 - in_group / n_pp;
+    const int mb = (k / group) * n_pp + in_group % n_pp;
+    return {OpKind::kBackward, chunk * n_pp + r, mb};
+  };
+
+  for (int r = 0; r < n_pp; ++r) {
+    auto& ops = s.device_ops[static_cast<size_t>(r)];
+    // Warmup length from Megatron-LM: all-forward when the pipeline is
+    // exactly filled, otherwise 2*(n_pp - r - 1) + (n_loop - 1) * n_pp.
+    // With n_loop == 1 this is plain 1F1B, whose warmup is n_pp - r - 1
+    // (the paper: "N_loop = 1 corresponds to ... 1F1B").
+    int warmup;
+    if (n_mb == n_pp && n_loop > 1) {
+      warmup = total;
+    } else if (n_loop == 1) {
+      warmup = std::min(total, n_pp - r - 1);
+    } else {
+      warmup = std::min(total, 2 * (n_pp - r - 1) + (n_loop - 1) * n_pp);
+    }
+    for (int k = 0; k < warmup; ++k) ops.push_back(forward_op(r, k));
+    for (int i = 0; i + warmup < total; ++i) {
+      ops.push_back(forward_op(r, warmup + i));
+      ops.push_back(backward_op(r, i));
+    }
+    for (int i = std::max(0, total - warmup); i < total; ++i)
+      ops.push_back(backward_op(r, i));
+  }
+  return s;
+}
+
+Schedule hybrid(int n_pp, int n_loop, int n_mb, int seq_len) {
+  check_shape(n_pp, n_loop, n_mb);
+  check_config(seq_len >= n_pp, "hybrid schedule requires seq_len >= n_pp");
+  check_config(seq_len % n_pp == 0,
+               "hybrid schedule requires seq_len divisible by n_pp");
+  check_config(n_mb % seq_len == 0,
+               str_format("hybrid schedule requires n_mb (%d) divisible by "
+                          "seq_len (%d)",
+                          n_mb, seq_len));
+  Schedule s = make_empty(n_pp, n_loop, n_mb);
+  const int n_seq = n_mb / seq_len;
+  for (int r = 0; r < n_pp; ++r) {
+    auto& ops = s.device_ops[static_cast<size_t>(r)];
+    // Forward: for each sequence, run every local stage over the whole
+    // sequence (breadth within the sequence, depth across sequences).
+    for (int q = 0; q < n_seq; ++q) {
+      for (int l = 0; l < n_loop; ++l) {
+        const int stage = l * n_pp + r;
+        for (int i = 0; i < seq_len; ++i)
+          ops.push_back({OpKind::kForward, stage, q * seq_len + i});
+      }
+    }
+    // Backward: sequences in order, stages in reverse loop order.
+    for (int q = 0; q < n_seq; ++q) {
+      for (int l = n_loop - 1; l >= 0; --l) {
+        const int stage = l * n_pp + r;
+        for (int i = 0; i < seq_len; ++i)
+          ops.push_back({OpKind::kBackward, stage, q * seq_len + i});
+      }
+    }
+  }
+  return s;
+}
+
+Schedule gpipe(int n_pp, int n_mb) { return breadth_first(n_pp, 1, n_mb); }
+
+Schedule one_f_one_b(int n_pp, int n_mb) {
+  // depth_first with n_loop == 1 is exactly 1F1B, but 1F1B itself has no
+  // divisibility constraint, so generate it directly.
+  check_shape(n_pp, 1, n_mb);
+  Schedule s = make_empty(n_pp, 1, n_mb);
+  for (int r = 0; r < n_pp; ++r) {
+    auto& ops = s.device_ops[static_cast<size_t>(r)];
+    const int warmup = std::min(n_mb, n_pp - r - 1);
+    for (int m = 0; m < warmup; ++m) ops.push_back({OpKind::kForward, r, m});
+    for (int f = warmup; f < n_mb; ++f) {
+      ops.push_back({OpKind::kForward, r, f});
+      ops.push_back({OpKind::kBackward, r, f - warmup});
+    }
+    for (int m = n_mb - warmup; m < n_mb; ++m)
+      ops.push_back({OpKind::kBackward, r, m});
+  }
+  return s;
+}
+
+Schedule grad_accumulation_depth_first(int n_stages, int n_mb) {
+  check_shape(1, n_stages, n_mb);
+  Schedule s = make_empty(1, n_stages, n_mb);
+  auto& ops = s.device_ops[0];
+  for (int m = 0; m < n_mb; ++m) {
+    for (int st = 0; st < n_stages; ++st)
+      ops.push_back({OpKind::kForward, st, m});
+    for (int st = n_stages - 1; st >= 0; --st)
+      ops.push_back({OpKind::kBackward, st, m});
+  }
+  return s;
+}
+
+Schedule grad_accumulation_breadth_first(int n_stages, int n_mb) {
+  return breadth_first(1, n_stages, n_mb);
+}
+
+Schedule make_schedule(parallel::ScheduleKind kind, int n_pp, int n_loop,
+                       int n_mb) {
+  switch (kind) {
+    case parallel::ScheduleKind::kGpipe:
+      check_config(n_loop == 1, "GPipe requires n_loop == 1");
+      return gpipe(n_pp, n_mb);
+    case parallel::ScheduleKind::kOneFOneB:
+      check_config(n_loop == 1, "1F1B requires n_loop == 1");
+      return one_f_one_b(n_pp, n_mb);
+    case parallel::ScheduleKind::kDepthFirst:
+      return depth_first(n_pp, n_loop, n_mb);
+    case parallel::ScheduleKind::kBreadthFirst:
+      return breadth_first(n_pp, n_loop, n_mb);
+  }
+  throw Error("make_schedule: unknown schedule kind");
+}
+
+void validate(const Schedule& s) {
+  check(static_cast<int>(s.device_ops.size()) == s.n_pp,
+        "schedule: device count mismatch");
+  const int n_stages = s.n_stages();
+
+  // 1. Completeness and ownership.
+  for (int r = 0; r < s.n_pp; ++r) {
+    std::set<std::tuple<int, int, int>> seen;
+    for (const Op& op : s.device_ops[static_cast<size_t>(r)]) {
+      check(op.stage >= 0 && op.stage < n_stages,
+            str_format("schedule: stage %d out of range", op.stage));
+      check(op.stage % s.n_pp == r,
+            str_format("schedule: stage %d does not belong to device %d",
+                       op.stage, r));
+      check(op.micro_batch >= 0 && op.micro_batch < s.n_mb,
+            "schedule: micro-batch out of range");
+      const bool inserted =
+          seen.insert({static_cast<int>(op.kind), op.stage, op.micro_batch})
+              .second;
+      check(inserted, str_format("schedule: duplicate op (stage %d, mb %d)",
+                                 op.stage, op.micro_batch));
+    }
+    check(static_cast<int>(seen.size()) == 2 * s.n_loop * s.n_mb,
+          str_format("schedule: device %d has %zu ops, expected %d", r,
+                     seen.size(), 2 * s.n_loop * s.n_mb));
+  }
+
+  // 2 & 3. Executability under blocking in-order execution. This also
+  // subsumes local ordering (a B before its own F would deadlock).
+  std::vector<size_t> next(static_cast<size_t>(s.n_pp), 0);
+  std::vector<std::vector<bool>> fwd_done(
+      static_cast<size_t>(n_stages),
+      std::vector<bool>(static_cast<size_t>(s.n_mb), false));
+  std::vector<std::vector<bool>> bwd_done(
+      static_cast<size_t>(n_stages),
+      std::vector<bool>(static_cast<size_t>(s.n_mb), false));
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int r = 0; r < s.n_pp; ++r) {
+      auto& ops = s.device_ops[static_cast<size_t>(r)];
+      while (next[static_cast<size_t>(r)] < ops.size()) {
+        const Op& op = ops[next[static_cast<size_t>(r)]];
+        const auto st = static_cast<size_t>(op.stage);
+        const auto mb = static_cast<size_t>(op.micro_batch);
+        bool ready;
+        if (op.kind == OpKind::kForward) {
+          ready = op.stage == 0 || fwd_done[st - 1][mb];
+        } else {
+          ready = fwd_done[st][mb] &&
+                  (op.stage == n_stages - 1 || bwd_done[st + 1][mb]);
+        }
+        if (!ready) break;
+        (op.kind == OpKind::kForward ? fwd_done : bwd_done)[st][mb] = true;
+        ++next[static_cast<size_t>(r)];
+        progress = true;
+      }
+    }
+  }
+  for (int r = 0; r < s.n_pp; ++r) {
+    check(next[static_cast<size_t>(r)] ==
+              s.device_ops[static_cast<size_t>(r)].size(),
+          str_format("schedule: deadlock - device %d blocked at op %zu", r,
+                     next[static_cast<size_t>(r)]));
+  }
+}
+
+}  // namespace bfpp::schedule

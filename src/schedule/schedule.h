@@ -1,0 +1,100 @@
+// Pipeline-parallel training schedules (the paper's core subject).
+//
+// A Schedule is, for each pipeline device, the exact order in which that
+// device runs its compute work: Forward(stage, micro_batch) and
+// Backward(stage, micro_batch) operations. Stages are placed with the
+// looping placement of Figure 3b (stage s on device s mod N_PP), so with
+// N_loop == 1 the generators below reduce to the classic non-looped
+// schedules:
+//
+//   breadth_first(n_pp, 1, n_mb)  == GPipe          (Figure 4a)
+//   depth_first(n_pp, 1, n_mb)    == 1F1B           (Figure 4b)
+//   depth_first(n_pp, L, n_mb)    == Megatron-LM interleaved (Figure 4c)
+//   breadth_first(n_pp, L, n_mb)  == the paper's contribution (Figure 4d)
+//
+// The order is *static*: devices execute their list strictly in order,
+// blocking when an operation's inputs have not arrived yet. Whether the
+// order is efficient (small bubble, good overlap) is measured by the
+// runtime/simulator; whether it is *correct* (complete, locally ordered,
+// deadlock-free under blocking in-order execution) is checked by
+// validate() below and proven on real data by the threaded executor.
+#pragma once
+
+#include <vector>
+
+#include "parallel/config.h"
+
+namespace bfpp::schedule {
+
+enum class OpKind { kForward, kBackward };
+
+struct Op {
+  OpKind kind = OpKind::kForward;
+  int stage = 0;        // global stage index in [0, n_pp * n_loop)
+  int micro_batch = 0;  // in [0, n_mb)
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+struct Schedule {
+  int n_pp = 1;
+  int n_loop = 1;
+  int n_mb = 1;
+  // device_ops[r] is the ordered compute work of pipeline rank r.
+  std::vector<std::vector<Op>> device_ops;
+
+  [[nodiscard]] int n_stages() const { return n_pp * n_loop; }
+  // Compute operations across all devices (2 passes per stage and mb).
+  [[nodiscard]] int total_ops() const { return 2 * n_stages() * n_mb; }
+  // Compute operations per device.
+  [[nodiscard]] int ops_per_device() const { return 2 * n_loop * n_mb; }
+};
+
+// The paper's breadth-first schedule (Section 4.1): stages run in loop
+// order; within a stage, *all* micro-batches run back to back. Forward
+// pass first (GPipe-style), then the backward pass in reverse stage
+// order. Works for any n_mb >= 1.
+Schedule breadth_first(int n_pp, int n_loop, int n_mb);
+
+// The depth-first schedule of Narayanan et al. (Megatron-LM interleaved
+// 1F1B): micro-batches run in sequences of n_pp; earlier micro-batches
+// are prioritized. Requires n_mb % n_pp == 0 (Section 4.1).
+Schedule depth_first(int n_pp, int n_loop, int n_mb);
+
+// The hybrid schedule the paper conjectures in Section 4.2 ("We believe
+// (but did not verify) this can be addressed by running with sequences
+// of more than N_PP micro-batches, essentially forming a hybrid between
+// the two schedules"): sequences of `seq_len` >= n_pp micro-batches run
+// breadth-first through the local stages, sequences advance depth-first.
+// seq_len == n_mb is exactly breadth_first; seq_len == n_pp gives
+// depth-first-style sequencing (forward-first variant). Requires
+// n_mb % seq_len == 0 and seq_len % n_pp == 0. The extra slack inside a
+// sequence restores pipeline-network overlap, confirming the paper's
+// conjecture (see the ablations bench).
+Schedule hybrid(int n_pp, int n_loop, int n_mb, int seq_len);
+
+// Non-looped baselines.
+Schedule gpipe(int n_pp, int n_mb);
+Schedule one_f_one_b(int n_pp, int n_mb);
+
+// Appendix C / Figure 9: single-device gradient-accumulation orders.
+// Depth-first: each micro-batch runs its full forward+backward before the
+// next starts. Breadth-first: layer-major, all micro-batches per stage.
+Schedule grad_accumulation_depth_first(int n_stages, int n_mb);
+Schedule grad_accumulation_breadth_first(int n_stages, int n_mb);
+
+// Dispatch by kind.
+Schedule make_schedule(parallel::ScheduleKind kind, int n_pp, int n_loop,
+                       int n_mb);
+
+// Structural validation:
+//  1. completeness - each device runs exactly its stages' forward and
+//     backward for every micro-batch, once;
+//  2. local ordering - Backward(s, m) after Forward(s, m);
+//  3. executability - under blocking in-order execution with the pipeline
+//     data dependencies (F(s,m) needs F(s-1,m); B(s,m) needs B(s+1,m) and
+//     F(s,m)), the schedule completes without deadlock.
+// Throws bfpp::Error with a diagnostic on violation.
+void validate(const Schedule& schedule);
+
+}  // namespace bfpp::schedule

@@ -1,0 +1,156 @@
+// Discrete-event task-graph simulator.
+//
+// This is the substrate on which all pipeline-schedule experiments run.
+// It models a cluster the way the paper's Figure 4 draws one: each device
+// exposes a small number of *streams* (compute, data-parallel network,
+// pipeline-parallel network), a stream executes its tasks strictly in
+// submission order (in-order, one at a time, like a CUDA stream), and a
+// task may additionally wait on tasks in other streams (like CUDA events).
+//
+// A task's start time is therefore
+//     start = max(end(previous task in stream), max over deps end(dep))
+// and its end time is start + duration. The pipeline bubble, the benefit
+// of overlap, and the cost of blocking communication all emerge from this
+// rule; nothing about scheduling quality is asserted anywhere else.
+//
+// Tasks may be *reserved* before they are defined, which allows encoding
+// circular wait patterns (e.g. two devices that both block on a receive
+// before their send). run() detects such cycles and reports them as
+// deadlocks instead of silently mis-simulating.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace bfpp::sim {
+
+using StreamId = int;
+using TaskId = int;
+
+inline constexpr TaskId kInvalidTask = -1;
+
+// Classification used by timeline renderers and per-kind busy-time stats.
+// The simulator itself treats all kinds identically.
+enum class TaskKind {
+  kGeneric = 0,
+  kForward,
+  kBackward,
+  kGradReduce,     // data-parallel gradient reduction (G in Fig. 4)
+  kWeightGather,   // DP_FS weight reconstruction (W in Fig. 9)
+  kOptimizerStep,  // S in Fig. 4
+  kP2P,            // pipeline-parallel activation/gradient transfer
+  kTensorComm,     // tensor-parallel all-reduce folded into compute
+};
+
+struct TaskMeta {
+  std::string label;
+  TaskKind kind = TaskKind::kGeneric;
+  int stage = -1;        // pipeline stage index, if applicable
+  int micro_batch = -1;  // micro-batch index, if applicable
+};
+
+class SimResult;
+class TaskGraph;
+SimResult run(const TaskGraph& graph);
+
+// A static DAG of tasks on in-order streams. Build once, run once.
+class TaskGraph {
+ public:
+  // Creates a stream (an in-order execution resource). `name` is used in
+  // diagnostics and timeline output, e.g. "gpu0.compute".
+  StreamId add_stream(std::string name);
+
+  // Adds a fully-defined task. `deps` are completion dependencies on
+  // previously created (or reserved) tasks; the implicit predecessor in
+  // the same stream is always an additional dependency.
+  TaskId add_task(StreamId stream, double duration, std::vector<TaskId> deps,
+                  TaskMeta meta = {});
+
+  // Reserves a task id so that earlier tasks can depend on it; the task
+  // must be defined later with define_task() before run().
+  TaskId reserve_task();
+  void define_task(TaskId id, StreamId stream, double duration,
+                   std::vector<TaskId> deps, TaskMeta meta = {});
+
+  [[nodiscard]] int task_count() const { return static_cast<int>(tasks_.size()); }
+  [[nodiscard]] int stream_count() const {
+    return static_cast<int>(stream_names_.size());
+  }
+  [[nodiscard]] const std::string& stream_name(StreamId s) const {
+    return stream_names_[static_cast<size_t>(s)];
+  }
+  [[nodiscard]] const TaskMeta& meta(TaskId t) const {
+    return tasks_[static_cast<size_t>(t)].meta;
+  }
+  [[nodiscard]] double duration(TaskId t) const {
+    return tasks_[static_cast<size_t>(t)].duration;
+  }
+  [[nodiscard]] StreamId stream_of(TaskId t) const {
+    return tasks_[static_cast<size_t>(t)].stream;
+  }
+  // Tasks of a stream in submission (== execution) order.
+  [[nodiscard]] const std::vector<TaskId>& stream_tasks(StreamId s) const {
+    return stream_order_[static_cast<size_t>(s)];
+  }
+
+ private:
+  friend SimResult run(const TaskGraph& graph);
+
+  struct Task {
+    StreamId stream = -1;
+    double duration = 0.0;
+    std::vector<TaskId> deps;
+    TaskMeta meta;
+    bool defined = false;
+  };
+
+  std::vector<Task> tasks_;
+  std::vector<std::string> stream_names_;
+  std::vector<std::vector<TaskId>> stream_order_;
+};
+
+struct TaskTime {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct StreamStats {
+  double busy = 0.0;        // sum of task durations
+  double first_start = 0.0;
+  double last_end = 0.0;
+  // Idle time between the stream's first task start and last task end.
+  [[nodiscard]] double idle_within_span() const {
+    return (last_end - first_start) - busy;
+  }
+};
+
+// The outcome of simulating a TaskGraph.
+class SimResult {
+ public:
+  SimResult(std::vector<TaskTime> task_times, std::vector<StreamStats> stats,
+            double makespan)
+      : task_times_(std::move(task_times)),
+        stream_stats_(std::move(stats)),
+        makespan_(makespan) {}
+
+  [[nodiscard]] double makespan() const { return makespan_; }
+  [[nodiscard]] const TaskTime& time(TaskId t) const {
+    return task_times_[static_cast<size_t>(t)];
+  }
+  [[nodiscard]] const StreamStats& stream(StreamId s) const {
+    return stream_stats_[static_cast<size_t>(s)];
+  }
+
+ private:
+  std::vector<TaskTime> task_times_;
+  std::vector<StreamStats> stream_stats_;
+  double makespan_ = 0.0;
+};
+
+// Runs the simulation. Throws bfpp::Error (with the names of some blocked
+// tasks) if the graph contains a dependency cycle, i.e. the schedule
+// deadlocks.
+SimResult run(const TaskGraph& graph);
+
+}  // namespace bfpp::sim

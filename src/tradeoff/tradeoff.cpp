@@ -1,0 +1,60 @@
+#include "tradeoff/tradeoff.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace bfpp::tradeoff {
+
+TradeoffPoint extrapolate(const model::TransformerSpec& spec,
+                          const hw::GpuSpec& gpu, BetaUtil point, int n_gpus,
+                          double b_crit) {
+  check(point.beta > 0.0 && point.utilization > 0.0,
+        "tradeoff: operating point must be positive");
+  check(n_gpus >= 1, "tradeoff: cluster size must be >= 1");
+  check(b_crit > 0.0, "tradeoff: critical batch size must be positive");
+
+  TradeoffPoint out;
+  out.n_gpus = n_gpus;
+  out.beta = point.beta;
+  out.utilization = point.utilization;
+  out.batch = point.beta * n_gpus;
+  out.overhead = out.batch / b_crit;
+  const double base_samples = 50000.0 * b_crit;  // Section 5.4
+  out.samples = base_samples * (1.0 + out.overhead);
+
+  const double total_flops = out.samples * spec.train_flops_per_sample();
+  const double seconds =
+      total_flops / (n_gpus * gpu.peak_flops * point.utilization);
+  out.time_days = seconds / kSecondsPerDay;
+  out.cost_gpu_days = out.time_days * n_gpus;
+  return out;
+}
+
+std::vector<TradeoffPoint> method_frontier(const model::TransformerSpec& spec,
+                                           const hw::GpuSpec& gpu,
+                                           const std::vector<BetaUtil>& curve,
+                                           const std::vector<int>& cluster_sizes,
+                                           double b_crit) {
+  check(!curve.empty(), "tradeoff: empty measurement curve");
+  std::vector<TradeoffPoint> out;
+  out.reserve(cluster_sizes.size());
+  for (int n_gpus : cluster_sizes) {
+    TradeoffPoint best;
+    best.time_days = std::numeric_limits<double>::infinity();
+    for (const BetaUtil& point : curve) {
+      if (point.utilization <= 0.0) continue;
+      const TradeoffPoint candidate =
+          extrapolate(spec, gpu, point, n_gpus, b_crit);
+      if (candidate.time_days < best.time_days) best = candidate;
+    }
+    check(best.n_gpus != 0, "tradeoff: no usable operating point");
+    out.push_back(best);
+  }
+  return out;
+}
+
+std::vector<int> paper_cluster_sizes() { return {256, 1024, 4096, 16384}; }
+
+}  // namespace bfpp::tradeoff

@@ -1,0 +1,60 @@
+// Training time/cost trade-off extrapolation (Section 5.4, Figures 1, 8).
+//
+// Takes the 64-GPU measured operating points (utilization as a function
+// of batch size per GPU, from the autotuner) and extrapolates to larger
+// clusters by scaling data parallelism at constant beta - justified in
+// the paper because that leaves per-GPU compute and network usage
+// unchanged. The training length model is Eq. (7):
+//   samples = base * (1 + B / B_crit),   base = 50,000 * B_crit
+// so that larger batches (forced by larger clusters) pay the
+// McCandlish-style gradient-noise overhead.
+#pragma once
+
+#include <vector>
+
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace bfpp::tradeoff {
+
+// One measured operating point at the reference cluster.
+struct BetaUtil {
+  double beta = 0.0;         // batch size per GPU
+  double utilization = 0.0;  // fraction of peak flops
+};
+
+// One extrapolated training run.
+struct TradeoffPoint {
+  int n_gpus = 0;
+  double beta = 0.0;
+  double batch = 0.0;          // beta * n_gpus (samples)
+  double samples = 0.0;        // total training samples incl. overhead
+  double overhead = 0.0;       // B / B_crit (relative extra samples)
+  double time_days = 0.0;
+  double cost_gpu_days = 0.0;  // time * n_gpus
+  double utilization = 0.0;
+};
+
+// Critical batch sizes (samples) the paper estimates from Kaplan et al.
+// (Figure 8 captions).
+inline constexpr double kCriticalBatch52b = 6780.0;
+inline constexpr double kCriticalBatch6_6b = 3430.0;
+
+// Extrapolates one (beta, utilization) point to a cluster of n_gpus.
+TradeoffPoint extrapolate(const model::TransformerSpec& spec,
+                          const hw::GpuSpec& gpu, BetaUtil point, int n_gpus,
+                          double b_crit);
+
+// For each cluster size, picks the beta from `curve` minimizing training
+// time (at fixed N_GPU this also minimizes cost) and returns the
+// extrapolated points - one method's line in Figure 8.
+std::vector<TradeoffPoint> method_frontier(const model::TransformerSpec& spec,
+                                           const hw::GpuSpec& gpu,
+                                           const std::vector<BetaUtil>& curve,
+                                           const std::vector<int>& cluster_sizes,
+                                           double b_crit);
+
+// The cluster sizes of Figure 8.
+std::vector<int> paper_cluster_sizes();
+
+}  // namespace bfpp::tradeoff

@@ -1,0 +1,175 @@
+// Tests for the closed-form efficiency model (Figure 2) and the
+// Appendix A.3 intensity formulas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/table41.h"
+#include "analytic/theory.h"
+#include "common/error.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace bfpp::analytic {
+namespace {
+
+TEST(Theory, InfeasibleBelowBetaMin) {
+  TheoryConfig c = curve_looped(8, true);
+  c.n_tp = 1;
+  EXPECT_DOUBLE_EQ(theoretical_efficiency(0.5, c), 0.0);
+  c.n_tp = 2;  // beta_min = 1/2
+  EXPECT_GT(theoretical_efficiency(0.5, c), 0.0);
+}
+
+TEST(Theory, EfficiencyIncreasesWithBeta) {
+  const TheoryConfig c = curve_looped(8, true);
+  double prev = 0.0;
+  for (double beta : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const double e = theoretical_efficiency(beta, c);
+    EXPECT_GE(e, prev) << "beta=" << beta;
+    EXPECT_LE(e, 1.0);
+    prev = e;
+  }
+}
+
+TEST(Theory, LoopedBeatsNonLoopedAtSmallBeta) {
+  // Figure 2a: the looped curves dominate at small batch size per GPU.
+  const double b = 2.0;
+  EXPECT_GT(theoretical_efficiency(b, curve_looped(8, true)),
+            theoretical_efficiency(b, curve_looped(2, true)));
+  EXPECT_GT(theoretical_efficiency(b, curve_looped(2, true)),
+            theoretical_efficiency(b, curve_non_looped(true)));
+}
+
+TEST(Theory, JumpNearBetaMin) {
+  // Figure 2a caption: "Note the jump near beta_min = 1 related to the
+  // pipeline-parallel network overlap". At beta = 1 the pipeline has no
+  // slack micro-batch, so the looped curve drops.
+  const TheoryConfig c = curve_looped(8, true);
+  const double at_min = theoretical_efficiency(1.0, c);
+  const double just_above = theoretical_efficiency(1.25, c);
+  EXPECT_GT(just_above - at_min, 0.1);
+}
+
+TEST(Theory, OverlapMattersMoreWhenLooped) {
+  // Figure 2b: disabling overlap costs the looped pipeline more than
+  // the non-looped one (the "renewed importance of overlap").
+  const double beta = 16.0;
+  const double looped_loss =
+      theoretical_efficiency(beta, curve_looped(8, true)) -
+      theoretical_efficiency(beta, curve_looped(8, false));
+  const double non_looped_loss =
+      theoretical_efficiency(beta, curve_non_looped(true)) -
+      theoretical_efficiency(beta, curve_non_looped(false));
+  EXPECT_GT(looped_loss, non_looped_loss);
+}
+
+TEST(Theory, PureDpSharpThresholdAtBetaNet) {
+  // Section 3.1: data parallelism collapses below beta_net when
+  // overlapped (the "effectively strict threshold").
+  const TheoryConfig c = curve_pure_dp(true);
+  const double at_net = theoretical_efficiency(c.beta_net, c);
+  const double below = theoretical_efficiency(c.beta_net / 4.0, c);
+  EXPECT_GT(at_net, 0.95);
+  EXPECT_LT(below, 0.5);
+}
+
+TEST(Theory, RejectsBadInput) {
+  EXPECT_THROW(theoretical_efficiency(-1.0, curve_pure_dp(true)), Error);
+}
+
+TEST(Intensity, DpAtBetaMinEqualsSeqLen) {
+  // Appendix A.3.1: "The intensity at beta_min is numerically equal to
+  // the sequence length."
+  EXPECT_DOUBLE_EQ(intensity_dp(1, 1, 2048), 2048.0);
+}
+
+TEST(Intensity, TheoreticalBetaNetForA100) {
+  // "when training on a A100 with S_seq = 2048, beta_net has the
+  // theoretical value ceil(I_op/I_IB) = 4".
+  const auto a100 = hw::a100_sxm4_80gb();
+  // The paper's I_IB uses the quoted 46.6 GB/s input+output capacity.
+  const double i_ib = hardware_intensity(a100.peak_flops, 46.6e9);
+  const double beta_net = std::ceil(i_ib / intensity_dp(1, 1, 2048));
+  EXPECT_DOUBLE_EQ(beta_net, 4.0);
+}
+
+TEST(Intensity, FsOrderingMatchesEqs24to26) {
+  // Breadth-first aggregates over the batch, depth-first over a
+  // sequence, non-looped not at all.
+  const int n_pp = 8, n_mb = 32, s_mb = 2, seq = 1024;
+  const double nl = intensity_fs_non_looped(s_mb, seq);
+  const double df = intensity_fs_depth_first(n_pp, s_mb, seq);
+  const double bf = intensity_fs_breadth_first(n_mb, s_mb, seq);
+  EXPECT_DOUBLE_EQ(df, n_pp * nl);
+  EXPECT_DOUBLE_EQ(bf, n_mb * nl);
+  EXPECT_DOUBLE_EQ(nl, 2.0 / 3.0 * s_mb * seq);
+}
+
+TEST(Intensity, PipelineMatchesAppendixA32) {
+  // "For N_PP = 4, this results in an intensity of 7.1M for GPT-3 and
+  // 19.7M for 1T when non-looped, or 294K for GPT-3 and 614K for 1T
+  // when maximally looped."
+  const auto gpt3 = model::model_gpt3();
+  const auto t1 = model::model_1t();
+  EXPECT_NEAR(intensity_pp(gpt3, 4, 1), 7.1e6, 0.1e6);
+  EXPECT_NEAR(intensity_pp(t1, 4, 1), 19.7e6, 0.1e6);
+  EXPECT_NEAR(intensity_pp(gpt3, 4, 24), 294e3, 3e3);   // 96 layers / 4
+  EXPECT_NEAR(intensity_pp(t1, 4, 32), 614e3, 2e3);     // 128 layers / 4
+}
+
+TEST(Intensity, TensorMatchesAppendixA33) {
+  // "with N_TP = 8, the intensity is 3072 for GPT-3 and 6400 for 1T".
+  EXPECT_DOUBLE_EQ(intensity_tp(model::model_gpt3(), 8), 3072.0);
+  EXPECT_DOUBLE_EQ(intensity_tp(model::model_1t(), 8), 6400.0);
+}
+
+TEST(Table41, HasAllNineMethods) {
+  const auto rows = table41_rows();
+  ASSERT_EQ(rows.size(), 9u);
+  EXPECT_EQ(rows.front().method, "No pipeline");
+  EXPECT_EQ(rows.back().method, "Breadth-first (DP_FS)");
+}
+
+TEST(Table41, BreadthFirstIsTheOnlyAllRounder) {
+  // The table's punchline: only breadth-first scores well on bubble,
+  // state memory (with FS) and DP overlap simultaneously.
+  for (const auto& row : table41_rows()) {
+    if (row.method == "Breadth-first (DP_FS)") {
+      EXPECT_EQ(row.bubble_mark, Mark::kGood);
+      EXPECT_EQ(row.state_mark, Mark::kGood);
+      EXPECT_EQ(row.dp_overlap_mark, Mark::kGood);
+      EXPECT_TRUE(row.flexible_n_mb);
+    }
+    if (row.method == "1F1B (DP_FS)") {
+      EXPECT_EQ(row.dp_network_mark, Mark::kBad);  // 3*N_mb/N_PP repetition
+    }
+  }
+}
+
+TEST(Table41, NumbersMatchBubbleFormulas) {
+  const auto nums = table41_numbers(64, 8, 4, 16);
+  for (const auto& n : nums) {
+    if (n.method == "GPipe" || n.method == "1F1B") {
+      EXPECT_DOUBLE_EQ(n.bubble, 7.0 / 16.0);  // Eq. 4
+    }
+    if (n.method == "Breadth-first" || n.method == "Depth-first") {
+      EXPECT_DOUBLE_EQ(n.bubble, 7.0 / 64.0);  // Eq. 9
+    }
+    if (n.method == "Breadth-first") {
+      EXPECT_DOUBLE_EQ(n.dp_overlap, 1.0 - 8.0 / 64.0);
+    }
+    if (n.method == "No pipeline") {
+      EXPECT_DOUBLE_EQ(n.bubble, 0.0);
+    }
+  }
+}
+
+TEST(Table41, MarksRenderAsAscii) {
+  EXPECT_STREQ(to_string(Mark::kGood), "+");
+  EXPECT_STREQ(to_string(Mark::kOkay), "~");
+  EXPECT_STREQ(to_string(Mark::kBad), "-");
+}
+
+}  // namespace
+}  // namespace bfpp::analytic

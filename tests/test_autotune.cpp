@@ -1,0 +1,144 @@
+// Tests for the configuration grid search (Appendix E).
+#include <gtest/gtest.h>
+
+#include "autotune/autotune.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace bfpp::autotune {
+namespace {
+
+using parallel::DpSharding;
+using parallel::ScheduleKind;
+
+TEST(Enumerate, NoPipelineHasOnlySingleStageDevices) {
+  const auto configs = enumerate_configs(
+      model::model_52b(), hw::dgx1_v100_infiniband(), Method::kNoPipeline, 64);
+  ASSERT_FALSE(configs.empty());
+  for (const auto& cfg : configs) {
+    EXPECT_EQ(cfg.n_pp, 1);
+    EXPECT_EQ(cfg.schedule, ScheduleKind::kBreadthFirst);
+  }
+}
+
+TEST(Enumerate, DepthFirstIsMegatronFlagged) {
+  const auto configs = enumerate_configs(
+      model::model_52b(), hw::dgx1_v100_infiniband(), Method::kDepthFirst, 64);
+  ASSERT_FALSE(configs.empty());
+  for (const auto& cfg : configs) {
+    EXPECT_FALSE(cfg.overlap_dp);
+    EXPECT_FALSE(cfg.overlap_pp);
+    EXPECT_EQ(cfg.sharding, DpSharding::kNone);
+    EXPECT_GE(cfg.n_loop, 2);
+    EXPECT_EQ(cfg.n_mb % cfg.n_pp, 0);
+  }
+}
+
+TEST(Enumerate, NonLoopedIncludesBothImplementations) {
+  const auto configs = enumerate_configs(
+      model::model_52b(), hw::dgx1_v100_infiniband(), Method::kNonLooped, 64);
+  bool saw_ours = false, saw_megatron = false;
+  for (const auto& cfg : configs) {
+    EXPECT_EQ(cfg.n_loop, 1);
+    if (cfg.schedule == ScheduleKind::kGpipe && cfg.overlap_pp) saw_ours = true;
+    if (cfg.schedule == ScheduleKind::kOneFOneB && !cfg.overlap_pp)
+      saw_megatron = true;
+  }
+  EXPECT_TRUE(saw_ours);
+  EXPECT_TRUE(saw_megatron);
+}
+
+TEST(Enumerate, RespectsBatchFactorization) {
+  // Every candidate must realize exactly the requested global batch.
+  for (int batch : {9, 24, 64}) {
+    for (const auto& cfg :
+         enumerate_configs(model::model_52b(), hw::dgx1_v100_infiniband(),
+                           Method::kBreadthFirst, batch)) {
+      EXPECT_EQ(cfg.batch_size(), batch);
+      EXPECT_EQ(cfg.n_gpus(), 64);
+    }
+  }
+}
+
+TEST(Enumerate, OddBatchStillSearchable) {
+  // B = 9 (the paper's "one extra micro-batch" configuration) forces
+  // N_DP = 1 grids only.
+  const auto configs = enumerate_configs(
+      model::model_52b(), hw::dgx1_v100_infiniband(), Method::kBreadthFirst, 9);
+  ASSERT_FALSE(configs.empty());
+  for (const auto& cfg : configs) EXPECT_EQ(cfg.n_dp, 1);
+}
+
+TEST(FindBest, ReturnsFeasibleBest) {
+  const auto result = find_best(model::model_52b(), hw::dgx1_v100_infiniband(),
+                                Method::kBreadthFirst, 16);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_GT(result.evaluated, 0);
+  EXPECT_GT(result.best->result.utilization, 0.2);
+  // The memory estimates accompany the candidate (Appendix E columns).
+  EXPECT_GT(result.best->memory.total(), 0.0);
+  EXPECT_LE(result.best->memory_min.total(), result.best->memory.total());
+}
+
+TEST(FindBest, BreadthFirstWinsAtSmallBatch52B) {
+  // The paper's headline: near beta_min breadth-first beats all three
+  // baselines (Figure 7a, B = 8-16).
+  const auto spec = model::model_52b();
+  const auto cluster = hw::dgx1_v100_infiniband();
+  const auto bf = find_best(spec, cluster, Method::kBreadthFirst, 16);
+  const auto df = find_best(spec, cluster, Method::kDepthFirst, 16);
+  const auto nl = find_best(spec, cluster, Method::kNonLooped, 16);
+  ASSERT_TRUE(bf.best && df.best && nl.best);
+  EXPECT_GT(bf.best->result.throughput_per_gpu,
+            df.best->result.throughput_per_gpu);
+  EXPECT_GT(bf.best->result.throughput_per_gpu,
+            nl.best->result.throughput_per_gpu);
+}
+
+TEST(FindBest, NoPipelineCollapsesAtTinyBatch) {
+  // Figure 7a: the 2d approach is far below breadth-first at B = 8
+  // (beta = 1/8); it is wire-bound.
+  const auto spec = model::model_52b();
+  const auto cluster = hw::dgx1_v100_infiniband();
+  const auto np = find_best(spec, cluster, Method::kNoPipeline, 8);
+  const auto bf = find_best(spec, cluster, Method::kBreadthFirst, 8);
+  ASSERT_TRUE(np.best && bf.best);
+  EXPECT_LT(np.best->result.utilization, 0.2);
+  EXPECT_GT(bf.best->result.utilization, 2.0 * np.best->result.utilization);
+}
+
+TEST(FindBest, CountsInfeasibleConfigs) {
+  // At a large batch many GPipe-style configs run out of memory; the
+  // search must prune them rather than fail.
+  const auto result = find_best(model::model_52b(), hw::dgx1_v100_infiniband(),
+                                Method::kNonLooped, 512);
+  ASSERT_TRUE(result.best.has_value());
+  EXPECT_GT(result.infeasible, 0);
+}
+
+TEST(FindBest, EthernetPrefersLessDataParallelism) {
+  // On Ethernet the DP collectives are ~8x slower; the best 6.6B config
+  // should use a smaller N_DP (more model parallelism) than on
+  // InfiniBand, or at least not be faster.
+  const auto spec = model::model_6_6b();
+  const auto ib = find_best(spec, hw::dgx1_v100_infiniband(),
+                            Method::kBreadthFirst, 128);
+  const auto eth = find_best(spec, hw::dgx1_v100_ethernet(),
+                             Method::kBreadthFirst, 128);
+  ASSERT_TRUE(ib.best && eth.best);
+  EXPECT_GT(ib.best->result.utilization, eth.best->result.utilization);
+}
+
+TEST(BatchSizes, MatchThePaperSweeps) {
+  EXPECT_EQ(paper_batch_sizes_52b().front(), 8);
+  EXPECT_EQ(paper_batch_sizes_52b().back(), 512);
+  EXPECT_EQ(paper_batch_sizes_6_6b().front(), 32);
+}
+
+TEST(MethodNames, Render) {
+  EXPECT_STREQ(to_string(Method::kBreadthFirst), "Breadth-first");
+  EXPECT_STREQ(to_string(Method::kNoPipeline), "No pipeline");
+}
+
+}  // namespace
+}  // namespace bfpp::autotune

@@ -1,0 +1,93 @@
+// Tests for the collective cost model, including the byte-accounting the
+// paper relies on (Appendix A.3.1).
+#include <gtest/gtest.h>
+
+#include "collectives/collectives.h"
+#include "common/error.h"
+#include "hw/cluster.h"
+
+namespace bfpp::collectives {
+namespace {
+
+TEST(Collectives, AllReduceWireBytesApproach2x) {
+  // Ring all-reduce moves 2(n-1)/n * payload per GPU; for large groups
+  // with fp32 payloads this is the paper's "approximately 8 bytes per
+  // parameter per batch".
+  const double payload = kGradPayloadBytesPerParam;  // one parameter
+  EXPECT_DOUBLE_EQ(all_reduce_wire_bytes(payload, 2), 4.0);
+  EXPECT_NEAR(all_reduce_wire_bytes(payload, 64), 7.875, 1e-9);
+  EXPECT_DOUBLE_EQ(all_reduce_wire_bytes(payload, 1), 0.0);
+}
+
+TEST(Collectives, ShardOpWireBytesApproach1x) {
+  const double payload = 4.0;
+  EXPECT_DOUBLE_EQ(shard_op_wire_bytes(payload, 2), 2.0);
+  EXPECT_NEAR(shard_op_wire_bytes(payload, 64), 3.9375, 1e-9);
+}
+
+TEST(Collectives, FullyShardedPassIs1_5xPartial) {
+  // DP_FS per pass: gather (fwd) + gather (bwd) + reduce-scatter
+  //                = 3 shard ops = 1.5x the all-reduce of DP_0/DP_PS.
+  const double payload = 4.0;
+  const int n = 64;
+  const double fs = 3.0 * shard_op_wire_bytes(payload, n);
+  const double dp0 = all_reduce_wire_bytes(payload, n);
+  EXPECT_NEAR(fs / dp0, 1.5, 1e-12);
+}
+
+TEST(Collectives, TimesScaleWithPayload) {
+  const auto tier = hw::infiniband_dgx1();
+  const double t1 = all_reduce_time(tier, 1e9, 8);
+  const double t2 = all_reduce_time(tier, 2e9, 8);
+  // Twice the payload costs twice the bandwidth term (latency fixed).
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(t2 - t1, all_reduce_wire_bytes(1e9, 8) / tier.allreduce_bw,
+              1e-9);
+}
+
+TEST(Collectives, SingleGpuGroupsAreFree) {
+  const auto tier = hw::infiniband_dgx1();
+  EXPECT_DOUBLE_EQ(all_reduce_time(tier, 1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(reduce_scatter_time(tier, 1e9, 1), 0.0);
+  EXPECT_DOUBLE_EQ(all_gather_time(tier, 1e9, 1), 0.0);
+}
+
+TEST(Collectives, LatencyGrowsWithGroupSize) {
+  const auto tier = hw::infiniband_dgx1();
+  // Tiny payload: latency-dominated; more hops for bigger rings.
+  const double small = all_reduce_time(tier, 8.0, 4);
+  const double large = all_reduce_time(tier, 8.0, 32);
+  EXPECT_GT(large, small);
+}
+
+TEST(Collectives, GatherEqualsScatter) {
+  const auto tier = hw::nvlink_v100();
+  EXPECT_DOUBLE_EQ(all_gather_time(tier, 3e8, 8),
+                   reduce_scatter_time(tier, 3e8, 8));
+}
+
+TEST(Collectives, P2PTimeIsLatencyPlusBandwidth) {
+  const auto tier = hw::infiniband_dgx1();
+  const double bytes = 2e6;
+  EXPECT_DOUBLE_EQ(p2p_time(tier, bytes),
+                   tier.latency + bytes / tier.p2p_bw);
+  EXPECT_DOUBLE_EQ(p2p_time(tier, 0.0), tier.latency);
+}
+
+TEST(Collectives, NvlinkFasterThanInfinibandFasterThanEthernet) {
+  const double payload = 1e9;
+  const double nv = all_reduce_time(hw::nvlink_v100(), payload, 8);
+  const double ib = all_reduce_time(hw::infiniband_dgx1(), payload, 8);
+  const double eth = all_reduce_time(hw::ethernet_shared(), payload, 8);
+  EXPECT_LT(nv, ib);
+  EXPECT_LT(ib, eth);
+}
+
+TEST(Collectives, RejectsBadArguments) {
+  EXPECT_THROW(all_reduce_wire_bytes(-1.0, 4), bfpp::Error);
+  EXPECT_THROW(all_reduce_wire_bytes(1.0, 0), bfpp::Error);
+  EXPECT_THROW(p2p_time(hw::nvlink_v100(), -5.0), bfpp::Error);
+}
+
+}  // namespace
+}  // namespace bfpp::collectives

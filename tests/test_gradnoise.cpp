@@ -1,0 +1,137 @@
+// Tests for the gradient-noise-scale machinery (Appendix B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "gradnoise/gradnoise.h"
+
+namespace bfpp::gradnoise {
+namespace {
+
+NoisyQuadratic make_problem() {
+  // 8-dimensional, mildly anisotropic.
+  return NoisyQuadratic({1.0, 1.0, 1.5, 0.8, 1.2, 1.0, 0.9, 1.1},
+                        {2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0});
+}
+
+std::vector<double> start_point() {
+  return {4.0, -4.0, 3.0, -3.0, 4.0, -4.0, 3.0, -3.0};
+}
+
+TEST(NoisyQuadratic, LossAndGradient) {
+  const NoisyQuadratic p({2.0}, {0.0});
+  EXPECT_DOUBLE_EQ(p.loss({3.0}), 0.5 * 2.0 * 9.0);
+  EXPECT_DOUBLE_EQ(p.gradient({3.0})[0], 6.0);
+}
+
+TEST(NoisyQuadratic, BatchGradientVarianceShrinksWithBatch) {
+  const auto p = make_problem();
+  const auto theta = start_point();
+  Rng rng(42);
+  const double var1 = mean_grad_sq(p, theta, 1, 4000, rng);
+  const double var64 = mean_grad_sq(p, theta, 64, 4000, rng);
+  // E|G_B|^2 = |G|^2 + tr(Sigma)/B, so larger batches have smaller norm.
+  EXPECT_GT(var1, var64);
+}
+
+TEST(NoisyQuadratic, AnalyticNoiseScale) {
+  const NoisyQuadratic p({1.0, 1.0}, {3.0, 4.0});
+  // tr(Sigma) = 25, |G|^2 at theta=(1,0) is 1.
+  EXPECT_DOUBLE_EQ(p.analytic_noise_scale({1.0, 0.0}), 25.0);
+  // With identity H, the Hessian-weighted scale coincides (Eq. 35).
+  EXPECT_DOUBLE_EQ(p.analytic_noise_scale_hessian({1.0, 0.0}), 25.0);
+}
+
+TEST(Estimator, RecoversNoiseScale) {
+  // The two-batch estimator (McCandlish App. A) must recover
+  // tr(Sigma)/|G|^2 from measured gradient norms.
+  const auto p = make_problem();
+  const auto theta = start_point();
+  Rng rng(7);
+  const double gs_small = mean_grad_sq(p, theta, 2, 20000, rng);
+  const double gs_big = mean_grad_sq(p, theta, 32, 20000, rng);
+  const double est = estimate_noise_scale(gs_small, gs_big, 2, 32);
+  const double truth = p.analytic_noise_scale(theta);
+  EXPECT_NEAR(est / truth, 1.0, 0.15);
+}
+
+TEST(Estimator, RejectsBadBatches) {
+  EXPECT_THROW(estimate_noise_scale(1.0, 1.0, 8, 8), Error);
+  EXPECT_THROW(estimate_noise_scale(1.0, 1.0, 8, 2), Error);
+}
+
+TEST(Sgd, ConvergesAndStepsShrinkWithBatch) {
+  const auto p = make_problem();
+  Rng rng(123);
+  const auto small = steps_to_target(p, start_point(), 2, 0.5, 200000, rng);
+  const auto big = steps_to_target(p, start_point(), 64, 0.5, 200000, rng);
+  EXPECT_TRUE(small.converged);
+  EXPECT_TRUE(big.converged);
+  EXPECT_GT(small.steps, big.steps);
+}
+
+TEST(Sgd, StepsFollowOneOverBatchLaw) {
+  // The heart of Eq. (7): steps(B) ~ s_min * (1 + B_noise/B). Fit the
+  // curve over a batch sweep and check the hyperbola describes the data.
+  const auto p = make_problem();
+  std::vector<std::pair<int, double>> measured;
+  for (int batch : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    double total = 0.0;
+    const int repeats = 12;
+    for (int r = 0; r < repeats; ++r) {
+      Rng rng(1000 + 31 * r + batch);
+      const auto run = steps_to_target(p, start_point(), batch, 0.5,
+                                       300000, rng);
+      ASSERT_TRUE(run.converged) << "batch=" << batch;
+      total += run.steps;
+    }
+    measured.emplace_back(batch, total / repeats);
+  }
+  const CriticalBatchFit fit = fit_critical_batch(measured);
+  EXPECT_GT(fit.b_crit, 0.0);
+  EXPECT_GT(fit.s_min, 0.0);
+  // The fitted hyperbola should track each measurement loosely (the
+  // noise scale drifts during descent, so the curve is not exact; cf.
+  // Appendix B's list of approximations).
+  for (const auto& [batch, steps] : measured) {
+    const double predicted = fit.s_min * (1.0 + fit.b_crit / batch);
+    EXPECT_NEAR(predicted / steps, 1.0, 0.45) << "batch=" << batch;
+  }
+  // Steps decrease monotonically in batch size (more accurate
+  // gradients) - the qualitative Eq. (37) behaviour.
+  for (size_t i = 1; i < measured.size(); ++i) {
+    EXPECT_LE(measured[i].second, measured[i - 1].second * 1.02);
+  }
+  // And total samples = B * steps should *grow* with batch beyond
+  // B_crit (the overhead the trade-off model charges).
+  const double samples_small = 1.0 * measured.front().second;
+  const double samples_large = 128.0 * measured.back().second;
+  EXPECT_GT(samples_large, samples_small);
+}
+
+TEST(Fit, ExactHyperbolaRecovered) {
+  // steps = 100 * (1 + 50/B).
+  std::vector<std::pair<int, double>> data;
+  for (int b : {1, 2, 5, 10, 50, 100}) {
+    data.emplace_back(b, 100.0 * (1.0 + 50.0 / b));
+  }
+  const auto fit = fit_critical_batch(data);
+  EXPECT_NEAR(fit.s_min, 100.0, 1e-6);
+  EXPECT_NEAR(fit.b_crit, 50.0, 1e-6);
+}
+
+TEST(Fit, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_critical_batch({{4, 100.0}}), Error);
+  EXPECT_THROW(fit_critical_batch({{4, 100.0}, {4, 100.0}}), Error);
+}
+
+TEST(Problem, RejectsBadConstruction) {
+  EXPECT_THROW(NoisyQuadratic({}, {}), Error);
+  EXPECT_THROW(NoisyQuadratic({1.0}, {1.0, 2.0}), Error);
+  EXPECT_THROW(NoisyQuadratic({-1.0}, {1.0}), Error);
+}
+
+}  // namespace
+}  // namespace bfpp::gradnoise

@@ -1,0 +1,82 @@
+// Tests for hardware presets and the kernel-efficiency model.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "hw/cluster.h"
+#include "hw/kernel_model.h"
+
+namespace bfpp::hw {
+namespace {
+
+TEST(Gpu, V100Preset) {
+  const GpuSpec g = v100_sxm2_32gb();
+  EXPECT_DOUBLE_EQ(g.peak_flops, 125e12);
+  EXPECT_DOUBLE_EQ(g.memory_bytes, 32.0 * kGiB);
+}
+
+TEST(Gpu, A100MatchesPaperAppendixA3) {
+  // The paper's Appendix A.3 example uses 312 Tflop/s.
+  EXPECT_DOUBLE_EQ(a100_sxm4_80gb().peak_flops, 312e12);
+}
+
+TEST(Cluster, PaperTestbedIs64Gpus) {
+  const ClusterSpec c = dgx1_v100_infiniband();
+  EXPECT_EQ(c.total_gpus(), 64);
+  EXPECT_EQ(c.gpus_per_node, 8);
+  EXPECT_EQ(c.n_nodes, 8);
+}
+
+TEST(Cluster, TierSelectionByExtent) {
+  const ClusterSpec c = dgx1_v100_infiniband();
+  EXPECT_EQ(c.tier_for_group_extent(8).name, "NVLink2");
+  EXPECT_EQ(c.tier_for_group_extent(9).name, "InfiniBand-EDR");
+  EXPECT_EQ(c.tier_for_group_extent(64).name, "InfiniBand-EDR");
+}
+
+TEST(Cluster, EthernetVariantSharesCompute) {
+  const ClusterSpec ib = dgx1_v100_infiniband();
+  const ClusterSpec eth = dgx1_v100_ethernet();
+  EXPECT_DOUBLE_EQ(ib.gpu.peak_flops, eth.gpu.peak_flops);
+  EXPECT_LT(eth.inter_node.allreduce_bw, ib.inter_node.allreduce_bw);
+  EXPECT_GT(eth.inter_node.latency, ib.inter_node.latency);
+}
+
+TEST(Cluster, HardwareIntensityOrdering) {
+  // Appendix A.3: hardware intensity (flop per byte) is far higher for
+  // the inter-node fabric than for NVLink, which is what makes tensor
+  // parallelism intra-node only.
+  const ClusterSpec c = dgx1_v100_infiniband();
+  const double i_nvlink = c.gpu.peak_flops / c.intra_node.allreduce_bw;
+  const double i_ib = c.gpu.peak_flops / c.inter_node.allreduce_bw;
+  EXPECT_GT(i_ib, 5.0 * i_nvlink);
+}
+
+TEST(KernelModel, EfficiencyIncreasesWithBothDims) {
+  const KernelModel k;
+  EXPECT_LT(k.efficiency(1024, 512), k.efficiency(1024, 4096));
+  EXPECT_LT(k.efficiency(256, 4096), k.efficiency(4096, 4096));
+}
+
+TEST(KernelModel, CalibratedRange) {
+  // Calibration targets from Tables E.1/E.2 (see header comment):
+  // contraction 1024 (52B at N_TP=8) -> ~0.50; 4096 -> ~0.57; 8192 -> ~0.59.
+  const KernelModel k;
+  EXPECT_NEAR(k.efficiency(1024, 1024), 0.48, 0.04);
+  EXPECT_NEAR(k.efficiency(1024, 4096), 0.57, 0.04);
+  EXPECT_NEAR(k.efficiency(4096, 8192), 0.62, 0.04);
+}
+
+TEST(KernelModel, NeverExceedsCeilingOrHitsZero) {
+  const KernelModel k;
+  for (double rows : {1.0, 64.0, 1024.0, 65536.0}) {
+    for (double contraction : {1.0, 128.0, 8192.0, 65536.0}) {
+      const double e = k.efficiency(rows, contraction);
+      EXPECT_GT(e, 0.0);
+      EXPECT_LE(e, k.max_efficiency);
+    }
+  }
+  EXPECT_GT(k.efficiency(0.0, 1024.0), 0.0);  // degenerate inputs stay sane
+}
+
+}  // namespace
+}  // namespace bfpp::hw

@@ -1,0 +1,180 @@
+// Tests for the analytic memory model against the paper's own numeric
+// examples (Appendix A.2) and the feasibility filter.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "hw/cluster.h"
+#include "memmodel/memory.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+
+namespace bfpp::memmodel {
+namespace {
+
+using parallel::DpSharding;
+using parallel::ParallelConfig;
+using parallel::ScheduleKind;
+
+ParallelConfig base_config(int n_dp, int n_tp, int n_pp) {
+  ParallelConfig cfg;
+  cfg.n_dp = n_dp;
+  cfg.n_tp = n_tp;
+  cfg.n_pp = n_pp;
+  cfg.s_mb = 1;
+  cfg.n_mb = n_pp;
+  cfg.n_loop = 1;
+  cfg.schedule = ScheduleKind::kBreadthFirst;
+  return cfg;
+}
+
+TEST(Memory, Gpt3PartialShardingMatchesAppendixA21) {
+  // "GPT-3 can be trained on 80 GB GPUs with N_TP=8 and N_PP=4 using
+  // DP_PS (10 or 20 GB)": state+buffers at scale are (2 or 4) bytes/param
+  // over N_PP*N_TP = 32.
+  auto cfg = base_config(8, 8, 4);
+  cfg.sharding = DpSharding::kPartial;
+  const auto spec = model::model_gpt3();
+  // Immediate reduce (breadth-first): ~2 bytes/param -> ~10.9 GB.
+  const auto est = estimate(spec, cfg, /*at_scale=*/true);
+  EXPECT_NEAR(est.state_bytes + est.buffer_bytes, 11e9, 1.5e9);
+  // Without immediate reduce (1F1B): ~4 bytes/param -> ~22 GB.
+  cfg.schedule = ScheduleKind::kOneFOneB;
+  cfg.n_mb = 8;
+  const auto est2 = estimate(spec, cfg, /*at_scale=*/true);
+  EXPECT_NEAR(est2.state_bytes + est2.buffer_bytes, 22e9, 3e9);
+}
+
+TEST(Memory, TrillionModelFullShardingMatchesAppendixA21) {
+  // "1T requires DP_FS (7 GB)": Eq. 15, 8*N_params/(N_layers*N_TP).
+  auto cfg = base_config(8, 8, 4);
+  cfg.sharding = DpSharding::kFull;
+  cfg.n_loop = 32;  // single-layer stages
+  const auto spec = model::model_1t();
+  const auto est = estimate(spec, cfg, /*at_scale=*/true);
+  EXPECT_NEAR(est.buffer_bytes, 8.0 * spec.total_params() / (128.0 * 8.0),
+              1e9);
+  EXPECT_LT(est.state_bytes, 1e9);  // sharded away at scale
+}
+
+TEST(Memory, ActivationMatchesEq16) {
+  // GPT-3 per-sample activation ~550-580 MB (Appendix A.2.2).
+  auto cfg = base_config(8, 8, 4);
+  const auto est = estimate(model::model_gpt3(), cfg);
+  EXPECT_NEAR(est.activation_bytes, 580e6, 40e6);
+  // 1T: ~1050 MB.
+  auto cfg1t = base_config(8, 8, 4);
+  const auto est1t = estimate(model::model_1t(), cfg1t);
+  EXPECT_NEAR(est1t.activation_bytes, 1.08e9, 0.08e9);
+}
+
+TEST(Memory, CheckpointsMatchEq17AtBetaMin) {
+  // GPT-3 at beta_min (N_mb = N_PP = 4, S_mb = 1): ~600 MB.
+  auto cfg = base_config(8, 8, 4);
+  const auto est = estimate(model::model_gpt3(), cfg);
+  EXPECT_NEAR(est.checkpoint_bytes, 604e6, 30e6);
+  // 1T: ~1.7 GB.
+  const auto est1t = estimate(model::model_1t(), base_config(8, 8, 4));
+  EXPECT_NEAR(est1t.checkpoint_bytes, 1.68e9, 0.1e9);
+}
+
+TEST(Memory, CheckpointCapsForDepthCappedSchedules) {
+  // With many micro-batches, GPipe/BF checkpoints grow linearly while
+  // 1F1B caps at 2*N_PP-1 in-flight micro-batches and depth-first at
+  // N_layers + N_PP - 1 layer-checkpoints.
+  const auto spec = model::model_52b();
+  auto bf = base_config(1, 8, 8);
+  bf.n_dp = 1;
+  bf.n_mb = 64;
+  const double bf_ckpt = estimate(spec, bf).checkpoint_bytes;
+
+  auto fb = bf;
+  fb.schedule = ScheduleKind::kOneFOneB;
+  const double fb_ckpt = estimate(spec, fb).checkpoint_bytes;
+  EXPECT_LT(fb_ckpt, bf_ckpt);
+  EXPECT_NEAR(fb_ckpt / bf_ckpt, 15.0 / 64.0, 1e-9);  // (2*8-1)/64
+
+  auto df = bf;
+  df.schedule = ScheduleKind::kDepthFirst;
+  df.n_loop = 4;
+  const double df_ckpt = estimate(spec, df).checkpoint_bytes;
+  // Depth-first: min(64*8, 64+8-1) = 71 layer checkpoints vs BF's 512.
+  EXPECT_NEAR(df_ckpt / bf_ckpt, 71.0 / 512.0, 1e-9);
+}
+
+TEST(Memory, ShardingReducesState) {
+  const auto spec = model::model_52b();
+  auto dp0 = base_config(4, 8, 2);
+  dp0.n_mb = 4;
+  auto ps = dp0;
+  ps.sharding = DpSharding::kPartial;
+  auto fs = dp0;
+  fs.sharding = DpSharding::kFull;
+  fs.n_loop = 8;
+  const double m0 = estimate(spec, dp0).total();
+  const double mps = estimate(spec, ps).total();
+  const double mfs = estimate(spec, fs).total();
+  EXPECT_GT(m0, mps);
+  EXPECT_GT(mps, mfs);
+}
+
+TEST(Memory, AtScaleIsLowerBound) {
+  const auto spec = model::model_52b();
+  auto cfg = base_config(8, 8, 1);
+  cfg.n_loop = 64;
+  cfg.sharding = DpSharding::kFull;
+  EXPECT_LE(estimate(spec, cfg, true).total(),
+            estimate(spec, cfg, false).total());
+  // Unsharded configs also shrink at scale: partial sharding of the
+  // state is always achievable there (the paper's Memory-min columns
+  // apply it to DP_0 rows too, e.g. Table E.1's 15.78 -> 6.42 GB).
+  auto dp0 = base_config(8, 8, 1);
+  EXPECT_DOUBLE_EQ(estimate(spec, dp0, true).state_bytes, 0.0);
+  EXPECT_LT(estimate(spec, dp0, true).total(),
+            estimate(spec, dp0, false).total());
+}
+
+TEST(Memory, PaperConfigurationFitsOn32GB) {
+  // The Figure 5a fixed config must fit (the paper ran it).
+  auto cfg = base_config(1, 8, 8);
+  cfg.n_loop = 4;
+  cfg.n_mb = 16;
+  EXPECT_TRUE(fits(model::model_52b(), cfg, hw::dgx1_v100_infiniband()));
+}
+
+TEST(Memory, UnshardedTrillionModelDoesNotFit) {
+  auto cfg = base_config(1, 8, 8);
+  cfg.n_mb = 8;
+  EXPECT_FALSE(fits(model::model_1t(), cfg, hw::dgx1_v100_infiniband()));
+  EXPECT_THROW(check_fits(model::model_1t(), cfg, hw::dgx1_v100_infiniband()),
+               OutOfMemoryError);
+}
+
+TEST(Memory, OomMessageIncludesBreakdown) {
+  auto cfg = base_config(1, 8, 8);
+  cfg.n_mb = 8;
+  try {
+    check_fits(model::model_1t(), cfg, hw::dgx1_v100_infiniband());
+    FAIL() << "expected OutOfMemoryError";
+  } catch (const OutOfMemoryError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("state"), std::string::npos);
+    EXPECT_NE(msg.find("budget"), std::string::npos);
+  }
+}
+
+TEST(Memory, GpipeHoldsMoreCheckpointsThanOneFOneB) {
+  // Section 3.2: "GPipe running out of memory for larger batch sizes" -
+  // the checkpoint term must eventually exceed 1F1B's.
+  const auto spec = model::model_52b();
+  auto gp = base_config(1, 8, 8);
+  gp.schedule = ScheduleKind::kGpipe;
+  gp.n_mb = 128;
+  auto fb = gp;
+  fb.schedule = ScheduleKind::kOneFOneB;
+  EXPECT_GT(estimate(spec, gp).checkpoint_bytes,
+            4.0 * estimate(spec, fb).checkpoint_bytes);
+}
+
+}  // namespace
+}  // namespace bfpp::memmodel

@@ -1,0 +1,102 @@
+// Tests for the transformer accounting formulas against the paper's own
+// numeric examples (Appendix A).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "model/transformer.h"
+
+namespace bfpp::model {
+namespace {
+
+TEST(Model, ParamCounts52B) {
+  const TransformerSpec m = model_52b();
+  // 12 * 64 * 8192^2 = 51.5e9 (the "52 billion" of Table 5.1).
+  EXPECT_NEAR(m.total_params(), 52e9, 1e9);
+  EXPECT_NEAR(m.params_per_layer() * m.n_layers, 51.54e9, 0.05e9);
+}
+
+TEST(Model, ParamCounts6_6B) {
+  const TransformerSpec m = model_6_6b();
+  EXPECT_NEAR(m.total_params(), 6.6e9, 0.2e9);
+}
+
+TEST(Model, ParamCountsGpt3) {
+  // GPT-3: ~175B parameters.
+  EXPECT_NEAR(model_gpt3().total_params(), 175e9, 3e9);
+}
+
+TEST(Model, ParamCounts1T) {
+  // The trillion-parameter example of Narayanan et al.
+  EXPECT_NEAR(model_1t().total_params(), 1.01e12, 0.02e12);
+}
+
+TEST(Model, HeadsTimesHeadSizeEqualsHidden) {
+  for (const auto& m :
+       {model_52b(), model_6_6b(), model_gpt3(), model_1t()}) {
+    EXPECT_EQ(m.n_heads * m.head_size, m.hidden_size) << m.name;
+    EXPECT_NO_THROW(validate(m));
+  }
+}
+
+TEST(Model, TrainFlopsMatch8FlopPerParamPerToken) {
+  // Without the attention and vocab terms, training flops per sample are
+  // ~8 flop/param/token * layer params * seq (the Eq. 12 approximation).
+  const TransformerSpec m = model_52b();
+  const double approx =
+      8.0 * m.params_per_layer() * m.n_layers * m.seq_len;
+  // Attention + head add a few percent on top.
+  EXPECT_GT(m.train_flops_per_sample(), approx);
+  EXPECT_LT(m.train_flops_per_sample(), approx * 1.10);
+}
+
+TEST(Model, ForwardBackwardSplitIsOneToThree) {
+  // With activation recomputation the backward (incl. recompute) is 3x
+  // the forward: 2 + (4+2) flop per parameter per token.
+  const TransformerSpec m = model_6_6b();
+  EXPECT_DOUBLE_EQ(m.layer_backward_flops_per_token(),
+                   3.0 * m.layer_forward_flops_per_token());
+  EXPECT_DOUBLE_EQ(m.layer_train_flops_per_token(),
+                   4.0 * m.layer_forward_flops_per_token());
+}
+
+TEST(Model, AttentionTermMatchesEq11) {
+  // Eq. 11's attention term: per layer-token flops contain
+  // 96 * S_h * S_seq / 6 = 16 * S_h * S_seq.
+  const TransformerSpec m = model_52b();
+  const double linear_only = 96.0 * static_cast<double>(m.hidden_size) *
+                             m.hidden_size;
+  const double attention =
+      m.layer_train_flops_per_token() - linear_only;
+  EXPECT_DOUBLE_EQ(attention,
+                   16.0 * static_cast<double>(m.hidden_size) * m.seq_len);
+}
+
+TEST(Model, BoundaryActivationBytes) {
+  const TransformerSpec m = model_52b();
+  // fp16: 2 bytes * seq * hidden.
+  EXPECT_DOUBLE_EQ(m.boundary_activation_bytes_per_sample(),
+                   2.0 * 1024 * 8192);
+}
+
+TEST(Model, ValidateRejectsBadShapes) {
+  TransformerSpec m = model_52b();
+  m.n_heads = 63;  // 63 * 128 != 8192
+  EXPECT_THROW(validate(m), ConfigError);
+  m = model_52b();
+  m.n_layers = 0;
+  EXPECT_THROW(validate(m), ConfigError);
+  m = model_52b();
+  m.seq_len = -5;
+  EXPECT_THROW(validate(m), ConfigError);
+}
+
+TEST(Model, FlopsScaleLinearlyInLayers) {
+  TransformerSpec m = model_6_6b();
+  const double f1 = m.layer_train_flops_per_token() * m.n_layers;
+  m.n_layers *= 2;
+  const double f2 = m.layer_train_flops_per_token() * m.n_layers;
+  EXPECT_DOUBLE_EQ(f2, 2.0 * f1);
+}
+
+}  // namespace
+}  // namespace bfpp::model

@@ -1,0 +1,203 @@
+// Tests for parallel configuration, stage placement and the device grid.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+
+namespace bfpp::parallel {
+namespace {
+
+ParallelConfig paper_52b_fixed() {
+  // The Figure 5a fixed configuration: N_PP = N_TP = 8, N_DP = 1.
+  ParallelConfig cfg;
+  cfg.n_pp = 8;
+  cfg.n_tp = 8;
+  cfg.n_dp = 1;
+  cfg.s_mb = 1;
+  cfg.n_mb = 8;
+  cfg.n_loop = 4;
+  cfg.schedule = ScheduleKind::kBreadthFirst;
+  return cfg;
+}
+
+TEST(Config, BatchAccounting) {
+  ParallelConfig cfg = paper_52b_fixed();
+  EXPECT_EQ(cfg.n_gpus(), 64);
+  EXPECT_EQ(cfg.n_stages(), 32);
+  EXPECT_EQ(cfg.batch_size(), 8);
+  EXPECT_DOUBLE_EQ(cfg.batch_per_gpu(), 0.125);  // 1/8, the paper's beta_min
+}
+
+TEST(Config, ValidAgainstPaperCluster) {
+  const auto cluster = hw::dgx1_v100_infiniband();
+  const auto spec = model::model_52b();
+  EXPECT_NO_THROW(validate(paper_52b_fixed(), spec, cluster));
+}
+
+TEST(Config, RejectsGridClusterMismatch) {
+  auto cfg = paper_52b_fixed();
+  cfg.n_dp = 2;  // 128 GPUs on a 64-GPU cluster
+  EXPECT_THROW(validate(cfg, model::model_52b(), hw::dgx1_v100_infiniband()),
+               ConfigError);
+}
+
+TEST(Config, RejectsTensorParallelismAcrossNodes) {
+  ParallelConfig cfg;
+  cfg.n_tp = 16;
+  cfg.n_pp = 2;
+  cfg.n_dp = 2;
+  cfg.n_mb = 2;
+  EXPECT_THROW(validate(cfg, model::model_52b(), hw::dgx1_v100_infiniband()),
+               ConfigError);
+}
+
+TEST(Config, RejectsMoreStagesThanLayers) {
+  auto cfg = paper_52b_fixed();
+  cfg.n_loop = 16;  // 128 stages > 64 layers
+  EXPECT_THROW(validate(cfg, model::model_52b(), hw::dgx1_v100_infiniband()),
+               ConfigError);
+}
+
+TEST(Config, RejectsDepthFirstWithIndivisibleMicroBatches) {
+  auto cfg = paper_52b_fixed();
+  cfg.schedule = ScheduleKind::kDepthFirst;
+  cfg.n_mb = 9;
+  EXPECT_THROW(validate(cfg, model::model_52b(), hw::dgx1_v100_infiniband()),
+               ConfigError);
+}
+
+TEST(Config, RejectsNonLoopedWithLoops) {
+  auto cfg = paper_52b_fixed();
+  cfg.schedule = ScheduleKind::kGpipe;  // n_loop stays 4
+  EXPECT_THROW(validate(cfg, model::model_52b(), hw::dgx1_v100_infiniband()),
+               ConfigError);
+}
+
+TEST(Config, RejectsShardingWithoutDataParallelism) {
+  auto cfg = paper_52b_fixed();
+  cfg.sharding = DpSharding::kFull;  // n_dp == 1
+  EXPECT_THROW(validate(cfg, model::model_52b(), hw::dgx1_v100_infiniband()),
+               ConfigError);
+}
+
+TEST(Config, RejectsUnfilledPipeline) {
+  auto cfg = paper_52b_fixed();
+  cfg.n_mb = 4;  // < n_pp = 8
+  EXPECT_THROW(validate(cfg, model::model_52b(), hw::dgx1_v100_infiniband()),
+               ConfigError);
+}
+
+TEST(Config, MegatronFlagsDisableOverlapAndPartialSharding) {
+  auto cfg = paper_52b_fixed();
+  cfg.sharding = DpSharding::kPartial;
+  const auto mega = with_megatron_flags(cfg);
+  EXPECT_FALSE(mega.overlap_dp);
+  EXPECT_FALSE(mega.overlap_pp);
+  EXPECT_EQ(mega.sharding, DpSharding::kNone);
+}
+
+TEST(Config, DescribeMentionsScheduleAndSharding) {
+  auto cfg = paper_52b_fixed();
+  cfg.sharding = DpSharding::kFull;
+  cfg.n_dp = 1;
+  const std::string d = cfg.describe();
+  EXPECT_NE(d.find("Breadth-first"), std::string::npos);
+  EXPECT_NE(d.find("DP_FS"), std::string::npos);
+}
+
+TEST(Placement, StandardPlacementIsContiguous) {
+  // Figure 3a: 16 layers, 4 devices, 1 loop.
+  const StagePlacement p(16, 4, 1);
+  EXPECT_EQ(p.n_stages(), 4);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(p.device_of_stage(s), s);
+    EXPECT_EQ(p.layers_in_stage(s), 4);
+    EXPECT_EQ(p.first_layer_of_stage(s), 4 * s);
+  }
+}
+
+TEST(Placement, LoopingPlacementWrapsAround) {
+  // Figure 3b: 16 layers, 4 devices, 4 loops: device 0 holds layers
+  // {0, 4, 8, 12} as stages {0, 4, 8, 12}.
+  const StagePlacement p(16, 4, 4);
+  EXPECT_EQ(p.n_stages(), 16);
+  EXPECT_EQ(p.stages_of_device(0), (std::vector<int>{0, 4, 8, 12}));
+  EXPECT_EQ(p.stages_of_device(3), (std::vector<int>{3, 7, 11, 15}));
+  for (int s = 0; s < 16; ++s) {
+    EXPECT_EQ(p.device_of_stage(s), s % 4);
+    EXPECT_EQ(p.layers_in_stage(s), 1);
+    EXPECT_EQ(p.first_layer_of_stage(s), s);
+  }
+}
+
+TEST(Placement, NearIdenticalSplitDistributesRemainder) {
+  // 10 layers over 4 stages: 3,3,2,2.
+  const StagePlacement p(10, 4, 1);
+  EXPECT_EQ(p.layers_in_stage(0), 3);
+  EXPECT_EQ(p.layers_in_stage(1), 3);
+  EXPECT_EQ(p.layers_in_stage(2), 2);
+  EXPECT_EQ(p.layers_in_stage(3), 2);
+  int total = 0;
+  for (int s = 0; s < 4; ++s) total += p.layers_in_stage(s);
+  EXPECT_EQ(total, 10);
+  EXPECT_EQ(p.first_layer_of_stage(2), 6);
+}
+
+TEST(Placement, RejectsMoreStagesThanLayers) {
+  EXPECT_THROW(StagePlacement(4, 4, 2), ConfigError);
+}
+
+TEST(Grid, TensorGroupsInsideNode) {
+  ParallelConfig cfg;
+  cfg.n_tp = 8;
+  cfg.n_pp = 8;
+  cfg.n_dp = 1;
+  cfg.n_mb = 8;
+  const DeviceGrid grid(cfg, hw::dgx1_v100_infiniband());
+  EXPECT_EQ(grid.tp_group_extent(), 8);
+  // With N_TP = 8, each pipeline rank is a full node: every pp link
+  // crosses nodes.
+  EXPECT_FALSE(grid.pp_link_intra_node(0, 1));
+  EXPECT_FALSE(grid.pp_link_intra_node(7, 0));
+}
+
+TEST(Grid, PipelineNeighboursShareNodeWhenTpSmall) {
+  ParallelConfig cfg;
+  cfg.n_tp = 2;
+  cfg.n_pp = 4;
+  cfg.n_dp = 8;
+  cfg.n_mb = 4;
+  const DeviceGrid grid(cfg, hw::dgx1_v100_infiniband());
+  // 4 pipeline ranks x 2 tensor ranks = 8 GPUs = exactly one node.
+  EXPECT_TRUE(grid.pp_link_intra_node(0, 1));
+  EXPECT_TRUE(grid.pp_link_intra_node(2, 3));
+  EXPECT_TRUE(grid.pp_link_intra_node(3, 0));
+}
+
+TEST(Grid, DataParallelGroupExtent) {
+  ParallelConfig cfg;
+  cfg.n_tp = 2;
+  cfg.n_pp = 4;
+  cfg.n_dp = 8;
+  cfg.n_mb = 4;
+  const DeviceGrid grid(cfg, hw::dgx1_v100_infiniband());
+  // Stride 8, 8 ranks -> spans 57 consecutive linear ranks (all nodes).
+  EXPECT_EQ(grid.dp_group_extent(), 57);
+  EXPECT_EQ(grid.linear_rank(0, 0, 0), 0);
+  EXPECT_EQ(grid.linear_rank(1, 0, 0), 8);
+  EXPECT_EQ(grid.node_of_rank(8), 1);
+}
+
+TEST(Grid, PureDataParallelStaysDense) {
+  ParallelConfig cfg;
+  cfg.n_tp = 1;
+  cfg.n_pp = 1;
+  cfg.n_dp = 64;
+  const DeviceGrid grid(cfg, hw::dgx1_v100_infiniband());
+  EXPECT_EQ(grid.dp_group_extent(), 64);
+}
+
+}  // namespace
+}  // namespace bfpp::parallel

@@ -1,0 +1,293 @@
+// Tests for the pipeline schedule generators - the paper's core.
+//
+// Correctness here means: complete (every stage x micro-batch x direction
+// exactly once on the owning device), locally ordered, and deadlock-free
+// under blocking in-order execution. The TEST_P sweep checks these
+// invariants across the whole (N_PP, N_loop, N_mb) space used in the
+// paper's experiments.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.h"
+#include "schedule/schedule.h"
+
+namespace bfpp::schedule {
+namespace {
+
+using parallel::ScheduleKind;
+
+TEST(BreadthFirst, MatchesFigure4dOrdering) {
+  // 16-layer model on 4 devices, 4 loops, 8 micro-batches (Figure 4d):
+  // device 0 runs stage 0 for mb 0..7, then stage 4 for mb 0..7, ...
+  const Schedule s = breadth_first(4, 4, 8);
+  const auto& ops = s.device_ops[0];
+  ASSERT_EQ(ops.size(), 64u);
+  for (int l = 0; l < 4; ++l) {
+    for (int m = 0; m < 8; ++m) {
+      const Op& op = ops[static_cast<size_t>(l * 8 + m)];
+      EXPECT_EQ(op.kind, OpKind::kForward);
+      EXPECT_EQ(op.stage, l * 4);
+      EXPECT_EQ(op.micro_batch, m);
+    }
+  }
+  // Backward pass in reverse stage order.
+  EXPECT_EQ(ops[32].kind, OpKind::kBackward);
+  EXPECT_EQ(ops[32].stage, 12);
+  EXPECT_EQ(ops[32].micro_batch, 0);
+  EXPECT_EQ(ops.back().stage, 0);
+  EXPECT_EQ(ops.back().micro_batch, 7);
+}
+
+TEST(BreadthFirst, ReducesToGpipeWhenNotLooped) {
+  const Schedule bf = breadth_first(4, 1, 8);
+  const Schedule gp = gpipe(4, 8);
+  EXPECT_EQ(bf.device_ops, gp.device_ops);
+}
+
+TEST(Gpipe, AllForwardsThenAllBackwards) {
+  const Schedule s = gpipe(4, 6);
+  for (const auto& ops : s.device_ops) {
+    ASSERT_EQ(ops.size(), 12u);
+    for (size_t i = 0; i < 6; ++i) EXPECT_EQ(ops[i].kind, OpKind::kForward);
+    for (size_t i = 6; i < 12; ++i) EXPECT_EQ(ops[i].kind, OpKind::kBackward);
+  }
+}
+
+TEST(OneFOneB, LastDeviceAlternatesImmediately) {
+  // The last device has no warmup: F0 B0 F1 B1 ... (Figure 4b, GPU 3).
+  const Schedule s = one_f_one_b(4, 8);
+  const auto& ops = s.device_ops[3];
+  ASSERT_EQ(ops.size(), 16u);
+  for (int m = 0; m < 8; ++m) {
+    EXPECT_EQ(ops[static_cast<size_t>(2 * m)].kind, OpKind::kForward);
+    EXPECT_EQ(ops[static_cast<size_t>(2 * m)].micro_batch, m);
+    EXPECT_EQ(ops[static_cast<size_t>(2 * m + 1)].kind, OpKind::kBackward);
+    EXPECT_EQ(ops[static_cast<size_t>(2 * m + 1)].micro_batch, m);
+  }
+}
+
+TEST(OneFOneB, FirstDeviceWarmupIsPipelineDepthMinusOne) {
+  const Schedule s = one_f_one_b(4, 8);
+  const auto& ops = s.device_ops[0];
+  // 3 warmup forwards before the first backward.
+  EXPECT_EQ(ops[0].kind, OpKind::kForward);
+  EXPECT_EQ(ops[1].kind, OpKind::kForward);
+  EXPECT_EQ(ops[2].kind, OpKind::kForward);
+  EXPECT_EQ(ops[3].kind, OpKind::kForward);  // steady state starts with F
+  EXPECT_EQ(ops[4].kind, OpKind::kBackward);
+  EXPECT_EQ(ops[4].micro_batch, 0);
+}
+
+TEST(OneFOneB, FewerMicroBatchesThanDevices) {
+  // n_mb < n_pp degenerates to GPipe-like behaviour but must stay valid.
+  const Schedule s = one_f_one_b(8, 3);
+  EXPECT_NO_THROW(validate(s));
+}
+
+TEST(DepthFirst, RequiresDivisibleMicroBatches) {
+  EXPECT_THROW(depth_first(4, 2, 6), ConfigError);
+  EXPECT_NO_THROW(depth_first(4, 2, 8));
+}
+
+TEST(DepthFirst, RunsInSequencesOfNpp) {
+  // Figure 4c: device 0 warms up with stage 0 mb 0..3, then stage 4 mb
+  // 0..3, etc. (sequences of N_PP micro-batches through the local chunks).
+  const Schedule s = depth_first(4, 4, 8);
+  const auto& ops = s.device_ops[0];
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_EQ(ops[static_cast<size_t>(m)].kind, OpKind::kForward);
+    EXPECT_EQ(ops[static_cast<size_t>(m)].stage, 0);
+    EXPECT_EQ(ops[static_cast<size_t>(m)].micro_batch, m);
+  }
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_EQ(ops[static_cast<size_t>(4 + m)].stage, 4);
+    EXPECT_EQ(ops[static_cast<size_t>(4 + m)].micro_batch, m);
+  }
+}
+
+TEST(DepthFirst, NonLoopedEquals1F1BBehaviour) {
+  // With n_loop == 1 and n_mb > n_pp, depth-first is 1F1B: same warmup
+  // counts and the same op multiset in the same steady-state pattern.
+  const Schedule df = depth_first(4, 1, 8);
+  const Schedule fb = one_f_one_b(4, 8);
+  EXPECT_EQ(df.device_ops, fb.device_ops);
+}
+
+TEST(GradAccumulation, DepthFirstIsPerMicroBatch) {
+  // Figure 9a: mb 0 full forward+backward, then mb 1, ...
+  const Schedule s = grad_accumulation_depth_first(4, 2);
+  const auto& ops = s.device_ops[0];
+  ASSERT_EQ(ops.size(), 16u);
+  EXPECT_EQ(ops[0], (Op{OpKind::kForward, 0, 0}));
+  EXPECT_EQ(ops[3], (Op{OpKind::kForward, 3, 0}));
+  EXPECT_EQ(ops[4], (Op{OpKind::kBackward, 3, 0}));
+  EXPECT_EQ(ops[7], (Op{OpKind::kBackward, 0, 0}));
+  EXPECT_EQ(ops[8], (Op{OpKind::kForward, 0, 1}));
+}
+
+TEST(GradAccumulation, BreadthFirstIsPerStage) {
+  // Figure 9c: stage 0 for all micro-batches, then stage 1, ...
+  const Schedule s = grad_accumulation_breadth_first(4, 4);
+  const auto& ops = s.device_ops[0];
+  ASSERT_EQ(ops.size(), 32u);
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_EQ(ops[static_cast<size_t>(m)], (Op{OpKind::kForward, 0, m}));
+  }
+  EXPECT_EQ(ops[4], (Op{OpKind::kForward, 1, 0}));
+  // Backward starts from the last stage.
+  EXPECT_EQ(ops[16], (Op{OpKind::kBackward, 3, 0}));
+}
+
+TEST(MakeSchedule, DispatchesAllKinds) {
+  EXPECT_NO_THROW(make_schedule(ScheduleKind::kGpipe, 4, 1, 8));
+  EXPECT_NO_THROW(make_schedule(ScheduleKind::kOneFOneB, 4, 1, 8));
+  EXPECT_NO_THROW(make_schedule(ScheduleKind::kDepthFirst, 4, 2, 8));
+  EXPECT_NO_THROW(make_schedule(ScheduleKind::kBreadthFirst, 4, 2, 8));
+  EXPECT_THROW(make_schedule(ScheduleKind::kGpipe, 4, 2, 8), ConfigError);
+  EXPECT_THROW(make_schedule(ScheduleKind::kOneFOneB, 4, 2, 8), ConfigError);
+}
+
+TEST(Validate, CatchesDuplicateOps) {
+  Schedule s = gpipe(2, 2);
+  s.device_ops[0].push_back(s.device_ops[0][0]);
+  EXPECT_THROW(validate(s), Error);
+}
+
+TEST(Validate, CatchesMissingOps) {
+  Schedule s = gpipe(2, 2);
+  s.device_ops[0].pop_back();
+  EXPECT_THROW(validate(s), Error);
+}
+
+TEST(Validate, CatchesWrongDevice) {
+  Schedule s = gpipe(2, 2);
+  // Move an op of device 1 onto device 0.
+  s.device_ops[0][0].stage = 1;
+  EXPECT_THROW(validate(s), Error);
+}
+
+TEST(Validate, CatchesBackwardBeforeForward) {
+  Schedule s;
+  s.n_pp = 1;
+  s.n_loop = 1;
+  s.n_mb = 1;
+  s.device_ops = {{{OpKind::kBackward, 0, 0}, {OpKind::kForward, 0, 0}}};
+  EXPECT_THROW(validate(s), Error);
+}
+
+TEST(Validate, CatchesCrossDeviceDeadlock) {
+  // Device 1 forwards mb 1 before mb 0 while device 0 forwards mb 0
+  // first; fine. But device 0 waiting on a backward that can never run
+  // deadlocks. Construct: 2 devices, 1 mb; device 0 runs B(0,0) before
+  // F(0,0) is even possible because B(1,0) never happened... simpler:
+  // swap device 0's F and B with a dependency through device 1.
+  Schedule s;
+  s.n_pp = 2;
+  s.n_loop = 1;
+  s.n_mb = 1;
+  s.device_ops = {{{OpKind::kBackward, 0, 0}, {OpKind::kForward, 0, 0}},
+                  {{OpKind::kForward, 1, 0}, {OpKind::kBackward, 1, 0}}};
+  EXPECT_THROW(validate(s), Error);
+}
+
+// ---- Property sweep over the experiment space ----
+
+class ScheduleSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ScheduleSweep, BreadthFirstValid) {
+  const auto [n_pp, n_loop, n_mb] = GetParam();
+  const Schedule s = breadth_first(n_pp, n_loop, n_mb);
+  EXPECT_NO_THROW(validate(s)) << "pp=" << n_pp << " loop=" << n_loop
+                               << " mb=" << n_mb;
+}
+
+TEST_P(ScheduleSweep, DepthFirstValidWhenDivisible) {
+  const auto [n_pp, n_loop, n_mb] = GetParam();
+  if (n_mb % n_pp != 0) GTEST_SKIP();
+  const Schedule s = depth_first(n_pp, n_loop, n_mb);
+  EXPECT_NO_THROW(validate(s)) << "pp=" << n_pp << " loop=" << n_loop
+                               << " mb=" << n_mb;
+}
+
+TEST_P(ScheduleSweep, NonLoopedValid) {
+  const auto [n_pp, n_loop, n_mb] = GetParam();
+  (void)n_loop;
+  EXPECT_NO_THROW(validate(gpipe(n_pp, n_mb)));
+  EXPECT_NO_THROW(validate(one_f_one_b(n_pp, n_mb)));
+}
+
+TEST_P(ScheduleSweep, OpCountsMatchShape) {
+  const auto [n_pp, n_loop, n_mb] = GetParam();
+  const Schedule s = breadth_first(n_pp, n_loop, n_mb);
+  int total = 0;
+  for (const auto& ops : s.device_ops) total += static_cast<int>(ops.size());
+  EXPECT_EQ(total, s.total_ops());
+  EXPECT_EQ(static_cast<int>(s.device_ops[0].size()), s.ops_per_device());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ScheduleSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),   // n_pp
+                       ::testing::Values(1, 2, 4, 8),       // n_loop
+                       ::testing::Values(1, 2, 4, 8, 9, 12, 16, 32)),  // n_mb
+    [](const auto& info) {
+      return "pp" + std::to_string(std::get<0>(info.param)) + "_loop" +
+             std::to_string(std::get<1>(info.param)) + "_mb" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace bfpp::schedule
+
+// Separate suite: the Section 4.2 hybrid conjecture schedule.
+namespace bfpp::schedule {
+namespace {
+
+TEST(Hybrid, ExtremesReproduceTheTwoSchedules) {
+  // seq_len == n_mb -> breadth-first (all micro-batches at once).
+  EXPECT_EQ(hybrid(4, 2, 8, 8).device_ops, breadth_first(4, 2, 8).device_ops);
+}
+
+TEST(Hybrid, RunsSequencesBreadthFirstWithinDepthOrder) {
+  // 2 sequences of 4 over 2 loops: forward runs seq 0 through both local
+  // stages (all 4 mbs each), then seq 1.
+  const Schedule s = hybrid(4, 2, 8, 4);
+  const auto& ops = s.device_ops[0];
+  EXPECT_EQ(ops[0], (Op{OpKind::kForward, 0, 0}));
+  EXPECT_EQ(ops[3], (Op{OpKind::kForward, 0, 3}));
+  EXPECT_EQ(ops[4], (Op{OpKind::kForward, 4, 0}));
+  EXPECT_EQ(ops[8], (Op{OpKind::kForward, 0, 4}));  // sequence 1 starts
+}
+
+TEST(Hybrid, RejectsBadShapes) {
+  EXPECT_THROW(hybrid(4, 2, 8, 2), ConfigError);   // seq_len < n_pp
+  EXPECT_THROW(hybrid(4, 2, 8, 6), ConfigError);   // not divisible by n_pp
+  EXPECT_THROW(hybrid(4, 2, 12, 8), ConfigError);  // n_mb % seq_len != 0
+}
+
+class HybridSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HybridSweep, ValidForAllSequenceLengths) {
+  const auto [n_pp, n_loop, n_mb] = GetParam();
+  for (int seq = n_pp; seq <= n_mb; seq += n_pp) {
+    if (n_mb % seq != 0) continue;
+    EXPECT_NO_THROW(validate(hybrid(n_pp, n_loop, n_mb, seq)))
+        << "seq=" << seq;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HybridSweep,
+    ::testing::Combine(::testing::Values(2, 4), ::testing::Values(1, 2, 4),
+                       ::testing::Values(8, 16, 32)),
+    [](const auto& info) {
+      return "pp" + std::to_string(std::get<0>(info.param)) + "_loop" +
+             std::to_string(std::get<1>(info.param)) + "_mb" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace bfpp::schedule

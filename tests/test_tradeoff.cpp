@@ -1,0 +1,103 @@
+// Tests for the time/cost trade-off extrapolation (Section 5.4).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "tradeoff/tradeoff.h"
+
+namespace bfpp::tradeoff {
+namespace {
+
+TEST(Tradeoff, BaseTrainingLengthMatchesPaper) {
+  // "a base training length of 50,000 times the critical batch size
+  // (347 and 176 billion tokens for the 52B and 6.6B model)".
+  const auto spec52 = model::model_52b();
+  const double tokens52 = 50000.0 * kCriticalBatch52b * spec52.seq_len;
+  EXPECT_NEAR(tokens52, 347e9, 4e9);
+  const double tokens66 = 50000.0 * kCriticalBatch6_6b * 1024.0;
+  EXPECT_NEAR(tokens66, 176e9, 4e9);
+}
+
+TEST(Tradeoff, BatchOverheadFollowsEq7) {
+  // "a batch size of 1024 leads to an overhead of 15% (52B) or 30%
+  // (6.6B)" (footnote 9).
+  EXPECT_NEAR(1024.0 / kCriticalBatch52b, 0.15, 0.01);
+  EXPECT_NEAR(1024.0 / kCriticalBatch6_6b, 0.30, 0.01);
+}
+
+TEST(Tradeoff, ExtrapolationAccounting) {
+  const auto spec = model::model_52b();
+  const auto gpu = hw::v100_sxm2_32gb();
+  const auto p = extrapolate(spec, gpu, {1.0, 0.4}, 4096, kCriticalBatch52b);
+  EXPECT_EQ(p.n_gpus, 4096);
+  EXPECT_DOUBLE_EQ(p.batch, 4096.0);
+  EXPECT_NEAR(p.overhead, 4096.0 / kCriticalBatch52b, 1e-12);
+  EXPECT_DOUBLE_EQ(p.cost_gpu_days, p.time_days * 4096);
+  EXPECT_GT(p.time_days, 0.0);
+}
+
+TEST(Tradeoff, MoreGpusFasterButCostlier) {
+  // The core trade-off (Eq. 8): scaling the cluster at fixed beta cuts
+  // time but adds batch-size overhead, so cost rises.
+  const auto spec = model::model_52b();
+  const auto gpu = hw::v100_sxm2_32gb();
+  const auto small = extrapolate(spec, gpu, {1.0, 0.4}, 1024, kCriticalBatch52b);
+  const auto large =
+      extrapolate(spec, gpu, {1.0, 0.4}, 16384, kCriticalBatch52b);
+  EXPECT_LT(large.time_days, small.time_days);
+  EXPECT_GT(large.cost_gpu_days, small.cost_gpu_days);
+}
+
+TEST(Tradeoff, HigherUtilizationIsStrictlyBetter) {
+  const auto spec = model::model_52b();
+  const auto gpu = hw::v100_sxm2_32gb();
+  const auto lo = extrapolate(spec, gpu, {1.0, 0.3}, 4096, kCriticalBatch52b);
+  const auto hi = extrapolate(spec, gpu, {1.0, 0.45}, 4096, kCriticalBatch52b);
+  EXPECT_LT(hi.time_days, lo.time_days);
+  EXPECT_LT(hi.cost_gpu_days, lo.cost_gpu_days);
+}
+
+TEST(Tradeoff, FrontierPicksSmallBetaOnHugeClusters) {
+  // On a 16384-GPU cluster even beta=1 means B=16k ~ 2.4x B_crit; a
+  // method that is equally efficient at beta=0.25 must be chosen there.
+  const auto spec = model::model_52b();
+  const auto gpu = hw::v100_sxm2_32gb();
+  const std::vector<BetaUtil> curve = {{0.25, 0.40}, {1.0, 0.42}, {8.0, 0.45}};
+  const auto frontier =
+      method_frontier(spec, gpu, curve, {64, 16384}, kCriticalBatch52b);
+  ASSERT_EQ(frontier.size(), 2u);
+  // Tiny cluster: overhead negligible even at beta=8, so the highest
+  // utilization wins (B = 512 << B_crit).
+  EXPECT_DOUBLE_EQ(frontier[0].beta, 8.0);
+  // Huge cluster: the batch overhead dominates; smallest beta wins.
+  EXPECT_DOUBLE_EQ(frontier[1].beta, 0.25);
+}
+
+TEST(Tradeoff, FrontierTimeDecreasesWithClusterSize) {
+  const auto spec = model::model_6_6b();
+  const auto gpu = hw::v100_sxm2_32gb();
+  const std::vector<BetaUtil> curve = {{0.5, 0.35}, {2.0, 0.45}};
+  const auto frontier = method_frontier(spec, gpu, curve,
+                                        paper_cluster_sizes(),
+                                        kCriticalBatch6_6b);
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_LT(frontier[i].time_days, frontier[i - 1].time_days);
+  }
+}
+
+TEST(Tradeoff, RejectsBadInput) {
+  const auto spec = model::model_52b();
+  const auto gpu = hw::v100_sxm2_32gb();
+  EXPECT_THROW(extrapolate(spec, gpu, {0.0, 0.4}, 64, kCriticalBatch52b),
+               Error);
+  EXPECT_THROW(extrapolate(spec, gpu, {1.0, 0.4}, 0, kCriticalBatch52b), Error);
+  EXPECT_THROW(method_frontier(spec, gpu, {}, {64}, kCriticalBatch52b), Error);
+}
+
+TEST(Tradeoff, PaperClusterSizes) {
+  EXPECT_EQ(paper_cluster_sizes(), (std::vector<int>{256, 1024, 4096, 16384}));
+}
+
+}  // namespace
+}  // namespace bfpp::tradeoff
