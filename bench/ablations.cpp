@@ -9,54 +9,57 @@
 //      the overhead is latency/synchronization, not bandwidth).
 #include <cstdio>
 
+#include "api/api.h"
 #include "common/strings.h"
 #include "common/table.h"
-#include "hw/cluster.h"
-#include "model/transformer.h"
-#include "parallel/config.h"
-#include "runtime/pipeline_sim.h"
 
 using namespace bfpp;
-using parallel::DpSharding;
-using parallel::ParallelConfig;
-using parallel::ScheduleKind;
 
 namespace {
 
-ParallelConfig fig5a(ScheduleKind kind, int n_loop, int n_mb) {
-  ParallelConfig cfg;
-  cfg.n_pp = 8;
-  cfg.n_tp = 8;
-  cfg.n_dp = 1;
-  cfg.s_mb = 1;
-  cfg.n_mb = n_mb;
-  cfg.n_loop = n_loop;
-  cfg.schedule = kind;
-  return cfg;
+// The Figure 5a fixed 52B configuration.
+api::ScenarioBuilder fig5a(const char* schedule, int n_loop, int n_mb) {
+  return api::ScenarioBuilder()
+      .model("52b")
+      .cluster("dgx1-v100-ib")
+      .pp(8)
+      .tp(8)
+      .dp(1)
+      .smb(1)
+      .nmb(n_mb)
+      .loop(n_loop)
+      .schedule(schedule);
+}
+
+// The 6.6B configuration of ablations 2 and 3.
+api::ScenarioBuilder cfg66(const char* schedule, int n_loop, int n_mb) {
+  return api::ScenarioBuilder()
+      .model("6.6b")
+      .cluster("dgx1-v100-ib")
+      .pp(4)
+      .tp(2)
+      .dp(8)
+      .smb(1)
+      .nmb(n_mb)
+      .loop(n_loop)
+      .schedule(schedule);
+}
+
+std::string util_cell(const api::Scenario& scenario) {
+  return str_format("%.1f%%", 100.0 * api::run(scenario).result.utilization);
 }
 
 }  // namespace
 
 int main() {
-  const auto spec52 = model::model_52b();
-  const auto spec66 = model::model_6_6b();
-  const auto cluster = hw::dgx1_v100_infiniband();
-
   std::printf("== Ablation 1: pipeline-parallel overlap (52B, BF, N_loop=4) "
               "==\n\n");
   {
     Table t({"N_mb", "overlap on", "overlap off"});
     for (int n_mb : {8, 9, 16, 32}) {
-      auto on = fig5a(ScheduleKind::kBreadthFirst, 4, n_mb);
-      auto off = on;
-      off.overlap_pp = false;
       t.add_row({std::to_string(n_mb),
-                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
-                                                  spec52, on, cluster)
-                                                  .utilization),
-                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
-                                                  spec52, off, cluster)
-                                                  .utilization)});
+                 util_cell(fig5a("bf", 4, n_mb).build()),
+                 util_cell(fig5a("bf", 4, n_mb).overlap(true, false).build())});
     }
     std::printf("%s\n", t.to_string().c_str());
   }
@@ -66,23 +69,9 @@ int main() {
   {
     Table t({"N_mb", "overlap on", "overlap off"});
     for (int n_mb : {8, 16, 32, 64}) {
-      ParallelConfig on;
-      on.n_pp = 4;
-      on.n_tp = 2;
-      on.n_dp = 8;
-      on.s_mb = 1;
-      on.n_mb = n_mb;
-      on.n_loop = 4;
-      on.schedule = ScheduleKind::kBreadthFirst;
-      auto off = on;
-      off.overlap_dp = false;
       t.add_row({std::to_string(n_mb),
-                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
-                                                  spec66, on, cluster)
-                                                  .utilization),
-                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
-                                                  spec66, off, cluster)
-                                                  .utilization)});
+                 util_cell(cfg66("bf", 4, n_mb).build()),
+                 util_cell(cfg66("bf", 4, n_mb).overlap(false, true).build())});
     }
     std::printf("%s\n", t.to_string().c_str());
   }
@@ -92,25 +81,9 @@ int main() {
   {
     Table t({"N_mb", "BF util (per-stage FS ops)", "1F1B util (per-mb FS ops)"});
     for (int n_mb : {4, 8, 16, 32}) {
-      ParallelConfig bf;
-      bf.n_pp = 4;
-      bf.n_tp = 2;
-      bf.n_dp = 8;
-      bf.s_mb = 1;
-      bf.n_mb = n_mb;
-      bf.n_loop = 4;
-      bf.schedule = ScheduleKind::kBreadthFirst;
-      bf.sharding = DpSharding::kFull;
-      auto fb = bf;
-      fb.schedule = ScheduleKind::kOneFOneB;
-      fb.n_loop = 1;
       t.add_row({std::to_string(n_mb),
-                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
-                                                  spec66, bf, cluster)
-                                                  .utilization),
-                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
-                                                  spec66, fb, cluster)
-                                                  .utilization)});
+                 util_cell(cfg66("bf", 4, n_mb).sharding("fs").build()),
+                 util_cell(cfg66("1f1b", 1, n_mb).sharding("fs").build())});
     }
     std::printf("%s\n", t.to_string().c_str());
   }
@@ -120,19 +93,14 @@ int main() {
   {
     Table t({"blocking p2p overhead", "DF utilization", "BF utilization"});
     for (double overhead_us : {0.0, 150.0, 500.0, 1500.0, 3000.0}) {
-      hw::ClusterSpec custom = cluster;
+      hw::ClusterSpec custom = api::lookup_cluster("dgx1-v100-ib");
       custom.inter_node.blocking_p2p_overhead = overhead_us * 1e-6;
       custom.intra_node.blocking_p2p_overhead = overhead_us * 1e-6 / 4.0;
-      auto df = parallel::with_megatron_flags(
-          fig5a(ScheduleKind::kDepthFirst, 8, 64));
-      auto bf = fig5a(ScheduleKind::kBreadthFirst, 8, 64);
-      t.add_row({str_format("%.0f us", overhead_us),
-                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
-                                                  spec52, df, custom)
-                                                  .utilization),
-                 str_format("%.1f%%", 100.0 * runtime::simulate_batch(
-                                                  spec52, bf, custom)
-                                                  .utilization)});
+      t.add_row(
+          {str_format("%.0f us", overhead_us),
+           util_cell(
+               fig5a("df", 8, 64).cluster(custom).megatron().build()),
+           util_cell(fig5a("bf", 8, 64).cluster(custom).build())});
     }
     std::printf("%s\n", t.to_string().c_str());
   }

@@ -6,18 +6,27 @@
 #include <cstdio>
 #include <vector>
 
-#include "autotune/autotune.h"
+#include "api/api.h"
 #include "common/strings.h"
 #include "common/table.h"
-#include "hw/cluster.h"
-#include "model/transformer.h"
 #include "tradeoff/tradeoff.h"
 
 using namespace bfpp;
 
+namespace {
+
+api::Scenario search_scenario(const hw::ClusterSpec& cluster, int batch) {
+  return api::ScenarioBuilder()
+      .model("52b")
+      .cluster(cluster)
+      .batch(batch)
+      .build();
+}
+
+}  // namespace
+
 int main() {
-  const auto spec = model::model_52b();
-  const auto cluster = hw::dgx1_v100_infiniband();
+  const auto cluster = api::lookup_cluster("dgx1-v100-ib");
   const int n_gpus = 4096;
 
   std::printf("== Figure 1: 52B model on 4096 V100s ==\n\n");
@@ -38,12 +47,13 @@ int main() {
     double best_mem = 0.0;
     double best_util = 0.0;
     for (int batch : autotune::paper_batch_sizes_52b()) {
-      const auto r = find_best(spec, cluster, row.method, batch);
-      if (!r.best) continue;
-      curve.push_back({static_cast<double>(batch) / 64.0,
-                       r.best->result.utilization});
+      const auto report = api::search(search_scenario(cluster, batch),
+                                      row.method);
+      if (!report.found) continue;
+      curve.push_back({report.beta(), report.result.utilization});
     }
     if (curve.empty()) continue;
+    const auto spec = api::lookup_model("52b");
     const auto frontier = tradeoff::method_frontier(
         spec, cluster.gpu, curve, {n_gpus}, tradeoff::kCriticalBatch52b);
     const auto& p = frontier.front();
@@ -52,10 +62,11 @@ int main() {
     // available even at small beta; search a 512-GPU cluster at the
     // chosen beta and report the most frugal near-optimal variant's
     // at-scale footprint (the Figure 1b bar).
-    const auto big = hw::dgx1_v100_infiniband(64);
+    const auto big = api::lookup_cluster("dgx1-v100-ib:64");
     const int batch512 =
         std::max(1, static_cast<int>(p.beta * big.total_gpus() + 0.5));
-    const auto chosen = find_best(spec, big, row.method, batch512);
+    const auto chosen =
+        api::search(search_scenario(big, batch512), row.method);
     if (chosen.frugal) {
       best_mem = chosen.frugal->memory_min.total();
       best_util = chosen.frugal->result.utilization;

@@ -6,12 +6,8 @@
 // "looped schedules run significantly faster" claim is checkable.
 #include <cstdio>
 
+#include "api/api.h"
 #include "common/strings.h"
-#include "hw/cluster.h"
-#include "model/transformer.h"
-#include "parallel/config.h"
-#include "runtime/pipeline_sim.h"
-#include "sim/gantt.h"
 
 using namespace bfpp;
 
@@ -27,29 +23,29 @@ model::TransformerSpec figure_model() {
   return spec;
 }
 
-double emit(const char* title, parallel::ScheduleKind kind, int n_loop,
+double emit(const char* title, const char* schedule, int n_loop,
             bool megatron) {
-  parallel::ParallelConfig cfg;
-  cfg.n_pp = 4;
-  cfg.n_tp = 1;
-  cfg.n_dp = 16;
-  cfg.s_mb = 1;
-  cfg.n_mb = 8;
-  cfg.n_loop = n_loop;
-  cfg.schedule = kind;
-  if (megatron) cfg = parallel::with_megatron_flags(cfg);
-  runtime::PipelineSim sim(figure_model(), cfg, hw::dgx1_v100_infiniband());
-  const auto result = sim.run();
-  std::printf("%s (batch time %s, utilization %.1f%%)\n", title,
-              format_time(result.batch_time).c_str(),
-              100.0 * result.utilization);
+  const auto scenario = api::ScenarioBuilder()
+                            .model(figure_model())
+                            .cluster("dgx1-v100-ib")
+                            .pp(4)
+                            .tp(1)
+                            .dp(16)
+                            .smb(1)
+                            .nmb(8)
+                            .loop(n_loop)
+                            .schedule(schedule)
+                            .megatron(megatron)
+                            .build();
   sim::GanttOptions opt;
   opt.width = 104;
   opt.show_legend = false;
-  std::printf("%s\n", sim::render_gantt(sim.graph(), sim.result(),
-                                        sim.display_streams(), opt)
-                          .c_str());
-  return result.batch_time;
+  const auto timeline = api::run_with_timeline(scenario, opt);
+  std::printf("%s (batch time %s, utilization %.1f%%)\n", title,
+              format_time(timeline.report.result.batch_time).c_str(),
+              100.0 * timeline.report.result.utilization);
+  std::printf("%s\n", timeline.gantt.c_str());
+  return timeline.report.result.batch_time;
 }
 
 }  // namespace
@@ -60,17 +56,14 @@ int main() {
               "legend: 0-9 forward(mb)  a-h backward(mb)  G grad-reduce  "
               "S optimizer  . idle\n\n");
   const double t_gpipe =
-      emit("(a) Non-looped, GPipe schedule (ours)",
-           parallel::ScheduleKind::kGpipe, 1, false);
+      emit("(a) Non-looped, GPipe schedule (ours)", "gpipe", 1, false);
   const double t_1f1b =
-      emit("(b) Non-looped, 1F1B schedule (Megatron-LM)",
-           parallel::ScheduleKind::kOneFOneB, 1, true);
-  const double t_df =
-      emit("(c) Looped, depth-first schedule (Megatron-LM, N_loop = 4)",
-           parallel::ScheduleKind::kDepthFirst, 4, true);
-  const double t_bf =
-      emit("(d) Looped, breadth-first schedule (ours, N_loop = 4)",
-           parallel::ScheduleKind::kBreadthFirst, 4, false);
+      emit("(b) Non-looped, 1F1B schedule (Megatron-LM)", "1f1b", 1, true);
+  const double t_df = emit(
+      "(c) Looped, depth-first schedule (Megatron-LM, N_loop = 4)", "df", 4,
+      true);
+  const double t_bf = emit(
+      "(d) Looped, breadth-first schedule (ours, N_loop = 4)", "bf", 4, false);
   std::printf("Paper check: looped faster than non-looped, breadth-first "
               "fastest.\n  BF %.0f ms < DF %.0f ms;  BF < GPipe %.0f ms; "
               "1F1B %.0f ms ~ GPipe.\n",

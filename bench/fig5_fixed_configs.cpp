@@ -6,62 +6,56 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/error.h"
+#include "api/api.h"
 #include "common/strings.h"
 #include "common/table.h"
-#include "hw/cluster.h"
-#include "model/transformer.h"
-#include "parallel/config.h"
-#include "runtime/pipeline_sim.h"
 
 using namespace bfpp;
 
 namespace {
 
-std::string cell(const model::TransformerSpec& spec,
-                 const parallel::ParallelConfig& cfg) {
-  try {
-    const auto r =
-        runtime::simulate_batch(spec, cfg, hw::dgx1_v100_infiniband());
-    return str_format("%5.1f%%", 100.0 * r.utilization);
-  } catch (const Error&) {
-    return "  oom";
-  }
+std::string cell(const std::optional<api::Scenario>& scenario) {
+  if (!scenario) return "n/a";
+  const auto report = api::try_run(*scenario);
+  if (!report) return "  oom";
+  return str_format("%5.1f%%", 100.0 * report->result.utilization);
 }
 
-void emit(const char* title, const model::TransformerSpec& spec, int n_pp,
-          int n_tp, int n_dp, const std::vector<int>& batches) {
+api::ScenarioBuilder base(const std::string& model, int n_pp, int n_tp,
+                          int n_dp, int n_mb) {
+  return api::ScenarioBuilder()
+      .model(model)
+      .cluster("dgx1-v100-ib")
+      .pp(n_pp)
+      .tp(n_tp)
+      .dp(n_dp)
+      .smb(1)
+      .nmb(n_mb);
+}
+
+void emit(const char* title, const std::string& model, int n_pp, int n_tp,
+          int n_dp, const std::vector<int>& batches) {
   std::printf("%s\n", title);
   Table t({"B", "beta", "Breadth-first", "Depth-first", "GPipe", "1F1B"});
   for (int batch : batches) {
     const int n_mb = batch / n_dp;
     if (n_mb < n_pp) continue;
-    parallel::ParallelConfig base;
-    base.n_pp = n_pp;
-    base.n_tp = n_tp;
-    base.n_dp = n_dp;
-    base.s_mb = 1;
-    base.n_mb = n_mb;
-
-    auto bf = base;
-    bf.schedule = parallel::ScheduleKind::kBreadthFirst;
-    bf.n_loop = 4;
-    auto df = base;
-    df.schedule = parallel::ScheduleKind::kDepthFirst;
-    df.n_loop = 4;
-    df = parallel::with_megatron_flags(df);
-    auto gp = base;
-    gp.schedule = parallel::ScheduleKind::kGpipe;
-    auto fb = base;
-    fb.schedule = parallel::ScheduleKind::kOneFOneB;
-    fb = parallel::with_megatron_flags(fb);
-
+    auto scenario = [&](const char* schedule, int n_loop, bool megatron)
+        -> std::optional<api::Scenario> {
+      if (n_loop > 1 && std::string(schedule) == "df" && n_mb % n_pp != 0) {
+        return std::nullopt;  // depth-first needs N_mb divisible by N_PP
+      }
+      return base(model, n_pp, n_tp, n_dp, n_mb)
+          .schedule(schedule)
+          .loop(n_loop)
+          .megatron(megatron)
+          .build();
+    };
     const double beta = static_cast<double>(batch) / 64.0;
-    std::vector<std::string> row = {std::to_string(batch),
-                                    format_number(beta, 3), cell(spec, bf),
-                                    (n_mb % n_pp == 0) ? cell(spec, df) : "n/a",
-                                    cell(spec, gp), cell(spec, fb)};
-    t.add_row(std::move(row));
+    t.add_row({std::to_string(batch), format_number(beta, 3),
+               cell(scenario("bf", 4, false)), cell(scenario("df", 4, true)),
+               cell(scenario("gpipe", 1, false)),
+               cell(scenario("1f1b", 1, true))});
   }
   std::printf("%s\n", t.to_string().c_str());
 }
@@ -71,10 +65,10 @@ void emit(const char* title, const model::TransformerSpec& spec, int n_pp,
 int main() {
   std::printf("== Figure 5: utilization vs batch size per GPU, fixed "
               "configurations (S_mb = 1, N_loop = 4) ==\n\n");
-  emit("(a) 52B model (N_PP = N_TP = 8, N_DP = 1):", model::model_52b(), 8, 8,
-       1, {8, 16, 24, 32, 48, 64, 96, 128});
-  emit("(b) 6.6B model (N_PP = 4, N_TP = 2, N_DP = 8):", model::model_6_6b(),
-       4, 2, 8, {32, 64, 96, 128, 192, 256, 384, 512});
+  emit("(a) 52B model (N_PP = N_TP = 8, N_DP = 1):", "52b", 8, 8, 1,
+       {8, 16, 24, 32, 48, 64, 96, 128});
+  emit("(b) 6.6B model (N_PP = 4, N_TP = 2, N_DP = 8):", "6.6b", 4, 2, 8,
+       {32, 64, 96, 128, 192, 256, 384, 512});
   std::printf(
       "Paper checks: at small B the breadth-first schedule is by far the\n"
       "most efficient; depth-first trails the non-looped schedules for\n"

@@ -4,18 +4,35 @@
 // at B = 16 and B = 64. N_loop = 1 corresponds to GPipe and 1F1B.
 #include <cstdio>
 
+#include "api/api.h"
 #include "common/strings.h"
 #include "common/table.h"
-#include "hw/cluster.h"
-#include "model/transformer.h"
-#include "parallel/config.h"
-#include "runtime/pipeline_sim.h"
 
 using namespace bfpp;
 
+namespace {
+
+double utilization(int n_mb, int n_loop, bool depth_first) {
+  const auto scenario =
+      api::ScenarioBuilder()
+          .model("52b")
+          .cluster("dgx1-v100-ib")
+          .pp(8)
+          .tp(8)
+          .dp(1)
+          .smb(1)
+          .nmb(n_mb)
+          .loop(n_loop)
+          .schedule(n_loop == 1 ? (depth_first ? "1f1b" : "gpipe")
+                                : (depth_first ? "df" : "bf"))
+          .megatron(depth_first)
+          .build();
+  return api::run(scenario).result.utilization;
+}
+
+}  // namespace
+
 int main() {
-  const auto spec = model::model_52b();
-  const auto cluster = hw::dgx1_v100_infiniband();
   std::printf("== Figure 6: utilization vs stages per device (52B, "
               "N_PP = N_TP = 8, S_mb = 1) ==\n\n");
   for (int batch : {16, 64}) {
@@ -23,26 +40,12 @@ int main() {
     Table t({"N_loop", "Breadth-first", "Depth-first"});
     double df1 = 0.0, df8 = 0.0;
     for (int n_loop : {1, 2, 4, 8}) {
-      parallel::ParallelConfig bf;
-      bf.n_pp = 8;
-      bf.n_tp = 8;
-      bf.n_dp = 1;
-      bf.s_mb = 1;
-      bf.n_mb = batch;
-      bf.n_loop = n_loop;
-      bf.schedule = n_loop == 1 ? parallel::ScheduleKind::kGpipe
-                                : parallel::ScheduleKind::kBreadthFirst;
-      auto df = bf;
-      df.schedule = n_loop == 1 ? parallel::ScheduleKind::kOneFOneB
-                                : parallel::ScheduleKind::kDepthFirst;
-      df = parallel::with_megatron_flags(df);
-      const auto rb = runtime::simulate_batch(spec, bf, cluster);
-      const auto rd = runtime::simulate_batch(spec, df, cluster);
-      if (n_loop == 1) df1 = rd.utilization;
-      if (n_loop == 8) df8 = rd.utilization;
-      t.add_row({std::to_string(n_loop),
-                 str_format("%5.1f%%", 100.0 * rb.utilization),
-                 str_format("%5.1f%%", 100.0 * rd.utilization)});
+      const double bf = utilization(batch, n_loop, false);
+      const double df = utilization(batch, n_loop, true);
+      if (n_loop == 1) df1 = df;
+      if (n_loop == 8) df8 = df;
+      t.add_row({std::to_string(n_loop), str_format("%5.1f%%", 100.0 * bf),
+                 str_format("%5.1f%%", 100.0 * df)});
     }
     std::printf("%s", t.to_string().c_str());
     if (batch == 64) {

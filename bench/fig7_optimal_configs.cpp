@@ -5,37 +5,36 @@
 #include <cstdio>
 #include <vector>
 
-#include "autotune/autotune.h"
+#include "api/api.h"
 #include "common/strings.h"
 #include "common/table.h"
-#include "hw/cluster.h"
-#include "model/transformer.h"
 
 using namespace bfpp;
 
 namespace {
 
-std::string cell(const autotune::SearchResult& r) {
-  if (!r.best) return "   - ";
-  return str_format("%5.1f%%", 100.0 * r.best->result.utilization);
+std::string cell(const api::Report& report) {
+  if (!report.found) return "   - ";
+  return str_format("%5.1f%%", 100.0 * report.result.utilization);
 }
 
-void emit(const char* title, const model::TransformerSpec& spec,
-          const hw::ClusterSpec& cluster, const std::vector<int>& batches) {
+void emit(const char* title, const std::string& model,
+          const std::string& cluster, const std::vector<int>& batches) {
   std::printf("%s\n", title);
   Table t({"B", "beta", "Breadth-first (ours)", "Depth-first (Megatron)",
            "Non-looped (GPipe/1F1B)", "No pipeline (sharded)"});
   for (int batch : batches) {
-    const double beta = static_cast<double>(batch) / cluster.total_gpus();
-    t.add_row({std::to_string(batch), format_number(beta, 3),
-               cell(find_best(spec, cluster, autotune::Method::kBreadthFirst,
-                              batch)),
-               cell(find_best(spec, cluster, autotune::Method::kDepthFirst,
-                              batch)),
-               cell(find_best(spec, cluster, autotune::Method::kNonLooped,
-                              batch)),
-               cell(find_best(spec, cluster, autotune::Method::kNoPipeline,
-                              batch))});
+    const auto scenario = api::ScenarioBuilder()
+                              .model(model)
+                              .cluster(cluster)
+                              .batch(batch)
+                              .build();
+    std::vector<std::string> row = {std::to_string(batch),
+                                    format_number(scenario.beta(), 3)};
+    for (autotune::Method method : autotune::all_methods()) {
+      row.push_back(cell(api::search(scenario, method)));
+    }
+    t.add_row(std::move(row));
   }
   std::printf("%s\n", t.to_string().c_str());
 }
@@ -45,12 +44,12 @@ void emit(const char* title, const model::TransformerSpec& spec,
 int main() {
   std::printf("== Figure 7: best utilization per method after config grid "
               "search (64 V100s) ==\n\n");
-  emit("(a) 52B model, InfiniBand:", model::model_52b(),
-       hw::dgx1_v100_infiniband(), autotune::paper_batch_sizes_52b());
-  emit("(b) 6.6B model, InfiniBand:", model::model_6_6b(),
-       hw::dgx1_v100_infiniband(), autotune::paper_batch_sizes_6_6b());
-  emit("(c) 6.6B model, Ethernet:", model::model_6_6b(),
-       hw::dgx1_v100_ethernet(), {64, 96, 128, 192, 256, 384, 512});
+  emit("(a) 52B model, InfiniBand:", "52b", "dgx1-v100-ib",
+       autotune::paper_batch_sizes_52b());
+  emit("(b) 6.6B model, InfiniBand:", "6.6b", "dgx1-v100-ib",
+       autotune::paper_batch_sizes_6_6b());
+  emit("(c) 6.6B model, Ethernet:", "6.6b", "dgx1-v100-eth",
+       {64, 96, 128, 192, 256, 384, 512});
   std::printf(
       "Paper checks: (a) breadth-first fastest at all but the largest\n"
       "batches, with the largest margin near beta_min; the no-pipeline\n"

@@ -5,44 +5,47 @@
 #include <cstdio>
 #include <vector>
 
-#include "autotune/autotune.h"
+#include "api/api.h"
 #include "common/strings.h"
 #include "common/table.h"
-#include "hw/cluster.h"
-#include "model/transformer.h"
 #include "tradeoff/tradeoff.h"
 
 using namespace bfpp;
 
 namespace {
 
-std::vector<tradeoff::BetaUtil> measure_curve(
-    const model::TransformerSpec& spec, const hw::ClusterSpec& cluster,
-    autotune::Method method, const std::vector<int>& batches) {
+std::vector<tradeoff::BetaUtil> measure_curve(const std::string& model,
+                                              const std::string& cluster,
+                                              autotune::Method method,
+                                              const std::vector<int>& batches) {
   std::vector<tradeoff::BetaUtil> curve;
   for (int batch : batches) {
-    const auto r = find_best(spec, cluster, method, batch);
-    if (r.best) {
-      curve.push_back({static_cast<double>(batch) / cluster.total_gpus(),
-                       r.best->result.utilization});
+    const auto report = api::search(api::ScenarioBuilder()
+                                        .model(model)
+                                        .cluster(cluster)
+                                        .batch(batch)
+                                        .build(),
+                                    method);
+    if (report.found) {
+      curve.push_back({report.beta(), report.result.utilization});
     }
   }
   return curve;
 }
 
-void emit(const char* title, const model::TransformerSpec& spec,
-          const hw::ClusterSpec& cluster, const std::vector<int>& batches,
+void emit(const char* title, const std::string& model,
+          const std::string& cluster, const std::vector<int>& batches,
           double b_crit) {
   std::printf("%s\n", title);
+  const auto spec = api::lookup_model(model);
+  const auto gpu = api::lookup_cluster(cluster).gpu;
   Table t({"Method", "N_GPU", "beta", "Time (days)", "Cost (kGPU-days)",
            "Batch overhead"});
-  for (autotune::Method method :
-       {autotune::Method::kBreadthFirst, autotune::Method::kDepthFirst,
-        autotune::Method::kNonLooped, autotune::Method::kNoPipeline}) {
-    const auto curve = measure_curve(spec, cluster, method, batches);
+  for (autotune::Method method : autotune::all_methods()) {
+    const auto curve = measure_curve(model, cluster, method, batches);
     if (curve.empty()) continue;
     const auto frontier = tradeoff::method_frontier(
-        spec, cluster.gpu, curve, tradeoff::paper_cluster_sizes(), b_crit);
+        spec, gpu, curve, tradeoff::paper_cluster_sizes(), b_crit);
     for (const auto& p : frontier) {
       t.add_row({autotune::to_string(method), std::to_string(p.n_gpus),
                  format_number(p.beta, 3), str_format("%.1f", p.time_days),
@@ -58,15 +61,12 @@ void emit(const char* title, const model::TransformerSpec& spec,
 
 int main() {
   std::printf("== Figure 8: training cost vs time extrapolation ==\n\n");
-  emit("(a) 52B model (B_crit ~ 6780):", model::model_52b(),
-       hw::dgx1_v100_infiniband(), autotune::paper_batch_sizes_52b(),
-       tradeoff::kCriticalBatch52b);
-  emit("(b) 6.6B model (B_crit ~ 3430):", model::model_6_6b(),
-       hw::dgx1_v100_infiniband(), autotune::paper_batch_sizes_6_6b(),
-       tradeoff::kCriticalBatch6_6b);
-  emit("(c) 6.6B model, Ethernet:", model::model_6_6b(),
-       hw::dgx1_v100_ethernet(), {64, 96, 128, 192, 256, 384, 512},
-       tradeoff::kCriticalBatch6_6b);
+  emit("(a) 52B model (B_crit ~ 6780):", "52b", "dgx1-v100-ib",
+       autotune::paper_batch_sizes_52b(), tradeoff::kCriticalBatch52b);
+  emit("(b) 6.6B model (B_crit ~ 3430):", "6.6b", "dgx1-v100-ib",
+       autotune::paper_batch_sizes_6_6b(), tradeoff::kCriticalBatch6_6b);
+  emit("(c) 6.6B model, Ethernet:", "6.6b", "dgx1-v100-eth",
+       {64, 96, 128, 192, 256, 384, 512}, tradeoff::kCriticalBatch6_6b);
   std::printf(
       "Paper checks: breadth-first shows cost and time improvements at\n"
       "nearly all scales for the 52B model; on bigger clusters every\n"

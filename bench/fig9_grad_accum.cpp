@@ -3,42 +3,40 @@
 // Rows show the compute stream and the data-parallel network stream;
 // with DP_FS the depth-first order repeats the weight reconstruction (W)
 // for every micro-batch while breadth-first aggregates per layer group.
+// The DP_FS variants are also registry presets ("fig9-bf-fs" /
+// "fig9-df-fs"), runnable from the bfpp CLI.
 #include <cstdio>
 
+#include "api/api.h"
 #include "common/strings.h"
-#include "hw/cluster.h"
-#include "model/transformer.h"
-#include "parallel/config.h"
-#include "runtime/pipeline_sim.h"
-#include "sim/gantt.h"
 
 using namespace bfpp;
 
 namespace {
 
-double emit(const char* title, parallel::ScheduleKind kind,
-            parallel::DpSharding sharding) {
-  model::TransformerSpec spec = model::model_6_6b();
-  parallel::ParallelConfig cfg;
-  cfg.n_pp = 1;
-  cfg.n_tp = 8;
-  cfg.n_dp = 8;
-  cfg.s_mb = 2;
-  cfg.n_mb = 4;
-  cfg.n_loop = 4;  // four layer-group stages, as the figure draws
-  cfg.schedule = kind;
-  cfg.sharding = sharding;
-  runtime::PipelineSim sim(spec, cfg, hw::dgx1_v100_infiniband());
-  const auto result = sim.run();
-  std::printf("%s (batch time %s)\n", title,
-              format_time(result.batch_time).c_str());
+double emit(const char* title, const char* schedule, const char* sharding) {
+  // The Figure 9 setup: 6.6B, one pipeline device with four layer-group
+  // stages, N_TP = 8, N_DP = 8, 4 micro-batches of 2 samples.
+  const auto scenario = api::ScenarioBuilder()
+                            .model("6.6b")
+                            .cluster("dgx1-v100-ib")
+                            .pp(1)
+                            .tp(8)
+                            .dp(8)
+                            .smb(2)
+                            .nmb(4)
+                            .loop(4)
+                            .schedule(schedule)
+                            .sharding(sharding)
+                            .build();
   sim::GanttOptions opt;
   opt.width = 104;
   opt.show_legend = false;
-  std::printf("%s\n", sim::render_gantt(sim.graph(), sim.result(),
-                                        sim.display_streams(), opt)
-                          .c_str());
-  return result.batch_time;
+  const auto timeline = api::run_with_timeline(scenario, opt);
+  std::printf("%s (batch time %s)\n", title,
+              format_time(timeline.report.result.batch_time).c_str());
+  std::printf("%s\n", timeline.gantt.c_str());
+  return timeline.report.result.batch_time;
 }
 
 }  // namespace
@@ -48,18 +46,10 @@ int main() {
               "4 micro-batches, N_DP = 8) ==\n"
               "legend: 0-9 forward(mb)  a-d backward(mb)  G grad-reduce  "
               "W weight-gather  S optimizer  . idle\n\n");
-  const double a = emit("(a) Depth-first (DP_0)",
-                        parallel::ScheduleKind::kDepthFirst,
-                        parallel::DpSharding::kNone);
-  const double b = emit("(b) Depth-first (DP_FS)",
-                        parallel::ScheduleKind::kDepthFirst,
-                        parallel::DpSharding::kFull);
-  const double c = emit("(c) Breadth-first (DP_0)",
-                        parallel::ScheduleKind::kBreadthFirst,
-                        parallel::DpSharding::kNone);
-  const double d = emit("(d) Breadth-first (DP_FS)",
-                        parallel::ScheduleKind::kBreadthFirst,
-                        parallel::DpSharding::kFull);
+  const double a = emit("(a) Depth-first (DP_0)", "df", "none");
+  const double b = emit("(b) Depth-first (DP_FS)", "df", "fs");
+  const double c = emit("(c) Breadth-first (DP_0)", "bf", "none");
+  const double d = emit("(d) Breadth-first (DP_FS)", "bf", "fs");
   std::printf("Paper checks: the depth-first DP_FS schedule repeats the\n"
               "network operations per micro-batch ((b) slowest: %.0f ms);\n"
               "breadth-first overlaps the reduction with most of the\n"

@@ -1,14 +1,11 @@
 // google-benchmark microbenchmarks of the library's own hot paths:
 // schedule generation, schedule validation, task-graph simulation and a
-// full autotuner probe. These measure the reproduction tooling itself
-// (the figure/table benches above measure the *simulated* system).
+// full autotuner probe - all driven through the bfpp::api layer the
+// benches use. These measure the reproduction tooling itself (the
+// figure/table benches above measure the *simulated* system).
 #include <benchmark/benchmark.h>
 
-#include "autotune/autotune.h"
-#include "hw/cluster.h"
-#include "model/transformer.h"
-#include "parallel/config.h"
-#include "runtime/pipeline_sim.h"
+#include "api/api.h"
 #include "schedule/schedule.h"
 
 using namespace bfpp;
@@ -32,33 +29,50 @@ void BM_DepthFirstGeneration(benchmark::State& state) {
 BENCHMARK(BM_DepthFirstGeneration)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_ScheduleValidation(benchmark::State& state) {
-  const auto sched = schedule::breadth_first(8, 8, static_cast<int>(state.range(0)));
+  const auto sched =
+      schedule::breadth_first(8, 8, static_cast<int>(state.range(0)));
   for (auto _ : state) {
     schedule::validate(sched);
   }
 }
 BENCHMARK(BM_ScheduleValidation)->Arg(16)->Arg(64);
 
-void BM_PipelineSimulation(benchmark::State& state) {
-  const auto spec = model::model_52b();
-  const auto cluster = hw::dgx1_v100_infiniband();
-  parallel::ParallelConfig cfg;
-  cfg.n_pp = 8;
-  cfg.n_tp = 8;
-  cfg.n_dp = 1;
-  cfg.s_mb = 1;
-  cfg.n_mb = static_cast<int>(state.range(0));
-  cfg.n_loop = 4;
-  cfg.schedule = parallel::ScheduleKind::kBreadthFirst;
+void BM_ScenarioBuild(benchmark::State& state) {
   for (auto _ : state) {
-    benchmark::DoNotOptimize(runtime::simulate_batch(spec, cfg, cluster));
+    benchmark::DoNotOptimize(api::ScenarioBuilder()
+                                 .model("52b")
+                                 .cluster("dgx1-v100-ib")
+                                 .pp(8)
+                                 .tp(8)
+                                 .nmb(16)
+                                 .schedule("bf")
+                                 .loop(4)
+                                 .build());
+  }
+}
+BENCHMARK(BM_ScenarioBuild);
+
+void BM_PipelineSimulation(benchmark::State& state) {
+  const auto scenario = api::ScenarioBuilder()
+                            .model("52b")
+                            .cluster("dgx1-v100-ib")
+                            .pp(8)
+                            .tp(8)
+                            .dp(1)
+                            .smb(1)
+                            .nmb(static_cast<int>(state.range(0)))
+                            .loop(4)
+                            .schedule("bf")
+                            .build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(api::run(scenario));
   }
 }
 BENCHMARK(BM_PipelineSimulation)->Arg(16)->Arg(64)->Arg(128);
 
 void BM_AutotuneEnumeration(benchmark::State& state) {
-  const auto spec = model::model_52b();
-  const auto cluster = hw::dgx1_v100_infiniband();
+  const auto spec = api::lookup_model("52b");
+  const auto cluster = api::lookup_cluster("dgx1-v100-ib");
   for (auto _ : state) {
     benchmark::DoNotOptimize(enumerate_configs(
         spec, cluster, autotune::Method::kBreadthFirst, 64));
@@ -67,11 +81,14 @@ void BM_AutotuneEnumeration(benchmark::State& state) {
 BENCHMARK(BM_AutotuneEnumeration);
 
 void BM_AutotuneSearch(benchmark::State& state) {
-  const auto spec = model::model_6_6b();
-  const auto cluster = hw::dgx1_v100_infiniband();
+  const auto scenario = api::ScenarioBuilder()
+                            .model("6.6b")
+                            .cluster("dgx1-v100-ib")
+                            .batch(64)
+                            .build();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        find_best(spec, cluster, autotune::Method::kDepthFirst, 64));
+        api::search(scenario, autotune::Method::kDepthFirst));
   }
 }
 BENCHMARK(BM_AutotuneSearch)->Unit(benchmark::kMillisecond);

@@ -3,27 +3,30 @@
 // memory (Eq. 17) for GPT-3 and the 1T model at N_TP = 8, N_PP = 4.
 #include <cstdio>
 
+#include "api/api.h"
 #include "common/strings.h"
 #include "common/table.h"
-#include "memmodel/memory.h"
-#include "model/transformer.h"
 
 using namespace bfpp;
 
 namespace {
 
-parallel::ParallelConfig base_config(parallel::DpSharding sharding,
-                                     int n_loop) {
-  parallel::ParallelConfig cfg;
-  cfg.n_dp = 8;
-  cfg.n_tp = 8;
-  cfg.n_pp = 4;
-  cfg.s_mb = 1;
-  cfg.n_mb = 4;  // beta_min operating point of the appendix examples
-  cfg.n_loop = n_loop;
-  cfg.schedule = parallel::ScheduleKind::kBreadthFirst;
-  cfg.sharding = sharding;
-  return cfg;
+// The appendix operating point: N_DP = 8, N_TP = 8, N_PP = 4 at
+// beta_min, on a 256-GPU A100 cluster (32 nodes).
+api::Report estimate(const std::string& model, const char* sharding,
+                     int n_loop) {
+  return api::estimate_memory(api::ScenarioBuilder()
+                                  .model(model)
+                                  .cluster("dgx-a100-ib:32")
+                                  .pp(4)
+                                  .tp(8)
+                                  .dp(8)
+                                  .smb(1)
+                                  .nmb(4)
+                                  .loop(n_loop)
+                                  .schedule("bf")
+                                  .sharding(sharding)
+                                  .build());
 }
 
 }  // namespace
@@ -35,39 +38,29 @@ int main() {
            "Checkpoints", "Paper value"});
   struct Row {
     const char* model;
-    parallel::DpSharding sharding;
+    const char* sharding;
     int n_loop;
     const char* paper;
   };
   const Row rows[] = {
-      {"GPT-3", parallel::DpSharding::kNone, 1, "~44-73 GB (needs N_PP>=8)"},
-      {"GPT-3", parallel::DpSharding::kPartial, 1, "10 or 20 GB"},
-      {"1T", parallel::DpSharding::kFull, 32, "~7 GB"},
+      {"gpt3", "none", 1, "~44-73 GB (needs N_PP>=8)"},
+      {"gpt3", "ps", 1, "10 or 20 GB"},
+      {"1t", "fs", 32, "~7 GB"},
   };
   for (const Row& row : rows) {
-    const auto spec =
-        row.model == std::string("GPT-3") ? model::model_gpt3() : model::model_1t();
-    const auto cfg = base_config(row.sharding, row.n_loop);
-    const auto est = memmodel::estimate(spec, cfg, /*at_scale=*/true);
-    t.add_row({row.model, parallel::to_string(row.sharding),
-               format_bytes(est.state_bytes + est.buffer_bytes),
-               format_bytes(est.activation_bytes),
-               format_bytes(est.checkpoint_bytes), row.paper});
+    const auto report = estimate(row.model, row.sharding, row.n_loop);
+    const auto& min = report.memory_min;
+    t.add_row({report.model, parallel::to_string(report.config.sharding),
+               format_bytes(min.state_bytes + min.buffer_bytes),
+               format_bytes(min.activation_bytes),
+               format_bytes(min.checkpoint_bytes), row.paper});
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("Per-sample activation (Eq. 16): GPT-3 %s (paper ~552 MB), "
               "1T %s (paper ~1050 MB).\n",
-              format_bytes(memmodel::estimate(model::model_gpt3(),
-                                              base_config(
-                                                  parallel::DpSharding::kNone,
-                                                  1))
-                               .activation_bytes)
+              format_bytes(estimate("gpt3", "none", 1).memory.activation_bytes)
                   .c_str(),
-              format_bytes(memmodel::estimate(model::model_1t(),
-                                              base_config(
-                                                  parallel::DpSharding::kNone,
-                                                  1))
-                               .activation_bytes)
+              format_bytes(estimate("1t", "none", 1).memory.activation_bytes)
                   .c_str());
   return 0;
 }

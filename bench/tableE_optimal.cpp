@@ -7,38 +7,38 @@
 #include <cstring>
 #include <vector>
 
-#include "autotune/autotune.h"
+#include "api/api.h"
 #include "common/strings.h"
 #include "common/table.h"
-#include "hw/cluster.h"
-#include "model/transformer.h"
 
 using namespace bfpp;
 
 namespace {
 
-void emit(const char* title, const model::TransformerSpec& spec,
-          const hw::ClusterSpec& cluster, const std::vector<int>& batches) {
+void emit(const char* title, const std::string& model,
+          const std::string& cluster, const std::vector<int>& batches) {
   std::printf("%s\n", title);
   Table t({"Method", "Batch", "N_PP", "N_TP", "S_mb", "N_mb", "N_loop",
            "Sharded", "Tflop/s/GPU", "Memory", "Memory min", "Configs"});
-  for (autotune::Method method :
-       {autotune::Method::kBreadthFirst, autotune::Method::kDepthFirst,
-        autotune::Method::kNonLooped, autotune::Method::kNoPipeline}) {
+  for (autotune::Method method : autotune::all_methods()) {
     for (int batch : batches) {
-      const auto r = find_best(spec, cluster, method, batch);
-      if (!r.best) continue;
-      const auto& c = r.best->config;
-      t.add_row({autotune::to_string(method), std::to_string(batch),
+      const auto report = api::search(api::ScenarioBuilder()
+                                          .model(model)
+                                          .cluster(cluster)
+                                          .batch(batch)
+                                          .build(),
+                                      method);
+      if (!report.found) continue;
+      const auto& c = report.config;
+      t.add_row({report.method, std::to_string(batch),
                  std::to_string(c.n_pp), std::to_string(c.n_tp),
                  std::to_string(c.s_mb), std::to_string(c.n_mb),
                  std::to_string(c.n_loop),
                  c.sharding == parallel::DpSharding::kNone ? "no" : "yes",
-                 str_format("%.2f",
-                            r.best->result.throughput_per_gpu / 1e12),
-                 str_format("%.2f GB", r.best->memory.total() / 1e9),
-                 str_format("%.2f GB", r.best->memory_min.total() / 1e9),
-                 std::to_string(r.evaluated)});
+                 str_format("%.2f", report.result.throughput_per_gpu / 1e12),
+                 str_format("%.2f GB", report.memory.total() / 1e9),
+                 str_format("%.2f GB", report.memory_min.total() / 1e9),
+                 std::to_string(report.evaluated)});
     }
     t.add_separator();
   }
@@ -53,19 +53,16 @@ int main(int argc, char** argv) {
     return all || std::strcmp(argv[1], name) == 0;
   };
   if (want("e1")) {
-    emit("== Table E.1: optimal configurations, 52B, InfiniBand ==",
-         model::model_52b(), hw::dgx1_v100_infiniband(),
-         autotune::paper_batch_sizes_52b());
+    emit("== Table E.1: optimal configurations, 52B, InfiniBand ==", "52b",
+         "dgx1-v100-ib", autotune::paper_batch_sizes_52b());
   }
   if (want("e2")) {
-    emit("== Table E.2: optimal configurations, 6.6B, InfiniBand ==",
-         model::model_6_6b(), hw::dgx1_v100_infiniband(),
-         autotune::paper_batch_sizes_6_6b());
+    emit("== Table E.2: optimal configurations, 6.6B, InfiniBand ==", "6.6b",
+         "dgx1-v100-ib", autotune::paper_batch_sizes_6_6b());
   }
   if (want("e3")) {
-    emit("== Table E.3: optimal configurations, 6.6B, Ethernet ==",
-         model::model_6_6b(), hw::dgx1_v100_ethernet(),
-         {64, 96, 128, 192, 256, 384, 512});
+    emit("== Table E.3: optimal configurations, 6.6B, Ethernet ==", "6.6b",
+         "dgx1-v100-eth", {64, 96, 128, 192, 256, 384, 512});
   }
   std::printf(
       "Paper checks: breadth-first prefers DP_FS and lower tensor\n"

@@ -1,0 +1,10 @@
+// The `bfpp` command-line driver: run or grid-search any scenario the
+// library can express, straight from the shell.
+//
+//   ./build/examples/bfpp run --model 52b --cluster dgx1-v100-ib \
+//       --pp 8 --tp 8 --nmb 16 --schedule bf --loop 4 --json
+//
+// All the logic lives in src/api/cli.cpp so tests can drive it.
+#include "api/cli.h"
+
+int main(int argc, char** argv) { return bfpp::api::cli_main(argc, argv); }

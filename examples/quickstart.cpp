@@ -1,86 +1,69 @@
 // Quickstart: simulate one training batch of the paper's 52B model on
 // the paper's 64-V100 cluster under each of the four pipeline schedules,
 // and print the resulting throughput/utilization plus a Figure-4-style
-// timeline for a small example.
+// timeline for a small example - all through the bfpp::api layer.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/quickstart
+//
+// The same experiments are one-liners on the CLI:
+//   ./build/examples/bfpp run --preset fig5a-bf-b16
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "api/api.h"
 #include "common/strings.h"
 #include "common/table.h"
-#include "hw/cluster.h"
-#include "model/transformer.h"
-#include "parallel/config.h"
-#include "runtime/pipeline_sim.h"
-#include "sim/gantt.h"
 
 using namespace bfpp;
 
 int main() {
-  const auto cluster = hw::dgx1_v100_infiniband();
-  const auto spec = model::model_52b();
-
-  std::printf("bfpp quickstart: %s on %s (%d GPUs)\n\n", spec.name.c_str(),
-              cluster.name.c_str(), cluster.total_gpus());
+  const auto first = api::lookup_scenario("fig5a-bf-b16");
+  std::printf("bfpp quickstart: %s on %s (%d GPUs)\n\n",
+              first.model.name.c_str(), first.cluster.name.c_str(),
+              first.cluster.total_gpus());
 
   // The Figure 5a fixed configuration: N_PP = N_TP = 8, N_DP = 1,
   // S_mb = 1, batch size 16 (beta = 0.25), N_loop = 4 for the looped
-  // schedules.
-  Table table({"Schedule", "N_loop", "Throughput", "Utilization", "Batch time"});
-  struct Row {
-    parallel::ScheduleKind kind;
-    int n_loop;
-    bool megatron;
-  };
-  for (const Row& row : {Row{parallel::ScheduleKind::kBreadthFirst, 4, false},
-                         Row{parallel::ScheduleKind::kDepthFirst, 4, true},
-                         Row{parallel::ScheduleKind::kGpipe, 1, false},
-                         Row{parallel::ScheduleKind::kOneFOneB, 1, true}}) {
-    parallel::ParallelConfig cfg;
-    cfg.n_pp = 8;
-    cfg.n_tp = 8;
-    cfg.n_dp = 1;
-    cfg.s_mb = 1;
-    cfg.n_mb = 16;
-    cfg.n_loop = row.n_loop;
-    cfg.schedule = row.kind;
-    if (row.megatron) cfg = parallel::with_megatron_flags(cfg);
-    const auto result = runtime::simulate_batch(spec, cfg, cluster);
-    table.add_row({parallel::to_string(row.kind),
-                   std::to_string(row.n_loop),
-                   format_flops(result.throughput_per_gpu),
-                   str_format("%.1f%%", 100.0 * result.utilization),
-                   format_time(result.batch_time)});
+  // schedules. All four operating points are registry presets.
+  Table table({"Schedule", "N_loop", "Throughput", "Utilization",
+               "Batch time"});
+  for (const char* preset : {"fig5a-bf-b16", "fig5a-df-b16",
+                             "fig5a-gpipe-b16", "fig5a-1f1b-b16"}) {
+    const auto report = api::run(api::lookup_scenario(preset));
+    table.add_row({parallel::to_string(report.config.schedule),
+                   std::to_string(report.config.n_loop),
+                   format_flops(report.result.throughput_per_gpu),
+                   str_format("%.1f%%", 100.0 * report.result.utilization),
+                   format_time(report.result.batch_time)});
   }
   std::printf("Fixed configuration, B = 16 (Figure 5a operating point):\n%s\n",
               table.to_string().c_str());
 
   // A small end-to-end timeline, the Figure 4 setup: 16 layers over 4
   // devices, 8 micro-batches, with data parallelism.
-  model::TransformerSpec tiny = spec;
+  model::TransformerSpec tiny = api::lookup_model("52b");
   tiny.name = "tiny-16L";
   tiny.n_layers = 16;
   tiny.n_heads = 16;
   tiny.hidden_size = 16 * tiny.head_size;  // 2048: fits without sharding
-  parallel::ParallelConfig cfg;
-  cfg.n_pp = 4;
-  cfg.n_tp = 1;
-  cfg.n_dp = 16;
-  cfg.s_mb = 1;
-  cfg.n_mb = 8;
-  cfg.n_loop = 4;
-  cfg.schedule = parallel::ScheduleKind::kBreadthFirst;
-  runtime::PipelineSim sim(tiny, cfg, cluster);
-  sim.run();
+  const auto scenario = api::ScenarioBuilder()
+                            .model(tiny)
+                            .cluster("dgx1-v100-ib")
+                            .pp(4)
+                            .tp(1)
+                            .dp(16)
+                            .smb(1)
+                            .nmb(8)
+                            .loop(4)
+                            .schedule("bf")
+                            .build();
   sim::GanttOptions opt;
   opt.width = 96;
   std::printf("Breadth-first timeline (16 layers, N_PP=4, N_loop=4, 8 "
               "micro-batches, N_DP=16):\n%s\n",
-              sim::render_gantt(sim.graph(), sim.result(),
-                                sim.display_streams(), opt)
-                  .c_str());
+              api::run_with_timeline(scenario, opt).gantt.c_str());
   return 0;
 }

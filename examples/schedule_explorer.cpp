@@ -10,11 +10,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "autotune/autotune.h"
+#include "api/api.h"
 #include "common/strings.h"
 #include "common/table.h"
-#include "hw/cluster.h"
-#include "model/transformer.h"
 #include "tradeoff/tradeoff.h"
 
 using namespace bfpp;
@@ -29,10 +27,10 @@ int main() {
   spec.hidden_size = 5120;
   spec.seq_len = 2048;
   spec.vocab_size = 51200;
-  model::validate(spec);
 
-  // 2. Describe the cluster: 4 DGX-A100 nodes (32 GPUs).
-  const hw::ClusterSpec cluster = hw::dgx_a100_infiniband(4);
+  // 2. Describe the cluster: 4 DGX-A100 nodes (32 GPUs). Presets take a
+  //    ":<n_nodes>" suffix, so no hand-built ClusterSpec is needed.
+  const hw::ClusterSpec cluster = api::lookup_cluster("dgx-a100-ib:4");
 
   std::printf("Planning %s (%.1fB params) on %s (%d GPUs)\n\n",
               spec.name.c_str(), spec.total_params() / 1e9,
@@ -42,28 +40,26 @@ int main() {
   Table t({"B", "beta", "Best method", "Config", "Tflop/s/GPU", "Memory"});
   std::vector<tradeoff::BetaUtil> bf_curve;
   for (int batch : {8, 16, 32, 64, 128, 256}) {
-    autotune::Method best_method = autotune::Method::kBreadthFirst;
-    std::optional<autotune::Candidate> best;
-    for (auto method :
-         {autotune::Method::kBreadthFirst, autotune::Method::kDepthFirst,
-          autotune::Method::kNonLooped, autotune::Method::kNoPipeline}) {
-      const auto r = find_best(spec, cluster, method, batch);
-      if (r.best && (!best || r.best->result.throughput_per_gpu >
-                                  best->result.throughput_per_gpu)) {
-        best = r.best;
-        best_method = method;
+    const auto scenario = api::ScenarioBuilder()
+                              .model(spec)
+                              .cluster(cluster)
+                              .batch(batch)
+                              .build();
+    std::optional<api::Report> best;
+    for (autotune::Method method : autotune::all_methods()) {
+      const auto report = api::search(scenario, method);
+      if (report.found &&
+          (!best || report.result.throughput_per_gpu >
+                        best->result.throughput_per_gpu)) {
+        best = report;
       }
-      if (method == autotune::Method::kBreadthFirst && r.best) {
-        bf_curve.push_back(
-            {static_cast<double>(batch) / cluster.total_gpus(),
-             r.best->result.utilization});
+      if (method == autotune::Method::kBreadthFirst && report.found) {
+        bf_curve.push_back({report.beta(), report.result.utilization});
       }
     }
     if (!best) continue;
-    t.add_row({std::to_string(batch),
-               format_number(static_cast<double>(batch) / cluster.total_gpus(),
-                             3),
-               autotune::to_string(best_method), best->config.describe(),
+    t.add_row({std::to_string(batch), format_number(best->beta(), 3),
+               best->method, best->config.describe(),
                str_format("%.1f", best->result.throughput_per_gpu / 1e12),
                format_bytes(best->memory.total())});
   }

@@ -1,0 +1,268 @@
+#include "api/cli.h"
+
+#include <cstdio>
+
+#include "api/api.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace bfpp::api {
+
+namespace {
+
+int parse_int_flag(const std::string& flag, const std::string& value) {
+  check_config(!value.empty() && value.size() <= 9 &&
+                   value.find_first_not_of("0123456789") == std::string::npos,
+               str_format("cli: %s expects a positive integer, got '%s'",
+                          flag.c_str(), value.c_str()));
+  return std::stoi(value);
+}
+
+void emit_report(const Report& report, const CliOptions& options) {
+  if (options.json) {
+    std::fputs(report.to_json().c_str(), stdout);
+  } else if (options.csv) {
+    std::fputs(report.to_csv().c_str(), stdout);
+  } else {
+    std::fputs(to_table({report}).to_string().c_str(), stdout);
+  }
+}
+
+int do_run(const CliOptions& options) {
+  const Scenario scenario = scenario_from_cli(options);
+  if (options.timeline) {
+    sim::GanttOptions gantt;
+    gantt.width = options.width;
+    const Timeline timeline = run_with_timeline(scenario, gantt);
+    emit_report(timeline.report, options);
+    if (!options.json && !options.csv) {
+      std::fputs(timeline.gantt.c_str(), stdout);
+    }
+    return 0;
+  }
+  emit_report(run(scenario), options);
+  return 0;
+}
+
+int do_search(const CliOptions& options) {
+  const Scenario scenario = scenario_from_cli(options);
+  const Report report =
+      search(scenario, autotune::parse_method(options.method));
+  emit_report(report, options);
+  return report.found ? 0 : 2;
+}
+
+void list_section(const char* title, const std::vector<std::string>& names) {
+  std::printf("%s:\n", title);
+  for (const std::string& name : names) std::printf("  %s\n", name.c_str());
+}
+
+int do_list(const CliOptions& options) {
+  const std::string what = to_lower(options.list_what);
+  if (what != "models" && what != "clusters" && what != "scenarios" &&
+      what != "all") {
+    throw ConfigError(str_format(
+        "cli: unknown list target '%s' (models, clusters or scenarios)",
+        options.list_what.c_str()));
+  }
+  if (what == "models" || what == "all") list_section("models", model_names());
+  if (what == "clusters" || what == "all") {
+    list_section("clusters (append :<n_nodes> to resize)", cluster_names());
+  }
+  if (what == "scenarios" || what == "all") {
+    list_section("scenarios", scenario_names());
+  }
+  return 0;
+}
+
+}  // namespace
+
+CliOptions parse_cli(const std::vector<std::string>& args) {
+  CliOptions options;
+  check_config(!args.empty(), "cli: no command (try 'bfpp help')");
+  options.command = to_lower(args[0]);
+  if (options.command == "--help" || options.command == "-h") {
+    options.command = "help";
+  }
+  check_config(options.command == "run" || options.command == "search" ||
+                   options.command == "list" || options.command == "help",
+               str_format("cli: unknown command '%s' (run, search, list or "
+                          "help)",
+                          args[0].c_str()));
+
+  size_t i = 1;
+  if (options.command == "list" && i < args.size() &&
+      args[i].rfind("--", 0) != 0) {
+    options.list_what = args[i++];
+  }
+  auto value = [&](const std::string& flag) -> std::string {
+    check_config(i + 1 < args.size(),
+                 str_format("cli: %s expects a value", flag.c_str()));
+    return args[++i];
+  };
+  for (; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--model") {
+      options.model = value(flag);
+    } else if (flag == "--cluster") {
+      options.cluster = value(flag);
+    } else if (flag == "--preset") {
+      options.preset = value(flag);
+    } else if (flag == "--pp") {
+      options.pp = parse_int_flag(flag, value(flag));
+    } else if (flag == "--tp") {
+      options.tp = parse_int_flag(flag, value(flag));
+    } else if (flag == "--dp") {
+      options.dp = parse_int_flag(flag, value(flag));
+    } else if (flag == "--smb") {
+      options.smb = parse_int_flag(flag, value(flag));
+    } else if (flag == "--nmb") {
+      options.nmb = parse_int_flag(flag, value(flag));
+    } else if (flag == "--loop") {
+      options.loop = parse_int_flag(flag, value(flag));
+    } else if (flag == "--batch") {
+      options.batch = parse_int_flag(flag, value(flag));
+    } else if (flag == "--schedule") {
+      options.schedule = value(flag);
+    } else if (flag == "--sharding") {
+      options.sharding = value(flag);
+    } else if (flag == "--method") {
+      options.method = value(flag);
+    } else if (flag == "--width") {
+      options.width = parse_int_flag(flag, value(flag));
+    } else if (flag == "--megatron") {
+      options.megatron = true;
+    } else if (flag == "--no-dp-overlap") {
+      options.no_dp_overlap = true;
+    } else if (flag == "--no-pp-overlap") {
+      options.no_pp_overlap = true;
+    } else if (flag == "--no-overlap") {
+      options.no_dp_overlap = true;
+      options.no_pp_overlap = true;
+    } else if (flag == "--json") {
+      options.json = true;
+    } else if (flag == "--csv") {
+      options.csv = true;
+    } else if (flag == "--timeline") {
+      options.timeline = true;
+    } else {
+      throw ConfigError(
+          str_format("cli: unknown flag '%s' (try 'bfpp help')",
+                     flag.c_str()));
+    }
+  }
+  check_config(!(options.json && options.csv),
+               "cli: --json and --csv are mutually exclusive");
+  return options;
+}
+
+Scenario scenario_from_cli(const CliOptions& options) {
+  if (!options.preset.empty()) {
+    // A preset pins the whole scenario; silently dropping other flags
+    // would mislead, so reject the combination.
+    const bool overridden =
+        options.pp || options.tp || options.dp || options.smb ||
+        options.nmb || options.loop || options.batch ||
+        !options.schedule.empty() || !options.sharding.empty() ||
+        options.megatron || options.no_dp_overlap || options.no_pp_overlap;
+    check_config(!overridden,
+                 "cli: --preset cannot be combined with scenario flags "
+                 "(--pp/--tp/--dp/--smb/--nmb/--loop/--batch/--schedule/"
+                 "--sharding/--megatron/--no-*-overlap)");
+    return lookup_scenario(options.preset);
+  }
+
+  ScenarioBuilder builder;
+  builder.name("cli").model(options.model).cluster(options.cluster);
+  if (options.command == "search") {
+    // The search enumerates the grid, schedule and sharding itself;
+    // accepting (and ignoring) flags that pin them would mislead.
+    const bool pinned = options.pp || options.tp || options.dp ||
+                        options.smb || options.nmb || options.loop ||
+                        !options.schedule.empty() ||
+                        !options.sharding.empty() || options.megatron ||
+                        options.no_dp_overlap || options.no_pp_overlap;
+    check_config(!pinned,
+                 "cli: search explores the configuration space itself; only "
+                 "--model/--cluster/--batch/--method apply");
+    check_config(options.batch.has_value(), "cli: search needs --batch");
+    return builder.batch(*options.batch).build();
+  }
+  if (options.pp) builder.pp(*options.pp);
+  if (options.tp) builder.tp(*options.tp);
+  if (options.dp) builder.dp(*options.dp);
+  if (options.smb) builder.smb(*options.smb);
+  if (options.nmb) builder.nmb(*options.nmb);
+  if (options.loop) builder.loop(*options.loop);
+  if (options.batch) builder.batch(*options.batch);
+  if (!options.schedule.empty()) builder.schedule(options.schedule);
+  if (!options.sharding.empty()) builder.sharding(options.sharding);
+  if (options.no_dp_overlap || options.no_pp_overlap) {
+    builder.overlap(!options.no_dp_overlap, !options.no_pp_overlap);
+  }
+  if (options.megatron) builder.megatron();
+  return builder.build();
+}
+
+std::string cli_usage() {
+  return
+      "bfpp - breadth-first pipeline parallelism experiment driver\n"
+      "\n"
+      "usage:\n"
+      "  bfpp run    [scenario flags] [--json|--csv] [--timeline]\n"
+      "  bfpp search --batch B [--method M] [--model/--cluster] "
+      "[--json|--csv]\n"
+      "  bfpp list   [models|clusters|scenarios]\n"
+      "  bfpp help\n"
+      "\n"
+      "scenario flags:\n"
+      "  --preset NAME       use a named paper operating point (see list)\n"
+      "  --model NAME        model preset (default 52b)\n"
+      "  --cluster NAME      cluster preset, ':<n_nodes>' resizes\n"
+      "                      (default dgx1-v100-ib)\n"
+      "  --pp/--tp/--dp N    pipeline/tensor/data-parallel group sizes\n"
+      "                      (--dp inferred from the cluster when omitted)\n"
+      "  --smb N             micro-batch size (default 1)\n"
+      "  --nmb N             micro-batch count\n"
+      "  --batch B           global batch size (derives --nmb, or drives\n"
+      "                      the search)\n"
+      "  --schedule S        gpipe | 1f1b | df | bf\n"
+      "  --loop N            stages per device (looped schedules)\n"
+      "  --sharding S        none | ps | fs\n"
+      "  --megatron          Megatron-LM capability flags (no overlap)\n"
+      "  --no-dp-overlap / --no-pp-overlap / --no-overlap\n"
+      "\n"
+      "output:\n"
+      "  --json / --csv      structured Report instead of a table\n"
+      "  --timeline          append a Figure-4-style ASCII timeline (run)\n"
+      "  --width N           timeline width in columns (default 100)\n"
+      "\n"
+      "examples:\n"
+      "  bfpp run --model 52b --cluster dgx1-v100-ib --pp 8 --tp 8 \\\n"
+      "           --nmb 16 --schedule bf --loop 4 --json\n"
+      "  bfpp run --preset fig5a-bf-b16 --timeline\n"
+      "  bfpp search --model 6.6b --batch 64 --method bf\n";
+}
+
+int cli_main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::fputs(cli_usage().c_str(), stdout);
+    return 0;
+  }
+  try {
+    const CliOptions options = parse_cli(args);
+    if (options.command == "help") {
+      std::fputs(cli_usage().c_str(), stdout);
+      return 0;
+    }
+    if (options.command == "list") return do_list(options);
+    if (options.command == "search") return do_search(options);
+    return do_run(options);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "bfpp: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace bfpp::api

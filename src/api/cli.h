@@ -1,0 +1,60 @@
+// The `bfpp` command-line driver. Flag parsing and dispatch live in the
+// library (not in the example binary) so tests can exercise them.
+//
+//   bfpp run --model 52b --cluster dgx1-v100-ib --pp 8 --tp 8 --nmb 16
+//            --schedule bf --loop 4 --json
+//   bfpp run --preset fig5a-bf-b16 --timeline
+//   bfpp search --model 6.6b --cluster dgx1-v100-eth --batch 64 --method bf
+//   bfpp list [models|clusters|scenarios]
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/scenario.h"
+
+namespace bfpp::api {
+
+struct CliOptions {
+  std::string command;  // "run", "search", "list" or "help"
+
+  // Scenario selection.
+  std::string preset;                 // --preset <scenario name>
+  std::string model = "52b";          // --model
+  std::string cluster = "dgx1-v100-ib";  // --cluster (supports ":<nodes>")
+  std::optional<int> pp, tp, dp, smb, nmb, loop, batch;
+  std::string schedule;  // --schedule (parse_schedule_kind names)
+  std::string sharding;  // --sharding (parse_sharding names)
+  bool megatron = false;
+  bool no_dp_overlap = false;
+  bool no_pp_overlap = false;
+
+  // Search.
+  std::string method = "bf";  // --method
+
+  // Output.
+  bool json = false;      // --json
+  bool csv = false;       // --csv
+  bool timeline = false;  // --timeline (run only)
+  int width = 100;        // --width (timeline columns)
+
+  // List.
+  std::string list_what = "all";  // models | clusters | scenarios | all
+};
+
+// Parses argv[1..]; throws bfpp::ConfigError on unknown commands, flags
+// or malformed values.
+CliOptions parse_cli(const std::vector<std::string>& args);
+
+// Builds the Scenario an option set describes (preset or flag-by-flag).
+Scenario scenario_from_cli(const CliOptions& options);
+
+// The full usage text.
+std::string cli_usage();
+
+// Entry point for the `bfpp` binary: parse, dispatch, print. Returns
+// the process exit code (0 success, 1 usage/config error, 2 infeasible).
+int cli_main(int argc, char** argv);
+
+}  // namespace bfpp::api

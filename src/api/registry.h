@@ -1,0 +1,31 @@
+// Preset registry: every model, cluster and paper operating point is
+// addressable by a short stable string, so experiments can be described
+// entirely in text (CLI flags, config files, sweep scripts).
+//
+//   models:    "52b", "6.6b", "gpt3", "1t"
+//   clusters:  "dgx1-v100-ib", "dgx1-v100-eth", "dgx-a100-ib",
+//              each with an optional ":<n_nodes>" suffix
+//              (e.g. "dgx1-v100-ib:64" = 512 GPUs)
+//   scenarios: named figure operating points, e.g. "fig5a-bf-b16"
+//
+// Lookups throw bfpp::ConfigError listing the known names on a miss.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/scenario.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+
+namespace bfpp::api {
+
+std::vector<std::string> model_names();
+std::vector<std::string> cluster_names();
+std::vector<std::string> scenario_names();
+
+model::TransformerSpec lookup_model(const std::string& name);
+hw::ClusterSpec lookup_cluster(const std::string& name);
+Scenario lookup_scenario(const std::string& name);
+
+}  // namespace bfpp::api

@@ -1,0 +1,208 @@
+#include "api/report.h"
+
+#include "common/strings.h"
+
+namespace bfpp::api {
+
+namespace {
+
+// Compact, locale-independent double: up to 10 significant digits, no
+// trailing noise ("0.25", "36280000000000").
+std::string fmt_double(double x) { return str_format("%.10g", x); }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_str(const std::string& s) {
+  // Built piecewise: gcc 12's -Wrestrict false-positives on
+  // `"literal" + std::string&&` (PR105651).
+  std::string out = "\"";
+  out += json_escape(s);
+  out += '"';
+  return out;
+}
+
+std::string config_json(const parallel::ParallelConfig& cfg,
+                        const std::string& indent) {
+  std::vector<std::string> fields = {
+      "\"schedule\": " + json_str(parallel::to_string(cfg.schedule)),
+      "\"sharding\": " + json_str(parallel::to_string(cfg.sharding)),
+      str_format("\"n_pp\": %d", cfg.n_pp),
+      str_format("\"n_tp\": %d", cfg.n_tp),
+      str_format("\"n_dp\": %d", cfg.n_dp),
+      str_format("\"s_mb\": %d", cfg.s_mb),
+      str_format("\"n_mb\": %d", cfg.n_mb),
+      str_format("\"n_loop\": %d", cfg.n_loop),
+      str_format("\"overlap_dp\": %s", cfg.overlap_dp ? "true" : "false"),
+      str_format("\"overlap_pp\": %s", cfg.overlap_pp ? "true" : "false"),
+      "\"describe\": " + json_str(cfg.describe())};
+  return "{\n" + indent + "  " + join(fields, ",\n" + indent + "  ") + "\n" +
+         indent + "}";
+}
+
+std::string result_json(const runtime::RunResult& r,
+                        const std::string& indent) {
+  std::vector<std::string> fields = {
+      "\"batch_time_s\": " + fmt_double(r.batch_time),
+      "\"throughput_per_gpu\": " + fmt_double(r.throughput_per_gpu),
+      "\"utilization\": " + fmt_double(r.utilization),
+      "\"compute_idle_fraction\": " + fmt_double(r.compute_idle_fraction)};
+  return "{\n" + indent + "  " + join(fields, ",\n" + indent + "  ") + "\n" +
+         indent + "}";
+}
+
+std::string memory_json(const memmodel::MemoryEstimate& m,
+                        const std::string& indent) {
+  std::vector<std::string> fields = {
+      "\"total_bytes\": " + fmt_double(m.total()),
+      "\"state_bytes\": " + fmt_double(m.state_bytes),
+      "\"buffer_bytes\": " + fmt_double(m.buffer_bytes),
+      "\"activation_bytes\": " + fmt_double(m.activation_bytes),
+      "\"checkpoint_bytes\": " + fmt_double(m.checkpoint_bytes),
+      "\"p2p_buffer_bytes\": " + fmt_double(m.p2p_buffer_bytes)};
+  return "{\n" + indent + "  " + join(fields, ",\n" + indent + "  ") + "\n" +
+         indent + "}";
+}
+
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::vector<std::string> fields = {
+      "\"scenario\": " + json_str(scenario),
+      "\"model\": " + json_str(model),
+      "\"cluster\": " + json_str(cluster),
+      "\"method\": " + (method.empty() ? "null" : json_str(method)),
+      str_format("\"n_gpus\": %d", n_gpus),
+      str_format("\"batch_size\": %d", batch_size),
+      "\"beta\": " + fmt_double(beta()),
+      str_format("\"found\": %s", found ? "true" : "false")};
+  if (found) {
+    fields.push_back("\"config\": " + config_json(config, "  "));
+    fields.push_back("\"result\": " + result_json(result, "  "));
+    fields.push_back("\"memory\": " + memory_json(memory, "  "));
+    fields.push_back("\"memory_min\": " + memory_json(memory_min, "  "));
+  }
+  if (!method.empty()) {
+    std::vector<std::string> search = {
+        str_format("\"evaluated\": %d", evaluated),
+        str_format("\"infeasible\": %d", infeasible)};
+    if (frugal.has_value()) {
+      std::vector<std::string> fr = {
+          "\"config\": " + config_json(frugal->config, "    "),
+          "\"result\": " + result_json(frugal->result, "    "),
+          "\"memory_min\": " + memory_json(frugal->memory_min, "    ")};
+      search.push_back("\"frugal\": {\n      " + join(fr, ",\n      ") +
+                       "\n    }");
+    }
+    fields.push_back("\"search\": {\n    " + join(search, ",\n    ") +
+                     "\n  }");
+  }
+  return "{\n  " + join(fields, ",\n  ") + "\n}\n";
+}
+
+std::string Report::csv_header() {
+  return "scenario,model,cluster,method,n_gpus,batch_size,beta,found,"
+         "schedule,sharding,n_pp,n_tp,n_dp,s_mb,n_mb,n_loop,overlap_dp,"
+         "overlap_pp,batch_time_s,throughput_per_gpu,utilization,"
+         "compute_idle_fraction,memory_total_bytes,memory_min_total_bytes,"
+         "evaluated,infeasible";
+}
+
+std::string Report::to_csv_row() const {
+  std::vector<std::string> cells = {
+      csv_quote(scenario),
+      csv_quote(model),
+      csv_quote(cluster),
+      csv_quote(method),
+      std::to_string(n_gpus),
+      std::to_string(batch_size),
+      fmt_double(beta()),
+      found ? "1" : "0"};
+  if (found) {
+    cells.insert(cells.end(),
+                 {parallel::to_string(config.schedule),
+                  parallel::to_string(config.sharding),
+                  std::to_string(config.n_pp), std::to_string(config.n_tp),
+                  std::to_string(config.n_dp), std::to_string(config.s_mb),
+                  std::to_string(config.n_mb), std::to_string(config.n_loop),
+                  config.overlap_dp ? "1" : "0",
+                  config.overlap_pp ? "1" : "0", fmt_double(result.batch_time),
+                  fmt_double(result.throughput_per_gpu),
+                  fmt_double(result.utilization),
+                  fmt_double(result.compute_idle_fraction),
+                  fmt_double(memory.total()), fmt_double(memory_min.total())});
+  } else {
+    cells.insert(cells.end(), 16, "");
+  }
+  cells.push_back(std::to_string(evaluated));
+  cells.push_back(std::to_string(infeasible));
+  return join(cells, ",");
+}
+
+std::string Report::to_csv() const {
+  return csv_header() + "\n" + to_csv_row() + "\n";
+}
+
+Table to_table(const std::vector<Report>& reports) {
+  Table t({"Scenario", "Method", "Model", "B", "beta", "Config",
+           "Tflop/s/GPU", "Util", "Memory", "Memory min"});
+  for (const Report& r : reports) {
+    if (!r.found) {
+      t.add_row({r.scenario, r.method, r.model, std::to_string(r.batch_size),
+                 format_number(r.beta(), 3), "(none feasible)", "-", "-", "-",
+                 "-"});
+      continue;
+    }
+    t.add_row({r.scenario, r.method, r.model, std::to_string(r.batch_size),
+               format_number(r.beta(), 3), r.config.describe(),
+               str_format("%.2f", r.result.throughput_per_gpu / 1e12),
+               str_format("%.1f%%", 100.0 * r.result.utilization),
+               format_bytes(r.memory.total()),
+               format_bytes(r.memory_min.total())});
+  }
+  return t;
+}
+
+std::string to_csv(const std::vector<Report>& reports) {
+  std::string out = Report::csv_header() + "\n";
+  for (const Report& r : reports) out += r.to_csv_row() + "\n";
+  return out;
+}
+
+}  // namespace bfpp::api

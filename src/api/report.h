@@ -1,0 +1,68 @@
+// Report: the unified result type of the experiment API. One Report
+// captures everything a paper table row needs - the scenario identity,
+// the (chosen) parallel configuration, the simulated RunResult and the
+// two memory columns of Appendix E - and renders itself as JSON, CSV or
+// an ASCII table row.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "memmodel/memory.h"
+#include "parallel/config.h"
+#include "runtime/pipeline_sim.h"
+
+namespace bfpp::api {
+
+struct Report {
+  // Identity.
+  std::string scenario;  // preset/builder name (may be empty)
+  std::string model;
+  std::string cluster;
+  std::string method;  // search method; empty for direct runs
+  int n_gpus = 0;
+  int batch_size = 0;
+
+  // False when a search found no feasible configuration; the fields
+  // below are only meaningful when true.
+  bool found = false;
+  parallel::ParallelConfig config;
+  runtime::RunResult result;
+  memmodel::MemoryEstimate memory;      // on the actual cluster
+  memmodel::MemoryEstimate memory_min;  // at arbitrarily large N_DP
+
+  // Search statistics (zero for direct runs).
+  int evaluated = 0;
+  int infeasible = 0;
+
+  // Most memory-frugal configuration within 7% of the best throughput
+  // (the at-scale deployment pick; search only).
+  struct Frugal {
+    parallel::ParallelConfig config;
+    runtime::RunResult result;
+    memmodel::MemoryEstimate memory_min;
+  };
+  std::optional<Frugal> frugal;
+
+  [[nodiscard]] double beta() const {
+    return n_gpus > 0 ? static_cast<double>(batch_size) / n_gpus : 0.0;
+  }
+
+  // Single JSON object (pretty-printed, two-space indent, stable key
+  // order, C-locale numbers).
+  [[nodiscard]] std::string to_json() const;
+
+  // CSV: fixed column set, stable across runs and locales.
+  static std::string csv_header();
+  [[nodiscard]] std::string to_csv_row() const;
+  [[nodiscard]] std::string to_csv() const;  // header + this row
+};
+
+// Renders reports as the repo's standard ASCII table (one row each).
+Table to_table(const std::vector<Report>& reports);
+// Multi-row CSV (header + one row per report).
+std::string to_csv(const std::vector<Report>& reports);
+
+}  // namespace bfpp::api

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/strings.h"
 
 namespace bfpp::autotune {
 
@@ -44,6 +45,37 @@ const char* to_string(Method method) {
       return "No pipeline";
   }
   return "?";
+}
+
+Method parse_method(const std::string& text) {
+  const std::string s = to_lower(text);
+  if (s == "breadth-first" || s == "breadthfirst" || s == "breadth_first" ||
+      s == "bf") {
+    return Method::kBreadthFirst;
+  }
+  if (s == "depth-first" || s == "depthfirst" || s == "depth_first" ||
+      s == "df") {
+    return Method::kDepthFirst;
+  }
+  if (s == "non-looped" || s == "nonlooped" || s == "non_looped" ||
+      s == "nl") {
+    return Method::kNonLooped;
+  }
+  if (s == "no pipeline" || s == "no-pipeline" || s == "nopipeline" ||
+      s == "no_pipeline" || s == "np" || s == "2d") {
+    return Method::kNoPipeline;
+  }
+  throw ConfigError(str_format(
+      "autotune: unknown method '%s' (expected breadth-first/bf, "
+      "depth-first/df, non-looped/nl or no-pipeline/np)",
+      text.c_str()));
+}
+
+const std::vector<Method>& all_methods() {
+  static const std::vector<Method> methods = {
+      Method::kBreadthFirst, Method::kDepthFirst, Method::kNonLooped,
+      Method::kNoPipeline};
+  return methods;
 }
 
 std::vector<ParallelConfig> enumerate_configs(

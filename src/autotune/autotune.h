@@ -15,6 +15,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "hw/cluster.h"
@@ -28,6 +29,15 @@ namespace bfpp::autotune {
 enum class Method { kBreadthFirst, kDepthFirst, kNonLooped, kNoPipeline };
 
 const char* to_string(Method method);
+
+// Inverse of to_string. Case-insensitive; also accepts short names
+// ("bf", "df", "nl"/"non-looped", "np"/"no-pipeline"/"2d"). Throws
+// bfpp::ConfigError on unknown input.
+Method parse_method(const std::string& text);
+
+// The four methods in the paper's reporting order (Figures 1, 7, 8 and
+// the Appendix E tables).
+const std::vector<Method>& all_methods();
 
 struct Candidate {
   parallel::ParallelConfig config;

@@ -1,8 +1,45 @@
 #include "common/strings.h"
 
+#include <cctype>
 #include <cmath>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <locale.h>
+#endif
+
 namespace bfpp {
+namespace detail {
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+locale_t c_locale_handle() {
+  static locale_t loc = newlocale(LC_ALL_MASK, "C", static_cast<locale_t>(0));
+  return loc;
+}
+}  // namespace
+
+ScopedCLocale::ScopedCLocale() {
+  locale_t loc = c_locale_handle();
+  if (loc != static_cast<locale_t>(0)) {
+    previous_ = reinterpret_cast<void*>(uselocale(loc));
+  }
+}
+
+ScopedCLocale::~ScopedCLocale() {
+  if (previous_ != nullptr) {
+    uselocale(reinterpret_cast<locale_t>(previous_));
+  }
+}
+
+#else  // no per-thread locales: snprintf already uses the global locale
+
+ScopedCLocale::ScopedCLocale() = default;
+ScopedCLocale::~ScopedCLocale() = default;
+
+#endif
+
+}  // namespace detail
 
 std::string join(const std::vector<std::string>& parts, const std::string& sep) {
   std::string out;
@@ -10,6 +47,30 @@ std::string join(const std::vector<std::string>& parts, const std::string& sep) 
     if (i > 0) out += sep;
     out += parts[i];
   }
+  return out;
+}
+
+std::string to_lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
   return out;
 }
 

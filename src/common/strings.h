@@ -10,10 +10,31 @@
 
 namespace bfpp {
 
+namespace detail {
+
+// RAII guard that switches the calling thread to the "C" locale, so that
+// printf-style float formatting always uses '.' as the decimal separator
+// regardless of the process locale. Report CSV/JSON emitters depend on
+// this for stable output across environments.
+class ScopedCLocale {
+ public:
+  ScopedCLocale();
+  ~ScopedCLocale();
+  ScopedCLocale(const ScopedCLocale&) = delete;
+  ScopedCLocale& operator=(const ScopedCLocale&) = delete;
+
+ private:
+  void* previous_ = nullptr;  // locale_t of the displaced locale
+};
+
+}  // namespace detail
+
 // snprintf into a std::string. The format string must be a literal-style
-// printf format; the result is exact (no truncation).
+// printf format; the result is exact (no truncation) and
+// locale-independent (always C-locale number formatting).
 template <typename... Args>
 std::string str_format(const char* fmt, Args... args) {
+  const detail::ScopedCLocale c_locale;
   const int n = std::snprintf(nullptr, 0, fmt, args...);
   if (n <= 0) return {};
   std::string out(static_cast<size_t>(n), '\0');
@@ -23,6 +44,12 @@ std::string str_format(const char* fmt, Args... args) {
 
 // Joins `parts` with `sep`.
 std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+// ASCII lowercase copy (used by the name/enum parsers).
+std::string to_lower(std::string s);
+
+// Splits on runs of whitespace, dropping empty tokens.
+std::vector<std::string> split_ws(const std::string& s);
 
 // Human-readable byte count, e.g. "15.96 GB" (decimal units, matching the
 // paper's tables which report GB).

@@ -33,6 +33,87 @@ const char* to_string(DpSharding sharding) {
   return "?";
 }
 
+ScheduleKind parse_schedule_kind(const std::string& text) {
+  const std::string s = to_lower(text);
+  if (s == "gpipe") return ScheduleKind::kGpipe;
+  if (s == "1f1b" || s == "one-f-one-b") return ScheduleKind::kOneFOneB;
+  if (s == "depth-first" || s == "depthfirst" || s == "depth_first" ||
+      s == "df") {
+    return ScheduleKind::kDepthFirst;
+  }
+  if (s == "breadth-first" || s == "breadthfirst" || s == "breadth_first" ||
+      s == "bf") {
+    return ScheduleKind::kBreadthFirst;
+  }
+  throw ConfigError(str_format(
+      "parallel: unknown schedule '%s' (expected gpipe, 1f1b, "
+      "depth-first/df or breadth-first/bf)",
+      text.c_str()));
+}
+
+DpSharding parse_sharding(const std::string& text) {
+  const std::string s = to_lower(text);
+  if (s == "dp0" || s == "none" || s == "no") return DpSharding::kNone;
+  if (s == "dp_ps" || s == "ps" || s == "partial") return DpSharding::kPartial;
+  if (s == "dp_fs" || s == "fs" || s == "full") return DpSharding::kFull;
+  throw ConfigError(str_format(
+      "parallel: unknown sharding '%s' (expected dp0/none, dp_ps/partial "
+      "or dp_fs/full)",
+      text.c_str()));
+}
+
+namespace {
+
+// Parses the digits following a describe() token prefix like "pp8".
+int parse_grid_count(const std::string& token, size_t prefix_len) {
+  const std::string digits = token.substr(prefix_len);
+  check_config(!digits.empty() && digits.size() <= 9 &&
+                   digits.find_first_not_of("0123456789") == std::string::npos,
+               str_format("parallel: malformed token '%s'", token.c_str()));
+  return std::stoi(digits);
+}
+
+}  // namespace
+
+ParallelConfig ParallelConfig::parse(const std::string& text) {
+  const std::vector<std::string> tokens = split_ws(text);
+  check_config(!tokens.empty(), "parallel: empty config description");
+
+  ParallelConfig cfg;
+  cfg.schedule = parse_schedule_kind(tokens[0]);
+  bool dp_seen = false;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const std::string t = to_lower(tokens[i]);
+    if (t == "no-dp-overlap") {
+      cfg.overlap_dp = false;
+    } else if (t == "no-pp-overlap") {
+      cfg.overlap_pp = false;
+    } else if (t == "dp_ps" || t == "dp_fs" || (t == "dp0" && dp_seen)) {
+      // "dp0" doubles as the unsharded marker and a (never valid) zero
+      // data-parallel size; the grid count always precedes the sharding
+      // mode in describe() output.
+      cfg.sharding = parse_sharding(t);
+    } else if (t.rfind("smb", 0) == 0) {
+      cfg.s_mb = parse_grid_count(t, 3);
+    } else if (t.rfind("nmb", 0) == 0) {
+      cfg.n_mb = parse_grid_count(t, 3);
+    } else if (t.rfind("loop", 0) == 0) {
+      cfg.n_loop = parse_grid_count(t, 4);
+    } else if (t.rfind("pp", 0) == 0) {
+      cfg.n_pp = parse_grid_count(t, 2);
+    } else if (t.rfind("tp", 0) == 0) {
+      cfg.n_tp = parse_grid_count(t, 2);
+    } else if (t.rfind("dp", 0) == 0) {
+      cfg.n_dp = parse_grid_count(t, 2);
+      dp_seen = true;
+    } else {
+      throw ConfigError(
+          str_format("parallel: unknown config token '%s'", tokens[i].c_str()));
+    }
+  }
+  return cfg;
+}
+
 std::string ParallelConfig::describe() const {
   return str_format("%s pp%d tp%d dp%d smb%d nmb%d loop%d %s%s%s",
                     to_string(schedule), n_pp, n_tp, n_dp, s_mb, n_mb, n_loop,

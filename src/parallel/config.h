@@ -38,6 +38,13 @@ enum class DpSharding {
 const char* to_string(ScheduleKind kind);
 const char* to_string(DpSharding sharding);
 
+// Inverse of to_string. Case-insensitive; also accepts the common short
+// names ("bf", "df", "gpipe", "1f1b"; "none"/"dp0", "ps"/"partial",
+// "fs"/"full"). Throws bfpp::ConfigError on unknown input, listing the
+// accepted names.
+ScheduleKind parse_schedule_kind(const std::string& text);
+DpSharding parse_sharding(const std::string& text);
+
 struct ParallelConfig {
   int n_dp = 1;
   int n_tp = 1;
@@ -62,8 +69,18 @@ struct ParallelConfig {
   }
   [[nodiscard]] bool looped() const { return n_loop > 1; }
 
-  // Short human-readable description, e.g. "BF pp8 tp8 dp1 smb1 nmb8 loop4 FS".
+  // Short human-readable description, e.g.
+  // "Breadth-first pp8 tp8 dp1 smb1 nmb8 loop4 DP_FS".
   [[nodiscard]] std::string describe() const;
+
+  // Inverse of describe(): parses "<schedule> pp8 tp8 dp1 smb1 nmb8
+  // loop4 <sharding> [no-dp-overlap] [no-pp-overlap]" (tokens may appear
+  // in any order after the schedule). Guarantees
+  // parse(cfg.describe()) == cfg for every valid config. Throws
+  // bfpp::ConfigError on malformed input.
+  static ParallelConfig parse(const std::string& text);
+
+  friend bool operator==(const ParallelConfig&, const ParallelConfig&) = default;
 };
 
 // Returns the Megatron-LM behavioural variant of `cfg` (no overlap, no

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "autotune/autotune.h"
+#include "common/error.h"
 #include "hw/cluster.h"
 #include "model/transformer.h"
 
@@ -138,6 +139,29 @@ TEST(BatchSizes, MatchThePaperSweeps) {
 TEST(MethodNames, Render) {
   EXPECT_STREQ(to_string(Method::kBreadthFirst), "Breadth-first");
   EXPECT_STREQ(to_string(Method::kNoPipeline), "No pipeline");
+}
+
+TEST(MethodNames, ParseRoundTripsEveryValue) {
+  for (Method method : all_methods()) {
+    EXPECT_EQ(parse_method(to_string(method)), method);
+  }
+}
+
+TEST(MethodNames, ParseShortNamesAndErrors) {
+  EXPECT_EQ(parse_method("bf"), Method::kBreadthFirst);
+  EXPECT_EQ(parse_method("df"), Method::kDepthFirst);
+  EXPECT_EQ(parse_method("nl"), Method::kNonLooped);
+  EXPECT_EQ(parse_method("non-looped"), Method::kNonLooped);
+  EXPECT_EQ(parse_method("np"), Method::kNoPipeline);
+  EXPECT_EQ(parse_method("2d"), Method::kNoPipeline);
+  EXPECT_EQ(parse_method("No Pipeline"), Method::kNoPipeline);
+  EXPECT_THROW(parse_method("best"), ConfigError);
+}
+
+TEST(MethodNames, AllMethodsInPaperOrder) {
+  ASSERT_EQ(all_methods().size(), 4u);
+  EXPECT_EQ(all_methods().front(), Method::kBreadthFirst);
+  EXPECT_EQ(all_methods().back(), Method::kNoPipeline);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Tests for src/common: formatting, tables, RNG, error helpers.
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <set>
 
@@ -47,6 +48,33 @@ TEST(Strings, FormatTime) {
   EXPECT_EQ(format_time(1.5e-3), "1.500 ms");
   EXPECT_EQ(format_time(30e-6), "30.000 us");
   EXPECT_EQ(format_time(5e-9), "5.0 ns");
+}
+
+TEST(Strings, FormattingIsLocaleIndependent) {
+  // A locale with ',' as decimal separator must not leak into the
+  // formatters (Report CSV/JSON depend on stable '.' output). Skipped
+  // silently when no such locale is installed.
+  const char* previous = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (previous == nullptr) {
+    previous = std::setlocale(LC_NUMERIC, "fr_FR.UTF-8");
+  }
+  EXPECT_EQ(str_format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format_number(42.77), "42.77");
+  EXPECT_EQ(format_bytes(15.96e9), "15.96 GB");
+  std::setlocale(LC_NUMERIC, "C");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("Breadth-First"), "breadth-first");
+  EXPECT_EQ(to_lower("DP_FS"), "dp_fs");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, SplitWs) {
+  EXPECT_EQ(split_ws("a  b\tc"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_ws("  solo  "), std::vector<std::string>{"solo"});
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
 }
 
 TEST(Strings, FormatNumberTrimsZeros) {

@@ -199,5 +199,88 @@ TEST(Grid, PureDataParallelStaysDense) {
   EXPECT_EQ(grid.dp_group_extent(), 64);
 }
 
+// ---- String round-trips ----
+
+TEST(Parse, ScheduleKindRoundTripsEveryValue) {
+  for (ScheduleKind kind :
+       {ScheduleKind::kGpipe, ScheduleKind::kOneFOneB,
+        ScheduleKind::kDepthFirst, ScheduleKind::kBreadthFirst}) {
+    EXPECT_EQ(parse_schedule_kind(to_string(kind)), kind);
+  }
+}
+
+TEST(Parse, ScheduleKindShortNamesAndCase) {
+  EXPECT_EQ(parse_schedule_kind("bf"), ScheduleKind::kBreadthFirst);
+  EXPECT_EQ(parse_schedule_kind("BF"), ScheduleKind::kBreadthFirst);
+  EXPECT_EQ(parse_schedule_kind("df"), ScheduleKind::kDepthFirst);
+  EXPECT_EQ(parse_schedule_kind("gpipe"), ScheduleKind::kGpipe);
+  EXPECT_EQ(parse_schedule_kind("GPipe"), ScheduleKind::kGpipe);
+  EXPECT_EQ(parse_schedule_kind("1F1B"), ScheduleKind::kOneFOneB);
+  EXPECT_EQ(parse_schedule_kind("breadth_first"), ScheduleKind::kBreadthFirst);
+}
+
+TEST(Parse, ScheduleKindRejectsUnknown) {
+  EXPECT_THROW(parse_schedule_kind("zigzag"), ConfigError);
+  EXPECT_THROW(parse_schedule_kind(""), ConfigError);
+}
+
+TEST(Parse, ShardingRoundTripsEveryValue) {
+  for (DpSharding sharding :
+       {DpSharding::kNone, DpSharding::kPartial, DpSharding::kFull}) {
+    EXPECT_EQ(parse_sharding(to_string(sharding)), sharding);
+  }
+}
+
+TEST(Parse, ShardingShortNames) {
+  EXPECT_EQ(parse_sharding("none"), DpSharding::kNone);
+  EXPECT_EQ(parse_sharding("ps"), DpSharding::kPartial);
+  EXPECT_EQ(parse_sharding("fs"), DpSharding::kFull);
+  EXPECT_EQ(parse_sharding("FULL"), DpSharding::kFull);
+  EXPECT_THROW(parse_sharding("zero"), ConfigError);
+}
+
+TEST(Parse, ConfigDescribeRoundTripsExhaustively) {
+  // Every (schedule, sharding, overlap) combination plus varied grid
+  // sizes must survive parse(describe()) bit-exactly.
+  int combos = 0;
+  for (ScheduleKind kind :
+       {ScheduleKind::kGpipe, ScheduleKind::kOneFOneB,
+        ScheduleKind::kDepthFirst, ScheduleKind::kBreadthFirst}) {
+    for (DpSharding sharding :
+         {DpSharding::kNone, DpSharding::kPartial, DpSharding::kFull}) {
+      for (bool overlap_dp : {false, true}) {
+        for (bool overlap_pp : {false, true}) {
+          ParallelConfig cfg;
+          cfg.n_pp = 8;
+          cfg.n_tp = 4;
+          cfg.n_dp = 2;
+          cfg.s_mb = 3;
+          cfg.n_mb = 16;
+          cfg.n_loop = 4;
+          cfg.schedule = kind;
+          cfg.sharding = sharding;
+          cfg.overlap_dp = overlap_dp;
+          cfg.overlap_pp = overlap_pp;
+          EXPECT_EQ(ParallelConfig::parse(cfg.describe()), cfg)
+              << cfg.describe();
+          ++combos;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(combos, 4 * 3 * 2 * 2);
+}
+
+TEST(Parse, ConfigParseAcceptsDefaultsAndRejectsJunk) {
+  // A bare schedule name parses to the default grid.
+  const ParallelConfig cfg = ParallelConfig::parse("bf");
+  EXPECT_EQ(cfg.schedule, ScheduleKind::kBreadthFirst);
+  EXPECT_EQ(cfg.n_pp, 1);
+  EXPECT_TRUE(cfg.overlap_dp);
+  EXPECT_THROW(ParallelConfig::parse(""), ConfigError);
+  EXPECT_THROW(ParallelConfig::parse("bf pp8 wat3"), ConfigError);
+  EXPECT_THROW(ParallelConfig::parse("bf ppx"), ConfigError);
+}
+
 }  // namespace
 }  // namespace bfpp::parallel
