@@ -3,10 +3,16 @@
 // N_loop = 4 for the looped schedules):
 //   (a) 52B model:  N_PP = N_TP = 8, N_DP = 1
 //   (b) 6.6B model: N_PP = 4, N_TP = 2, N_DP = 8
+//
+// One api::sweep() per panel: batches x schedule variants, executed in
+// parallel on the shared pool. Structurally impossible cells (depth-first
+// needs N_mb divisible by N_PP) come back as "[config]" rows, OOM cells
+// as "[oom]" rows.
 #include <cstdio>
 #include <vector>
 
 #include "api/api.h"
+#include "api/sweep.h"
 #include "common/strings.h"
 #include "common/table.h"
 
@@ -14,48 +20,44 @@ using namespace bfpp;
 
 namespace {
 
-std::string cell(const std::optional<api::Scenario>& scenario) {
-  if (!scenario) return "n/a";
-  const auto report = api::try_run(*scenario);
-  if (!report) return "  oom";
-  return str_format("%5.1f%%", 100.0 * report->result.utilization);
-}
-
-api::ScenarioBuilder base(const std::string& model, int n_pp, int n_tp,
-                          int n_dp, int n_mb) {
-  return api::ScenarioBuilder()
-      .model(model)
-      .cluster("dgx1-v100-ib")
-      .pp(n_pp)
-      .tp(n_tp)
-      .dp(n_dp)
-      .smb(1)
-      .nmb(n_mb);
+std::string cell(const api::Report& report) {
+  if (report.found) {
+    return str_format("%5.1f%%", 100.0 * report.result.utilization);
+  }
+  return report.error.rfind("[config]", 0) == 0 ? "n/a" : "  oom";
 }
 
 void emit(const char* title, const std::string& model, int n_pp, int n_tp,
           int n_dp, const std::vector<int>& batches) {
   std::printf("%s\n", title);
-  Table t({"B", "beta", "Breadth-first", "Depth-first", "GPipe", "1F1B"});
+  const std::vector<api::SweepVariant> variants = {
+      {"Breadth-first", "bf", 4, false},
+      {"Depth-first", "df", 4, true},
+      {"GPipe", "gpipe", std::nullopt, false},
+      {"1F1B", "1f1b", std::nullopt, true},
+  };
+  std::vector<int> feasible;  // rows where the pipeline can fill
   for (int batch : batches) {
-    const int n_mb = batch / n_dp;
-    if (n_mb < n_pp) continue;
-    auto scenario = [&](const char* schedule, int n_loop, bool megatron)
-        -> std::optional<api::Scenario> {
-      if (n_loop > 1 && std::string(schedule) == "df" && n_mb % n_pp != 0) {
-        return std::nullopt;  // depth-first needs N_mb divisible by N_PP
-      }
-      return base(model, n_pp, n_tp, n_dp, n_mb)
-          .schedule(schedule)
-          .loop(n_loop)
-          .megatron(megatron)
-          .build();
-    };
-    const double beta = static_cast<double>(batch) / 64.0;
-    t.add_row({std::to_string(batch), format_number(beta, 3),
-               cell(scenario("bf", 4, false)), cell(scenario("df", 4, true)),
-               cell(scenario("gpipe", 1, false)),
-               cell(scenario("1f1b", 1, true))});
+    if (batch / n_dp >= n_pp) feasible.push_back(batch);
+  }
+  const auto reports =
+      api::sweep(api::SweepBuilder()
+                     .base(api::ScenarioBuilder()
+                               .model(model)
+                               .cluster("dgx1-v100-ib")
+                               .pp(n_pp)
+                               .tp(n_tp)
+                               .dp(n_dp)
+                               .smb(1))
+                     .batches(feasible)
+                     .variants(variants)
+                     .build());
+  Table t({"B", "beta", "Breadth-first", "Depth-first", "GPipe", "1F1B"});
+  for (size_t row = 0; row < feasible.size(); ++row) {
+    const double beta = static_cast<double>(feasible[row]) / 64.0;
+    t.add_row({std::to_string(feasible[row]), format_number(beta, 3),
+               cell(reports[row * 4 + 0]), cell(reports[row * 4 + 1]),
+               cell(reports[row * 4 + 2]), cell(reports[row * 4 + 3])});
   }
   std::printf("%s\n", t.to_string().c_str());
 }

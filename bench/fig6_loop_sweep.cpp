@@ -2,9 +2,15 @@
 // (Megatron-LM) schedules as a function of the number of stages per
 // device N_loop, for the 52B model (N_PP = N_TP = 8, N_DP = 1, S_mb = 1)
 // at B = 16 and B = 64. N_loop = 1 corresponds to GPipe and 1F1B.
+//
+// One api::sweep() per panel over the coupled (schedule, N_loop) variant
+// axis, executed in parallel on the shared pool.
 #include <cstdio>
+#include <vector>
 
 #include "api/api.h"
+#include "api/sweep.h"
+#include "common/error.h"
 #include "common/strings.h"
 #include "common/table.h"
 
@@ -12,22 +18,17 @@ using namespace bfpp;
 
 namespace {
 
-double utilization(int n_mb, int n_loop, bool depth_first) {
-  const auto scenario =
-      api::ScenarioBuilder()
-          .model("52b")
-          .cluster("dgx1-v100-ib")
-          .pp(8)
-          .tp(8)
-          .dp(1)
-          .smb(1)
-          .nmb(n_mb)
-          .loop(n_loop)
-          .schedule(n_loop == 1 ? (depth_first ? "1f1b" : "gpipe")
-                                : (depth_first ? "df" : "bf"))
-          .megatron(depth_first)
-          .build();
-  return api::run(scenario).result.utilization;
+// The coupled variant axis: per loop count, ours then Megatron-LM's
+// (N_loop = 1 degenerates to the non-looped schedules).
+std::vector<api::SweepVariant> loop_variants(const std::vector<int>& loops) {
+  std::vector<api::SweepVariant> variants;
+  for (int n_loop : loops) {
+    variants.push_back({str_format("bf-loop%d", n_loop),
+                        n_loop == 1 ? "gpipe" : "bf", n_loop, false});
+    variants.push_back({str_format("df-loop%d", n_loop),
+                        n_loop == 1 ? "1f1b" : "df", n_loop, true});
+  }
+  return variants;
 }
 
 }  // namespace
@@ -35,16 +36,35 @@ double utilization(int n_mb, int n_loop, bool depth_first) {
 int main() {
   std::printf("== Figure 6: utilization vs stages per device (52B, "
               "N_PP = N_TP = 8, S_mb = 1) ==\n\n");
+  const std::vector<int> loops = {1, 2, 4, 8};
   for (int batch : {16, 64}) {
     std::printf("(%c) B = %d:\n", batch == 16 ? 'a' : 'b', batch);
+    const auto reports =
+        api::sweep(api::SweepBuilder()
+                       .base(api::ScenarioBuilder()
+                                 .model("52b")
+                                 .cluster("dgx1-v100-ib")
+                                 .pp(8)
+                                 .tp(8)
+                                 .dp(1)
+                                 .smb(1)
+                                 .nmb(batch))
+                       .variants(loop_variants(loops))
+                       .build());
     Table t({"N_loop", "Breadth-first", "Depth-first"});
     double df1 = 0.0, df8 = 0.0;
-    for (int n_loop : {1, 2, 4, 8}) {
-      const double bf = utilization(batch, n_loop, false);
-      const double df = utilization(batch, n_loop, true);
-      if (n_loop == 1) df1 = df;
-      if (n_loop == 8) df8 = df;
-      t.add_row({std::to_string(n_loop), str_format("%5.1f%%", 100.0 * bf),
+    for (size_t row = 0; row < loops.size(); ++row) {
+      // Every Figure 6 cell is feasible; a failed cell means the grid is
+      // wrong, so fail loudly (as the pre-sweep api::run did).
+      check(reports[row * 2].found && reports[row * 2 + 1].found,
+            "fig6: infeasible cell: " + reports[row * 2].error +
+                reports[row * 2 + 1].error);
+      const double bf = reports[row * 2 + 0].result.utilization;
+      const double df = reports[row * 2 + 1].result.utilization;
+      if (loops[row] == 1) df1 = df;
+      if (loops[row] == 8) df8 = df;
+      t.add_row({std::to_string(loops[row]),
+                 str_format("%5.1f%%", 100.0 * bf),
                  str_format("%5.1f%%", 100.0 * df)});
     }
     std::printf("%s", t.to_string().c_str());

@@ -2,10 +2,14 @@
 // as a function of the batch size, after a grid search over the full
 // configuration space (Appendix E):
 //   (a) 52B, InfiniBand   (b) 6.6B, InfiniBand   (c) 6.6B, Ethernet
+//
+// One api::sweep() per panel - a methods x batches search campaign, every
+// grid search running its candidate evaluations on the shared pool.
 #include <cstdio>
 #include <vector>
 
 #include "api/api.h"
+#include "api/sweep.h"
 #include "common/strings.h"
 #include "common/table.h"
 
@@ -21,18 +25,22 @@ std::string cell(const api::Report& report) {
 void emit(const char* title, const std::string& model,
           const std::string& cluster, const std::vector<int>& batches) {
   std::printf("%s\n", title);
+  // Method-major cell order (the sweep's nesting): reports[m * |B| + b].
+  const auto reports = api::sweep(api::SweepBuilder()
+                                      .models({model})
+                                      .clusters({cluster})
+                                      .batches(batches)
+                                      .methods({"bf", "df", "nl", "np"})
+                                      .build());
   Table t({"B", "beta", "Breadth-first (ours)", "Depth-first (Megatron)",
            "Non-looped (GPipe/1F1B)", "No pipeline (sharded)"});
-  for (int batch : batches) {
-    const auto scenario = api::ScenarioBuilder()
-                              .model(model)
-                              .cluster(cluster)
-                              .batch(batch)
-                              .build();
-    std::vector<std::string> row = {std::to_string(batch),
-                                    format_number(scenario.beta(), 3)};
-    for (autotune::Method method : autotune::all_methods()) {
-      row.push_back(cell(api::search(scenario, method)));
+  const size_t n_methods = autotune::all_methods().size();
+  for (size_t b = 0; b < batches.size(); ++b) {
+    std::vector<std::string> row = {
+        std::to_string(batches[b]),
+        format_number(reports[b].beta(), 3)};
+    for (size_t m = 0; m < n_methods; ++m) {
+      row.push_back(cell(reports[m * batches.size() + b]));
     }
     t.add_row(std::move(row));
   }

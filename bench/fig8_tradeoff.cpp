@@ -2,10 +2,15 @@
 // from the Figure 7 measurements to clusters of 256-16384 GPUs, using
 // the critical-batch-size overhead of Eq. (7).
 //   (a) 52B (B_crit ~ 6780)   (b) 6.6B (B_crit ~ 3430)   (c) 6.6B Ethernet
+//
+// The per-method beta/utilization curves come from one api::sweep()
+// search campaign per panel (methods x batches, parallel on the shared
+// pool); the frontier extrapolation stays closed-form.
 #include <cstdio>
 #include <vector>
 
 #include "api/api.h"
+#include "api/sweep.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "tradeoff/tradeoff.h"
@@ -14,40 +19,35 @@ using namespace bfpp;
 
 namespace {
 
-std::vector<tradeoff::BetaUtil> measure_curve(const std::string& model,
-                                              const std::string& cluster,
-                                              autotune::Method method,
-                                              const std::vector<int>& batches) {
-  std::vector<tradeoff::BetaUtil> curve;
-  for (int batch : batches) {
-    const auto report = api::search(api::ScenarioBuilder()
-                                        .model(model)
-                                        .cluster(cluster)
-                                        .batch(batch)
-                                        .build(),
-                                    method);
-    if (report.found) {
-      curve.push_back({report.beta(), report.result.utilization});
-    }
-  }
-  return curve;
-}
-
 void emit(const char* title, const std::string& model,
           const std::string& cluster, const std::vector<int>& batches,
           double b_crit) {
   std::printf("%s\n", title);
   const auto spec = api::lookup_model(model);
   const auto gpu = api::lookup_cluster(cluster).gpu;
+  // Method-major cell order: reports[m * |B| + b].
+  const auto reports = api::sweep(api::SweepBuilder()
+                                      .models({model})
+                                      .clusters({cluster})
+                                      .batches(batches)
+                                      .methods({"bf", "df", "nl", "np"})
+                                      .build());
   Table t({"Method", "N_GPU", "beta", "Time (days)", "Cost (kGPU-days)",
            "Batch overhead"});
-  for (autotune::Method method : autotune::all_methods()) {
-    const auto curve = measure_curve(model, cluster, method, batches);
+  const auto& methods = autotune::all_methods();
+  for (size_t m = 0; m < methods.size(); ++m) {
+    std::vector<tradeoff::BetaUtil> curve;
+    for (size_t b = 0; b < batches.size(); ++b) {
+      const api::Report& report = reports[m * batches.size() + b];
+      if (report.found) {
+        curve.push_back({report.beta(), report.result.utilization});
+      }
+    }
     if (curve.empty()) continue;
     const auto frontier = tradeoff::method_frontier(
         spec, gpu, curve, tradeoff::paper_cluster_sizes(), b_crit);
     for (const auto& p : frontier) {
-      t.add_row({autotune::to_string(method), std::to_string(p.n_gpus),
+      t.add_row({autotune::to_string(methods[m]), std::to_string(p.n_gpus),
                  format_number(p.beta, 3), str_format("%.1f", p.time_days),
                  str_format("%.1f", p.cost_gpu_days / 1000.0),
                  str_format("%.0f%%", 100.0 * p.overhead)});

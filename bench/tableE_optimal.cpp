@@ -2,12 +2,16 @@
 // search for each (model, network, method, batch size), with throughput
 // and the two memory columns of Appendix E.
 //
+// One api::sweep() search campaign per table (methods x batches, cells
+// in the paper's method-major order), parallel on the shared pool.
+//
 // Usage: tableE_optimal [e1|e2|e3]   (default: all three)
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
 #include "api/api.h"
+#include "api/sweep.h"
 #include "common/strings.h"
 #include "common/table.h"
 
@@ -18,19 +22,22 @@ namespace {
 void emit(const char* title, const std::string& model,
           const std::string& cluster, const std::vector<int>& batches) {
   std::printf("%s\n", title);
+  // Method-major cell order matches the table's row blocks directly.
+  const auto reports = api::sweep(api::SweepBuilder()
+                                      .models({model})
+                                      .clusters({cluster})
+                                      .batches(batches)
+                                      .methods({"bf", "df", "nl", "np"})
+                                      .build());
   Table t({"Method", "Batch", "N_PP", "N_TP", "S_mb", "N_mb", "N_loop",
            "Sharded", "Tflop/s/GPU", "Memory", "Memory min", "Configs"});
-  for (autotune::Method method : autotune::all_methods()) {
-    for (int batch : batches) {
-      const auto report = api::search(api::ScenarioBuilder()
-                                          .model(model)
-                                          .cluster(cluster)
-                                          .batch(batch)
-                                          .build(),
-                                      method);
+  const size_t n_methods = autotune::all_methods().size();
+  for (size_t m = 0; m < n_methods; ++m) {
+    for (size_t b = 0; b < batches.size(); ++b) {
+      const api::Report& report = reports[m * batches.size() + b];
       if (!report.found) continue;
       const auto& c = report.config;
-      t.add_row({report.method, std::to_string(batch),
+      t.add_row({report.method, std::to_string(batches[b]),
                  std::to_string(c.n_pp), std::to_string(c.n_tp),
                  std::to_string(c.s_mb), std::to_string(c.n_mb),
                  std::to_string(c.n_loop),

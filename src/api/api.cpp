@@ -1,6 +1,7 @@
 #include "api/api.h"
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "memmodel/memory.h"
 #include "runtime/pipeline_sim.h"
 
@@ -30,17 +31,25 @@ void fill_run(Report& report, const Scenario& scenario,
 
 }  // namespace
 
-Report run(const Scenario& scenario) {
+Report run_with(const Scenario& scenario, const Engine& engine) {
   Report report = base_report(scenario);
-  const runtime::RunResult result = runtime::simulate_batch(
+  const runtime::RunResult result = engine.evaluate(
       scenario.model, scenario.require_config(), scenario.cluster);
   fill_run(report, scenario, result);
   return report;
 }
 
-std::optional<Report> try_run(const Scenario& scenario) {
+Report run(const Scenario& scenario, const RunOptions& options) {
+  return run_with(scenario, *make_engine(options));
+}
+
+std::optional<Report> try_run_with(const Scenario& scenario,
+                                   const Engine& engine) {
+  // Only the two configuration-rejection errors are absorbed;
+  // everything else (bfpp::Error, std::exception) is a programming
+  // error and must propagate.
   try {
-    return run(scenario);
+    return run_with(scenario, engine);
   } catch (const ConfigError&) {
     return std::nullopt;
   } catch (const OutOfMemoryError&) {
@@ -48,13 +57,28 @@ std::optional<Report> try_run(const Scenario& scenario) {
   }
 }
 
-Report search(const Scenario& scenario, autotune::Method method) {
+std::optional<Report> try_run(const Scenario& scenario,
+                              const RunOptions& options) {
+  return try_run_with(scenario, *make_engine(options));
+}
+
+Report search(const Scenario& scenario, autotune::Method method,
+              const RunOptions& options) {
   check_config(scenario.batch_size >= 1,
                "api: search needs a scenario with a batch size");
   Report report = base_report(scenario);
   report.method = autotune::to_string(method);
-  const autotune::SearchResult found = autotune::find_best(
-      scenario.model, scenario.cluster, method, scenario.batch_size);
+  const std::unique_ptr<Engine> engine = make_engine(options);
+  autotune::SearchOptions search_options;
+  search_options.jobs = options.threads;
+  search_options.evaluate = [&engine](const model::TransformerSpec& spec,
+                                      const parallel::ParallelConfig& cfg,
+                                      const hw::ClusterSpec& cluster) {
+    return engine->evaluate(spec, cfg, cluster);
+  };
+  const autotune::SearchResult found =
+      autotune::find_best(scenario.model, scenario.cluster, method,
+                          scenario.batch_size, search_options);
   report.evaluated = found.evaluated;
   report.infeasible = found.infeasible;
   if (found.best) {
@@ -84,7 +108,8 @@ Timeline run_with_timeline(const Scenario& scenario,
   return timeline;
 }
 
-Report estimate_memory(const Scenario& scenario) {
+Report estimate_memory(const Scenario& scenario, const RunOptions& options) {
+  (void)options;
   Report report = base_report(scenario);
   report.found = true;
   report.config = scenario.require_config();

@@ -15,6 +15,12 @@
 //                                    .build());
 //   std::puts(report.to_json().c_str());
 //
+// Every entry point takes a RunOptions (engine.h) selecting the
+// execution backend - the event-driven simulator (default), the
+// closed-form analytic model, or the threaded ground-truth executor -
+// plus a kernel-model override and a thread budget. Batch campaigns over
+// whole grids of scenarios go through api::sweep() (sweep.h).
+//
 // Benches, examples and the `bfpp` CLI driver all sit on this layer; no
 // caller outside src/ should construct PipelineSim or call find_best
 // directly.
@@ -23,6 +29,7 @@
 #include <optional>
 #include <string>
 
+#include "api/engine.h"
 #include "api/registry.h"
 #include "api/report.h"
 #include "api/scenario.h"
@@ -31,19 +38,29 @@
 
 namespace bfpp::api {
 
-// Simulates one training batch of a fully-specified scenario. Throws
-// bfpp::ConfigError / bfpp::OutOfMemoryError for invalid or infeasible
-// configurations.
-Report run(const Scenario& scenario);
+// Simulates one training batch of a fully-specified scenario on the
+// backend options select. Throws bfpp::ConfigError /
+// bfpp::OutOfMemoryError for invalid or infeasible configurations.
+Report run(const Scenario& scenario, const RunOptions& options = {});
+// Same, on a caller-supplied engine (the primitive the above wraps).
+Report run_with(const Scenario& scenario, const Engine& engine);
 
-// Like run(), but returns nullopt instead of throwing on infeasible
-// configurations - the shape sweep benches want.
-std::optional<Report> try_run(const Scenario& scenario);
+// Like run(), but returns nullopt instead of throwing on invalid
+// (bfpp::ConfigError) or infeasible (bfpp::OutOfMemoryError)
+// configurations - the shape sweep benches want. Any other exception
+// (including plain bfpp::Error) is a programming error and propagates.
+std::optional<Report> try_run(const Scenario& scenario,
+                              const RunOptions& options = {});
+std::optional<Report> try_run_with(const Scenario& scenario,
+                                   const Engine& engine);
 
 // Grid-searches the configuration space for scenario.batch_size and
 // returns the best configuration's Report (found == false when nothing
-// fits). The scenario only needs model + cluster + batch.
-Report search(const Scenario& scenario, autotune::Method method);
+// fits). The scenario only needs model + cluster + batch. Candidates are
+// evaluated on the selected backend, options.threads at a time on the
+// shared pool (deterministic for every thread count).
+Report search(const Scenario& scenario, autotune::Method method,
+              const RunOptions& options = {});
 
 // run() plus a Figure-4-style ASCII timeline of the simulated batch.
 struct Timeline {
@@ -55,6 +72,9 @@ Timeline run_with_timeline(const Scenario& scenario,
 
 // Memory-model-only Report (no simulation): fills memory / memory_min
 // for the scenario's configuration, leaving the run result zeroed.
-Report estimate_memory(const Scenario& scenario);
+// (The memory model is closed-form; options exists for interface
+// uniformity and future backends.)
+Report estimate_memory(const Scenario& scenario,
+                       const RunOptions& options = {});
 
 }  // namespace bfpp::api

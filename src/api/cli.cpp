@@ -1,10 +1,14 @@
 #include "api/cli.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "api/api.h"
 #include "common/error.h"
 #include "common/strings.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
 
 namespace bfpp::api {
 
@@ -18,38 +22,211 @@ int parse_int_flag(const std::string& flag, const std::string& value) {
   return std::stoi(value);
 }
 
+std::vector<int> parse_int_list(const std::string& flag,
+                                const std::string& value) {
+  std::vector<int> out;
+  for (const std::string& item : split(value, ',')) {
+    out.push_back(parse_int_flag(flag, item));
+  }
+  check_config(!out.empty(),
+               str_format("cli: %s expects a comma-separated list of "
+                          "integers, got '%s'",
+                          flag.c_str(), value.c_str()));
+  return out;
+}
+
+std::vector<std::string> parse_name_list(const std::string& flag,
+                                         const std::string& value) {
+  std::vector<std::string> out = split(value, ',');
+  check_config(!out.empty(),
+               str_format("cli: %s expects a comma-separated list of names, "
+                          "got '%s'",
+                          flag.c_str(), value.c_str()));
+  return out;
+}
+
+RunOptions run_options_from_cli(const CliOptions& options) {
+  RunOptions run;
+  run.backend = parse_backend(options.backend);
+  run.threads = options.jobs;
+  return run;
+}
+
+// Writes `text` to --output (or stdout when unset).
+void emit_text(const std::string& text, const CliOptions& options) {
+  if (options.output.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return;
+  }
+  std::FILE* file = std::fopen(options.output.c_str(), "w");
+  check_config(file != nullptr,
+               str_format("cli: cannot open --output file '%s'",
+                          options.output.c_str()));
+  std::fputs(text.c_str(), file);
+  std::fclose(file);
+}
+
 void emit_report(const Report& report, const CliOptions& options) {
   if (options.json) {
-    std::fputs(report.to_json().c_str(), stdout);
+    emit_text(report.to_json(), options);
   } else if (options.csv) {
-    std::fputs(report.to_csv().c_str(), stdout);
+    emit_text(report.to_csv(), options);
   } else {
-    std::fputs(to_table({report}).to_string().c_str(), stdout);
+    emit_text(to_table({report}).to_string(), options);
+  }
+}
+
+void emit_reports(const std::vector<Report>& reports,
+                  const CliOptions& options) {
+  if (options.json) {
+    emit_text(to_json(reports), options);
+  } else if (options.csv) {
+    emit_text(to_csv(reports), options);
+  } else {
+    emit_text(to_table(reports).to_string(), options);
   }
 }
 
 int do_run(const CliOptions& options) {
   const Scenario scenario = scenario_from_cli(options);
   if (options.timeline) {
+    check_config(parse_backend(options.backend) == Backend::kSimulator,
+                 "cli: --timeline renders the simulator's task graph; it "
+                 "requires --backend sim");
     sim::GanttOptions gantt;
     gantt.width = options.width;
     const Timeline timeline = run_with_timeline(scenario, gantt);
     emit_report(timeline.report, options);
-    if (!options.json && !options.csv) {
+    if (!options.json && !options.csv && options.output.empty()) {
       std::fputs(timeline.gantt.c_str(), stdout);
     }
     return 0;
   }
-  emit_report(run(scenario), options);
+  emit_report(run(scenario, run_options_from_cli(options)), options);
   return 0;
 }
 
 int do_search(const CliOptions& options) {
   const Scenario scenario = scenario_from_cli(options);
-  const Report report =
-      search(scenario, autotune::parse_method(options.method));
+  const Report report = search(scenario, autotune::parse_method(options.method),
+                               run_options_from_cli(options));
   emit_report(report, options);
   return report.found ? 0 : 2;
+}
+
+int do_sweep(const CliOptions& options) {
+  const ScenarioGrid grid = grid_from_cli(options);
+  SweepOptions sweep_options;
+  sweep_options.jobs = options.jobs;
+  sweep_options.run = run_options_from_cli(options);
+  // The per-cell search shares the --jobs budget with the cell loop (one
+  // pool; waiting callers help), so a sweep of searches does not
+  // oversubscribe.
+  const std::vector<Report> reports = sweep(grid, sweep_options);
+  emit_reports(reports, options);
+  for (const Report& report : reports) {
+    if (report.found) return 0;
+  }
+  return 2;  // nothing feasible anywhere in the grid
+}
+
+// The paper's fixed configurations (Figure 5): the cross-validation set
+// for `bfpp validate`.
+struct ValidatePoint {
+  const char* model;
+  int n_pp, n_tp, n_dp;
+  std::vector<int> batches;
+};
+
+int do_validate(const CliOptions& options) {
+  const std::vector<ValidatePoint> points = {
+      {"52b", 8, 8, 1, {16, 32, 64}},
+      {"6.6b", 4, 2, 8, {64, 128, 256}},
+  };
+  const std::vector<SweepVariant> variants = {
+      {"bf", "bf", 4, false},
+      {"df", "df", 4, true},
+      {"gpipe", "gpipe", std::nullopt, false},
+      {"1f1b", "1f1b", std::nullopt, true},
+  };
+
+  std::vector<std::pair<std::string, Scenario>> cells;
+  for (const ValidatePoint& point : points) {
+    for (int batch : point.batches) {
+      for (const SweepVariant& variant : variants) {
+        ScenarioBuilder builder;
+        builder.model(point.model)
+            .cluster("dgx1-v100-ib")
+            .pp(point.n_pp)
+            .tp(point.n_tp)
+            .dp(point.n_dp)
+            .smb(1)
+            .nmb(batch / point.n_dp)
+            .schedule(variant.schedule);
+        if (variant.loop) builder.loop(*variant.loop);
+        if (variant.megatron) builder.megatron();
+        cells.emplace_back(str_format("%s b%d %s", point.model, batch,
+                                      variant.label.c_str()),
+                           builder.build());
+      }
+    }
+  }
+
+  RunOptions simulator_options;
+  simulator_options.backend = Backend::kSimulator;
+  const std::unique_ptr<Engine> simulator = make_engine(simulator_options);
+  RunOptions candidate_options = run_options_from_cli(options);
+  if (candidate_options.backend == Backend::kSimulator) {
+    candidate_options.backend = Backend::kAnalytic;  // the default check
+  }
+  const std::unique_ptr<Engine> candidate = make_engine(candidate_options);
+
+  std::vector<BackendComparison> rows(cells.size());
+  ThreadPool::shared().parallel_for(
+      static_cast<int>(cells.size()), options.jobs, [&](int i) {
+        const auto& [label, scenario] = cells[static_cast<size_t>(i)];
+        rows[static_cast<size_t>(i)] =
+            compare_backends(scenario.model, scenario.require_config(),
+                             scenario.cluster, *simulator, *candidate, label);
+      });
+
+  std::string out;
+  const std::string candidate_name = to_string(candidate->backend());
+  if (options.csv) {
+    out = str_format(
+        "scenario,batch_size,util_sim,util_%s,batch_time_sim_s,"
+        "batch_time_%s_s,batch_time_deviation\n",
+        candidate_name.c_str(), candidate_name.c_str());
+    for (const BackendComparison& row : rows) {
+      out += str_format("%s,%d,%.6g,%.6g,%.6g,%.6g,%.6g\n", row.label.c_str(),
+                        row.config.batch_size(), row.reference.utilization,
+                        row.candidate.utilization, row.reference.batch_time,
+                        row.candidate.batch_time, row.batch_time_deviation);
+    }
+  } else {
+    Table t({"Scenario", "B", "Util (sim)",
+             str_format("Util (%s)", candidate_name.c_str()),
+             "Batch time (sim)",
+             str_format("Batch time (%s)", candidate_name.c_str()),
+             "Deviation"});
+    double worst = 0.0;
+    for (const BackendComparison& row : rows) {
+      worst = std::max(worst, std::abs(row.batch_time_deviation));
+      t.add_row({row.label, std::to_string(row.config.batch_size()),
+                 str_format("%5.1f%%", 100.0 * row.reference.utilization),
+                 str_format("%5.1f%%", 100.0 * row.candidate.utilization),
+                 format_time(row.reference.batch_time),
+                 format_time(row.candidate.batch_time),
+                 str_format("%+.1f%%", 100.0 * row.batch_time_deviation)});
+    }
+    out = str_format("== %s-vs-simulator batch-time deviation, paper fixed "
+                     "configs (Figure 5) ==\n\n",
+                     candidate_name.c_str()) +
+          t.to_string() +
+          str_format("\nworst |deviation|: %.1f%%\n", 100.0 * worst);
+  }
+  emit_text(out, options);
+  return 0;
 }
 
 void list_section(const char* title, const std::vector<std::string>& names) {
@@ -85,10 +262,13 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     options.command = "help";
   }
   check_config(options.command == "run" || options.command == "search" ||
+                   options.command == "sweep" ||
+                   options.command == "validate" ||
                    options.command == "list" || options.command == "help",
-               str_format("cli: unknown command '%s' (run, search, list or "
-                          "help)",
+               str_format("cli: unknown command '%s' (run, search, sweep, "
+                          "validate, list or help)",
                           args[0].c_str()));
+  const bool sweeping = options.command == "sweep";
 
   size_t i = 1;
   if (options.command == "list" && i < args.size() &&
@@ -103,31 +283,86 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   for (; i < args.size(); ++i) {
     const std::string& flag = args[i];
     if (flag == "--model") {
-      options.model = value(flag);
+      if (sweeping) {
+        options.models = parse_name_list(flag, value(flag));
+      } else {
+        options.model = value(flag);
+      }
     } else if (flag == "--cluster") {
-      options.cluster = value(flag);
+      if (sweeping) {
+        options.clusters = parse_name_list(flag, value(flag));
+      } else {
+        options.cluster = value(flag);
+      }
     } else if (flag == "--preset") {
       options.preset = value(flag);
     } else if (flag == "--pp") {
-      options.pp = parse_int_flag(flag, value(flag));
+      if (sweeping) {
+        options.pps = parse_int_list(flag, value(flag));
+      } else {
+        options.pp = parse_int_flag(flag, value(flag));
+      }
     } else if (flag == "--tp") {
-      options.tp = parse_int_flag(flag, value(flag));
+      if (sweeping) {
+        options.tps = parse_int_list(flag, value(flag));
+      } else {
+        options.tp = parse_int_flag(flag, value(flag));
+      }
     } else if (flag == "--dp") {
-      options.dp = parse_int_flag(flag, value(flag));
+      if (sweeping) {
+        options.dps = parse_int_list(flag, value(flag));
+      } else {
+        options.dp = parse_int_flag(flag, value(flag));
+      }
     } else if (flag == "--smb") {
-      options.smb = parse_int_flag(flag, value(flag));
+      if (sweeping) {
+        options.smbs = parse_int_list(flag, value(flag));
+      } else {
+        options.smb = parse_int_flag(flag, value(flag));
+      }
     } else if (flag == "--nmb") {
-      options.nmb = parse_int_flag(flag, value(flag));
+      if (sweeping) {
+        options.nmbs = parse_int_list(flag, value(flag));
+      } else {
+        options.nmb = parse_int_flag(flag, value(flag));
+      }
     } else if (flag == "--loop") {
-      options.loop = parse_int_flag(flag, value(flag));
+      if (sweeping) {
+        options.loops = parse_int_list(flag, value(flag));
+      } else {
+        options.loop = parse_int_flag(flag, value(flag));
+      }
     } else if (flag == "--batch") {
-      options.batch = parse_int_flag(flag, value(flag));
+      if (sweeping) {
+        options.batches = parse_int_list(flag, value(flag));
+      } else {
+        options.batch = parse_int_flag(flag, value(flag));
+      }
     } else if (flag == "--schedule") {
-      options.schedule = value(flag);
+      if (sweeping) {
+        options.schedules = parse_name_list(flag, value(flag));
+      } else {
+        options.schedule = value(flag);
+      }
     } else if (flag == "--sharding") {
-      options.sharding = value(flag);
+      if (sweeping) {
+        options.shardings = parse_name_list(flag, value(flag));
+      } else {
+        options.sharding = value(flag);
+      }
     } else if (flag == "--method") {
-      options.method = value(flag);
+      if (sweeping) {
+        options.methods = parse_name_list(flag, value(flag));
+      } else {
+        options.method = value(flag);
+      }
+    } else if (flag == "--backend") {
+      options.backend = value(flag);
+    } else if (flag == "--jobs") {
+      options.jobs = parse_int_flag(flag, value(flag));
+    } else if (flag == "--output") {
+      options.output = value(flag);
+      check_config(!options.output.empty(), "cli: --output expects a path");
     } else if (flag == "--width") {
       options.width = parse_int_flag(flag, value(flag));
     } else if (flag == "--megatron") {
@@ -153,6 +388,7 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   }
   check_config(!(options.json && options.csv),
                "cli: --json and --csv are mutually exclusive");
+  parse_backend(options.backend);  // reject unknown backends early
   return options;
 }
 
@@ -204,15 +440,62 @@ Scenario scenario_from_cli(const CliOptions& options) {
   return builder.build();
 }
 
+ScenarioGrid grid_from_cli(const CliOptions& options) {
+  check_config(options.preset.empty(),
+               "cli: sweep grids are described by axis flags, not --preset");
+  SweepBuilder builder;
+  builder.models(options.models.empty()
+                     ? std::vector<std::string>{options.model}
+                     : options.models);
+  builder.clusters(options.clusters.empty()
+                       ? std::vector<std::string>{options.cluster}
+                       : options.clusters);
+  if (!options.batches.empty()) builder.batches(options.batches);
+  if (!options.methods.empty()) {
+    // The per-cell search enumerates grid/schedule/sharding itself;
+    // silently dropping flags that pin them would mislead.
+    const bool pinned = !options.schedules.empty() ||
+                        !options.shardings.empty() || !options.pps.empty() ||
+                        !options.tps.empty() || !options.dps.empty() ||
+                        !options.smbs.empty() || !options.nmbs.empty() ||
+                        !options.loops.empty() || options.megatron ||
+                        options.no_dp_overlap || options.no_pp_overlap;
+    check_config(!pinned,
+                 "cli: a --method sweep grid-searches the configuration "
+                 "space per cell; only --model/--cluster/--batch axes apply");
+    builder.methods(options.methods);
+  } else {
+    ScenarioBuilder base;
+    if (options.megatron) base.megatron();
+    if (options.no_dp_overlap || options.no_pp_overlap) {
+      base.overlap(!options.no_dp_overlap, !options.no_pp_overlap);
+    }
+    builder.base(base);
+    if (!options.schedules.empty()) builder.schedules(options.schedules);
+    if (!options.shardings.empty()) builder.shardings(options.shardings);
+    if (!options.pps.empty()) builder.pp(options.pps);
+    if (!options.tps.empty()) builder.tp(options.tps);
+    if (!options.dps.empty()) builder.dp(options.dps);
+    if (!options.smbs.empty()) builder.smb(options.smbs);
+    if (!options.nmbs.empty()) builder.nmb(options.nmbs);
+    if (!options.loops.empty()) builder.loops(options.loops);
+  }
+  return builder.build();
+}
+
 std::string cli_usage() {
   return
       "bfpp - breadth-first pipeline parallelism experiment driver\n"
       "\n"
       "usage:\n"
-      "  bfpp run    [scenario flags] [--json|--csv] [--timeline]\n"
-      "  bfpp search --batch B [--method M] [--model/--cluster] "
-      "[--json|--csv]\n"
-      "  bfpp list   [models|clusters|scenarios]\n"
+      "  bfpp run      [scenario flags] [--backend B] [--json|--csv]\n"
+      "                [--timeline]\n"
+      "  bfpp search   --batch B [--method M] [--model/--cluster]\n"
+      "                [--backend B] [--jobs N] [--json|--csv]\n"
+      "  bfpp sweep    [axis flags, comma lists] [--jobs N] [--backend B]\n"
+      "                [--json|--csv]\n"
+      "  bfpp validate [--jobs N] [--backend B] [--csv]\n"
+      "  bfpp list     [models|clusters|scenarios]\n"
       "  bfpp help\n"
       "\n"
       "scenario flags:\n"
@@ -232,8 +515,28 @@ std::string cli_usage() {
       "  --megatron          Megatron-LM capability flags (no overlap)\n"
       "  --no-dp-overlap / --no-pp-overlap / --no-overlap\n"
       "\n"
+      "sweeps (bfpp sweep):\n"
+      "  axis flags take comma lists (--batch 16,64,256 --method bf,df)\n"
+      "  and grid over the product, one Report row per cell. --method\n"
+      "  sweeps run the full grid search per cell; without --method the\n"
+      "  grid axes (--schedule/--pp/--tp/--smb/--nmb/--loop/--sharding)\n"
+      "  describe exact configurations. Rows are deterministic and\n"
+      "  independent of --jobs.\n"
+      "\n"
+      "execution:\n"
+      "  --backend B         sim (default) | analytic | threaded\n"
+      "                      sim: event-driven simulator (the paper's\n"
+      "                      numbers); analytic: closed-form model, fast\n"
+      "                      path for huge grids; threaded: real execution\n"
+      "                      of small proxy shapes on OS threads with\n"
+      "                      bitwise gradient checks (wall-clock only)\n"
+      "  --jobs N            parallel cells/candidates on the shared pool\n"
+      "                      (default: all hardware threads; results are\n"
+      "                      identical for every N)\n"
+      "\n"
       "output:\n"
-      "  --json / --csv      structured Report instead of a table\n"
+      "  --json / --csv      structured Report(s) instead of a table\n"
+      "  --output FILE       write the report/CSV/JSON to FILE\n"
       "  --timeline          append a Figure-4-style ASCII timeline (run)\n"
       "  --width N           timeline width in columns (default 100)\n"
       "\n"
@@ -241,7 +544,12 @@ std::string cli_usage() {
       "  bfpp run --model 52b --cluster dgx1-v100-ib --pp 8 --tp 8 \\\n"
       "           --nmb 16 --schedule bf --loop 4 --json\n"
       "  bfpp run --preset fig5a-bf-b16 --timeline\n"
-      "  bfpp search --model 6.6b --batch 64 --method bf\n";
+      "  bfpp search --model 6.6b --batch 64 --method bf --jobs 8\n"
+      "  bfpp sweep --model 6.6b --cluster dgx1-v100-eth \\\n"
+      "             --batch 16,64,256 --method bf,df --jobs 8 --csv\n"
+      "  bfpp sweep --pp 8 --tp 8 --batch 16,32,64 --schedule bf \\\n"
+      "             --loop 2,4,8 --csv\n"
+      "  bfpp validate --jobs 8\n";
 }
 
 int cli_main(int argc, char** argv) {
@@ -258,6 +566,8 @@ int cli_main(int argc, char** argv) {
     }
     if (options.command == "list") return do_list(options);
     if (options.command == "search") return do_search(options);
+    if (options.command == "sweep") return do_sweep(options);
+    if (options.command == "validate") return do_validate(options);
     return do_run(options);
   } catch (const Error& e) {
     std::fprintf(stderr, "bfpp: %s\n", e.what());

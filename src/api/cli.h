@@ -1,11 +1,20 @@
 // The `bfpp` command-line driver. Flag parsing and dispatch live in the
 // library (not in the example binary) so tests can exercise them.
 //
-//   bfpp run --model 52b --cluster dgx1-v100-ib --pp 8 --tp 8 --nmb 16
-//            --schedule bf --loop 4 --json
-//   bfpp run --preset fig5a-bf-b16 --timeline
-//   bfpp search --model 6.6b --cluster dgx1-v100-eth --batch 64 --method bf
-//   bfpp list [models|clusters|scenarios]
+//   bfpp run      --model 52b --cluster dgx1-v100-ib --pp 8 --tp 8
+//                 --nmb 16 --schedule bf --loop 4 --json
+//   bfpp run      --preset fig5a-bf-b16 --timeline
+//   bfpp search   --model 6.6b --cluster dgx1-v100-eth --batch 64
+//                 --method bf --jobs 8
+//   bfpp sweep    --model 6.6b --cluster dgx1-v100-eth
+//                 --batch 16,64,256 --method bf,df --jobs 8 --csv
+//   bfpp validate --jobs 8
+//   bfpp list     [models|clusters|scenarios]
+//
+// `sweep` axis flags take comma-separated lists and grid over the
+// product; `validate` cross-checks the analytic backend against the
+// simulator on the paper's fixed (Figure 5) configurations and prints a
+// deviation table.
 #pragma once
 
 #include <optional>
@@ -13,13 +22,14 @@
 #include <vector>
 
 #include "api/scenario.h"
+#include "api/sweep.h"
 
 namespace bfpp::api {
 
 struct CliOptions {
-  std::string command;  // "run", "search", "list" or "help"
+  std::string command;  // "run", "search", "sweep", "validate", "list", "help"
 
-  // Scenario selection.
+  // Scenario selection (run/search).
   std::string preset;                 // --preset <scenario name>
   std::string model = "52b";          // --model
   std::string cluster = "dgx1-v100-ib";  // --cluster (supports ":<nodes>")
@@ -33,9 +43,18 @@ struct CliOptions {
   // Search.
   std::string method = "bf";  // --method
 
+  // Sweep axes (the same flags, comma-separated; sweep command only).
+  std::vector<std::string> models, clusters, schedules, shardings, methods;
+  std::vector<int> batches, pps, tps, dps, smbs, nmbs, loops;
+
+  // Execution.
+  std::string backend = "sim";  // --backend sim|analytic|threaded
+  int jobs = 0;                 // --jobs (0 = all hardware threads)
+
   // Output.
   bool json = false;      // --json
   bool csv = false;       // --csv
+  std::string output;     // --output <file> (empty = stdout)
   bool timeline = false;  // --timeline (run only)
   int width = 100;        // --width (timeline columns)
 
@@ -49,6 +68,9 @@ CliOptions parse_cli(const std::vector<std::string>& args);
 
 // Builds the Scenario an option set describes (preset or flag-by-flag).
 Scenario scenario_from_cli(const CliOptions& options);
+
+// Builds the sweep campaign a `bfpp sweep` option set describes.
+ScenarioGrid grid_from_cli(const CliOptions& options);
 
 // The full usage text.
 std::string cli_usage();

@@ -90,7 +90,7 @@ std::string memory_json(const memmodel::MemoryEstimate& m,
 }
 
 std::string csv_quote(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
   std::string out = "\"";
   for (char c : s) {
     if (c == '"') out += '"';
@@ -112,6 +112,9 @@ std::string Report::to_json() const {
       str_format("\"batch_size\": %d", batch_size),
       "\"beta\": " + fmt_double(beta()),
       str_format("\"found\": %s", found ? "true" : "false")};
+  if (!found && !error.empty()) {
+    fields.push_back("\"error\": " + json_str(error));
+  }
   if (found) {
     fields.push_back("\"config\": " + config_json(config, "  "));
     fields.push_back("\"result\": " + result_json(result, "  "));
@@ -202,6 +205,19 @@ Table to_table(const std::vector<Report>& reports) {
 std::string to_csv(const std::vector<Report>& reports) {
   std::string out = Report::csv_header() + "\n";
   for (const Report& r : reports) out += r.to_csv_row() + "\n";
+  return out;
+}
+
+std::string to_json(const std::vector<Report>& reports) {
+  if (reports.empty()) return "[]\n";
+  std::string out = "[\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    std::string one = reports[i].to_json();
+    if (!one.empty() && one.back() == '\n') one.pop_back();
+    out += one;
+    out += i + 1 < reports.size() ? ",\n" : "\n";
+  }
+  out += "]\n";
   return out;
 }
 

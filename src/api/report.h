@@ -25,9 +25,13 @@ struct Report {
   int n_gpus = 0;
   int batch_size = 0;
 
-  // False when a search found no feasible configuration; the fields
-  // below are only meaningful when true.
+  // False when a search found no feasible configuration (or a sweep
+  // cell failed); the fields below are only meaningful when true.
   bool found = false;
+  // Why a sweep cell has found == false: the rejecting backend's message
+  // prefixed with "[config] " or "[oom] " (api::sweep fills this; plain
+  // searches leave it empty). JSON-only; the CSV column set is stable.
+  std::string error;
   parallel::ParallelConfig config;
   runtime::RunResult result;
   memmodel::MemoryEstimate memory;      // on the actual cluster
@@ -64,5 +68,7 @@ struct Report {
 Table to_table(const std::vector<Report>& reports);
 // Multi-row CSV (header + one row per report).
 std::string to_csv(const std::vector<Report>& reports);
+// JSON array (one object per report, same shape as Report::to_json).
+std::string to_json(const std::vector<Report>& reports);
 
 }  // namespace bfpp::api

@@ -1,0 +1,269 @@
+#include "api/sweep.h"
+
+#include "api/api.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace bfpp::api {
+
+namespace {
+
+// Sentinel-padded axes: an unset axis contributes one pass-through
+// element so the product loops stay uniform.
+std::vector<std::string> or_blank(const std::vector<std::string>& axis) {
+  return axis.empty() ? std::vector<std::string>{std::string()} : axis;
+}
+
+std::vector<int> or_zero(const std::vector<int>& axis) {
+  return axis.empty() ? std::vector<int>{0} : axis;
+}
+
+Report failed_report(const SweepCell& cell, const Scenario* scenario,
+                     const char* kind, const char* what) {
+  Report report;
+  report.scenario = cell.label;
+  if (scenario != nullptr) {
+    if (report.scenario.empty()) report.scenario = scenario->name;
+    report.model = scenario->model.name;
+    report.cluster = scenario->cluster.name;
+    report.n_gpus = scenario->cluster.total_gpus();
+    report.batch_size = scenario->batch_size;
+  }
+  if (cell.method) report.method = autotune::to_string(*cell.method);
+  report.found = false;
+  report.error = std::string(kind) + what;
+  return report;
+}
+
+Report run_cell(const SweepCell& cell, const Engine& engine,
+                const RunOptions& run_options) {
+  Scenario scenario;
+  try {
+    scenario = cell.scenario.build();
+  } catch (const ConfigError& e) {
+    return failed_report(cell, nullptr, "[config] ", e.what());
+  }
+  try {
+    Report report = cell.method
+                        ? search(scenario, *cell.method, run_options)
+                        : run_with(scenario, engine);
+    if (!cell.label.empty()) report.scenario = cell.label;
+    return report;
+  } catch (const ConfigError& e) {
+    return failed_report(cell, &scenario, "[config] ", e.what());
+  } catch (const OutOfMemoryError& e) {
+    return failed_report(cell, &scenario, "[oom] ", e.what());
+  }
+}
+
+}  // namespace
+
+ScenarioGrid& ScenarioGrid::push(SweepCell cell) {
+  cells_.push_back(std::move(cell));
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::base(ScenarioBuilder scenario) {
+  base_ = std::move(scenario);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::models(std::vector<std::string> names) {
+  models_ = std::move(names);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::clusters(std::vector<std::string> names) {
+  clusters_ = std::move(names);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::batches(std::vector<int> values) {
+  batches_ = std::move(values);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::methods(std::vector<std::string> names) {
+  methods_ = std::move(names);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::variants(std::vector<SweepVariant> values) {
+  variants_ = std::move(values);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::schedules(std::vector<std::string> names) {
+  schedules_ = std::move(names);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::shardings(std::vector<std::string> names) {
+  shardings_ = std::move(names);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::pp(std::vector<int> values) {
+  pp_ = std::move(values);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::tp(std::vector<int> values) {
+  tp_ = std::move(values);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::dp(std::vector<int> values) {
+  dp_ = std::move(values);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::smb(std::vector<int> values) {
+  smb_ = std::move(values);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::nmb(std::vector<int> values) {
+  nmb_ = std::move(values);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::loops(std::vector<int> values) {
+  loops_ = std::move(values);
+  return *this;
+}
+
+ScenarioGrid SweepBuilder::build() const {
+  const bool any_axis = !models_.empty() || !clusters_.empty() ||
+                        !methods_.empty() || !batches_.empty() ||
+                        !variants_.empty() || !schedules_.empty() ||
+                        !shardings_.empty() || !pp_.empty() || !tp_.empty() ||
+                        !dp_.empty() || !smb_.empty() || !nmb_.empty() ||
+                        !loops_.empty();
+  check_config(any_axis, "sweep: the grid is empty (set some axes)");
+  const bool search_mode = !methods_.empty();
+  if (search_mode) {
+    check_config(variants_.empty() && schedules_.empty() &&
+                     shardings_.empty() && pp_.empty() && tp_.empty() &&
+                     dp_.empty() && smb_.empty() && nmb_.empty() &&
+                     loops_.empty(),
+                 "sweep: methods() grid-searches the configuration space "
+                 "itself; it composes only with models/clusters/batches");
+    check_config(!batches_.empty(), "sweep: a search sweep needs batches()");
+  }
+
+  // Pass-through variant for the product loop.
+  std::vector<SweepVariant> variants = variants_;
+  if (variants.empty()) variants.push_back(SweepVariant{});
+
+  ScenarioGrid grid;
+  for (const std::string& model : or_blank(models_)) {
+    for (const std::string& cluster : or_blank(clusters_)) {
+      for (const std::string& method : or_blank(methods_)) {
+        for (int batch : or_zero(batches_)) {
+          for (const SweepVariant& variant : variants) {
+            for (const std::string& schedule : or_blank(schedules_)) {
+              for (const std::string& sharding : or_blank(shardings_)) {
+                for (int n_pp : or_zero(pp_)) {
+                  for (int n_tp : or_zero(tp_)) {
+                    for (int n_dp : or_zero(dp_)) {
+                      for (int s_mb : or_zero(smb_)) {
+                        for (int n_mb : or_zero(nmb_)) {
+                          for (int n_loop : or_zero(loops_)) {
+                            SweepCell cell;
+                            cell.scenario = base_;
+                            std::vector<std::string> parts;
+                            if (!model.empty()) {
+                              cell.scenario.model(model);
+                              parts.push_back(model);
+                            }
+                            if (!cluster.empty()) {
+                              cell.scenario.cluster(cluster);
+                              parts.push_back(cluster);
+                            }
+                            if (!method.empty()) {
+                              cell.method = autotune::parse_method(method);
+                              parts.push_back(method);
+                            }
+                            if (batch > 0) {
+                              cell.scenario.batch(batch);
+                              parts.push_back(str_format("b%d", batch));
+                            }
+                            if (!variant.schedule.empty()) {
+                              cell.scenario.schedule(variant.schedule);
+                              if (variant.loop) {
+                                cell.scenario.loop(*variant.loop);
+                              }
+                              if (variant.megatron) cell.scenario.megatron();
+                              parts.push_back(variant.label.empty()
+                                                  ? variant.schedule
+                                                  : variant.label);
+                            }
+                            if (!schedule.empty()) {
+                              cell.scenario.schedule(schedule);
+                              parts.push_back(schedule);
+                            }
+                            if (!sharding.empty()) {
+                              cell.scenario.sharding(sharding);
+                              parts.push_back(sharding);
+                            }
+                            if (n_pp > 0) {
+                              cell.scenario.pp(n_pp);
+                              parts.push_back(str_format("pp%d", n_pp));
+                            }
+                            if (n_tp > 0) {
+                              cell.scenario.tp(n_tp);
+                              parts.push_back(str_format("tp%d", n_tp));
+                            }
+                            if (n_dp > 0) {
+                              cell.scenario.dp(n_dp);
+                              parts.push_back(str_format("dp%d", n_dp));
+                            }
+                            if (s_mb > 0) {
+                              cell.scenario.smb(s_mb);
+                              parts.push_back(str_format("smb%d", s_mb));
+                            }
+                            if (n_mb > 0) {
+                              cell.scenario.nmb(n_mb);
+                              parts.push_back(str_format("nmb%d", n_mb));
+                            }
+                            if (n_loop > 0) {
+                              cell.scenario.loop(n_loop);
+                              parts.push_back(str_format("loop%d", n_loop));
+                            }
+                            cell.label = join(parts, "/");
+                            cell.scenario.name(cell.label);
+                            grid.push(std::move(cell));
+                          }
+                        }
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<Report> sweep(const ScenarioGrid& grid,
+                          const SweepOptions& options) {
+  const std::vector<SweepCell>& cells = grid.cells();
+  std::vector<Report> reports(cells.size());
+  const std::unique_ptr<Engine> engine = make_engine(options.run);
+  // One Report per cell, addressed by index: the result order (and every
+  // byte of its CSV) is independent of the jobs value.
+  ThreadPool::shared().parallel_for(
+      static_cast<int>(cells.size()), options.jobs, [&](int i) {
+        reports[static_cast<size_t>(i)] =
+            run_cell(cells[static_cast<size_t>(i)], *engine, options.run);
+      });
+  return reports;
+}
+
+}  // namespace bfpp::api

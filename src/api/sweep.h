@@ -1,0 +1,123 @@
+// Batch experiment campaigns: axis-product grids of scenarios executed
+// in parallel on the shared thread pool.
+//
+// Everything the paper reports is a sweep - Figures 5-9 and the
+// Appendix E tables each grid over batch sizes, schedules and methods -
+// so the api exposes the loop itself:
+//
+//   const auto reports = api::sweep(api::SweepBuilder()
+//                                       .models({"6.6b"})
+//                                       .clusters({"dgx1-v100-eth"})
+//                                       .batches({16, 64, 256})
+//                                       .methods({"bf", "df"})
+//                                       .build(),
+//                                   {.jobs = 8});
+//   std::fputs(api::to_csv(reports).c_str(), stdout);
+//
+// A grid is a flat, ordered vector of cells. Each cell is either a
+// search cell (method set: grid-search the space for the cell's batch
+// size, like api::search) or a run cell (fully-specified grid, like
+// api::try_run). Cells that fail to build or execute produce a Report
+// with found == false and the failure recorded in Report::error - one
+// row per cell, always, so downstream tables stay rectangular.
+//
+// Determinism contract: sweep() returns exactly one Report per cell, in
+// cell order, independent of jobs - the CSV of a sweep is byte-identical
+// for --jobs 1 and --jobs 8.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/report.h"
+#include "api/scenario.h"
+#include "autotune/autotune.h"
+
+namespace bfpp::api {
+
+// One cell of a campaign: a scenario recipe (built lazily so structurally
+// invalid axis combinations become found == false rows instead of
+// aborting the grid) plus an optional search method.
+struct SweepCell {
+  ScenarioBuilder scenario;
+  std::optional<autotune::Method> method;  // set: search cell; unset: run
+  std::string label;                       // Report::scenario for the cell
+};
+
+class ScenarioGrid {
+ public:
+  ScenarioGrid& push(SweepCell cell);
+
+  [[nodiscard]] size_t size() const { return cells_.size(); }
+  [[nodiscard]] bool empty() const { return cells_.empty(); }
+  [[nodiscard]] const std::vector<SweepCell>& cells() const { return cells_; }
+
+ private:
+  std::vector<SweepCell> cells_;
+};
+
+// A coupled point of the schedule axis: schedule kind plus the loop
+// count and capability flags that only make sense together (e.g. the
+// Figure 5 columns: bf/loop4, df/loop4/megatron, gpipe, 1f1b/megatron).
+struct SweepVariant {
+  std::string label;
+  std::string schedule;          // parse_schedule_kind names
+  std::optional<int> loop;
+  bool megatron = false;
+};
+
+// Fluent axis-product builder. Every list axis defaults to a single
+// "unset" element (inherit base()); build() emits the row-major product
+// in fixed nesting order, outermost first:
+//   model > cluster > method > batch > variant > schedule > sharding
+//   > pp > tp > dp > smb > nmb > loop
+// The methods() axis switches the grid to search cells; it composes only
+// with models/clusters/batches (searches enumerate the rest themselves).
+class SweepBuilder {
+ public:
+  SweepBuilder& base(ScenarioBuilder scenario);  // shared cell settings
+
+  SweepBuilder& models(std::vector<std::string> names);
+  SweepBuilder& clusters(std::vector<std::string> names);
+  SweepBuilder& batches(std::vector<int> values);
+  SweepBuilder& methods(std::vector<std::string> names);  // search mode
+  SweepBuilder& variants(std::vector<SweepVariant> values);
+  SweepBuilder& schedules(std::vector<std::string> names);
+  SweepBuilder& shardings(std::vector<std::string> names);
+  SweepBuilder& pp(std::vector<int> values);
+  SweepBuilder& tp(std::vector<int> values);
+  SweepBuilder& dp(std::vector<int> values);
+  SweepBuilder& smb(std::vector<int> values);
+  SweepBuilder& nmb(std::vector<int> values);
+  SweepBuilder& loops(std::vector<int> values);
+
+  // The axis product. Throws bfpp::ConfigError when the composition is
+  // contradictory (methods with grid axes, or an empty grid).
+  [[nodiscard]] ScenarioGrid build() const;
+
+ private:
+  ScenarioBuilder base_;
+  std::vector<std::string> models_, clusters_, methods_, schedules_,
+      shardings_;
+  std::vector<SweepVariant> variants_;
+  std::vector<int> batches_, pp_, tp_, dp_, smb_, nmb_, loops_;
+};
+
+struct SweepOptions {
+  // Cells run concurrently on the shared pool (common/thread_pool.h).
+  // 0 = all hardware threads; 1 = serial. Output is identical either way.
+  int jobs = 0;
+  // Backend / kernel override / per-search thread budget for every cell.
+  RunOptions run;
+};
+
+// Executes every cell of the grid; returns one Report per cell, in cell
+// order. ConfigError / OutOfMemoryError inside a cell become
+// found == false rows (error prefixed "[config] " / "[oom] "); other
+// exceptions are programming errors and propagate.
+std::vector<Report> sweep(const ScenarioGrid& grid,
+                          const SweepOptions& options = {});
+
+}  // namespace bfpp::api

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace bfpp::autotune {
 
@@ -159,24 +160,41 @@ std::vector<ParallelConfig> enumerate_configs(
 
 SearchResult find_best(const model::TransformerSpec& spec,
                        const hw::ClusterSpec& cluster, Method method,
-                       int batch_size) {
+                       int batch_size, const SearchOptions& options) {
+  const std::vector<ParallelConfig> configs =
+      enumerate_configs(spec, cluster, method, batch_size);
+  const Evaluator& evaluate =
+      options.evaluate ? options.evaluate : runtime::simulate_batch;
+
+  // Candidates are evaluated concurrently into index-addressed slots and
+  // reduced serially in enumeration order below, so the result (best,
+  // frugal, counters, ties) is identical for every jobs value.
+  std::vector<std::optional<Candidate>> slots(configs.size());
+  ThreadPool::shared().parallel_for(
+      static_cast<int>(configs.size()), options.jobs, [&](int i) {
+        const ParallelConfig& cfg = configs[static_cast<size_t>(i)];
+        try {
+          const runtime::RunResult run = evaluate(spec, cfg, cluster);
+          slots[static_cast<size_t>(i)] =
+              Candidate{cfg, run, memmodel::estimate(spec, cfg),
+                        memmodel::estimate(spec, cfg, true)};
+        } catch (const ConfigError&) {  // infeasible: slot stays empty
+        } catch (const OutOfMemoryError&) {
+        }
+      });
+
   SearchResult result;
   std::vector<Candidate> candidates;
-  for (const ParallelConfig& cfg :
-       enumerate_configs(spec, cluster, method, batch_size)) {
-    try {
-      const runtime::RunResult run = runtime::simulate_batch(spec, cfg, cluster);
-      ++result.evaluated;
-      candidates.push_back(Candidate{cfg, run, memmodel::estimate(spec, cfg),
-                                     memmodel::estimate(spec, cfg, true)});
-      if (!result.best ||
-          run.throughput_per_gpu > result.best->result.throughput_per_gpu) {
-        result.best = candidates.back();
-      }
-    } catch (const ConfigError&) {
+  for (const std::optional<Candidate>& slot : slots) {
+    if (!slot) {
       ++result.infeasible;
-    } catch (const OutOfMemoryError&) {
-      ++result.infeasible;
+      continue;
+    }
+    ++result.evaluated;
+    candidates.push_back(*slot);
+    if (!result.best || slot->result.throughput_per_gpu >
+                            result.best->result.throughput_per_gpu) {
+      result.best = candidates.back();
     }
   }
   if (result.best) {

@@ -14,6 +14,7 @@
 //                  gradient accumulation (Appendix C)
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -62,11 +63,31 @@ std::vector<parallel::ParallelConfig> enumerate_configs(
     const model::TransformerSpec& spec, const hw::ClusterSpec& cluster,
     Method method, int batch_size);
 
-// Grid search: simulate every feasible candidate, return the best by
+// Evaluates one fully-specified candidate configuration. Throws
+// bfpp::ConfigError / bfpp::OutOfMemoryError to reject it (counted as
+// infeasible). The default is the event-driven simulator
+// (runtime::simulate_batch); api::Engine backends substitute the
+// closed-form analytic model for huge grids.
+using Evaluator = std::function<runtime::RunResult(
+    const model::TransformerSpec&, const parallel::ParallelConfig&,
+    const hw::ClusterSpec&)>;
+
+struct SearchOptions {
+  // Candidate evaluations to run concurrently on the shared thread pool
+  // (common/thread_pool.h). 0 = all hardware threads; 1 = serial. The
+  // result is byte-identical for every jobs value: candidates are
+  // evaluated into index-addressed slots and reduced serially in
+  // enumeration order.
+  int jobs = 1;
+  // nullptr = runtime::simulate_batch.
+  Evaluator evaluate;
+};
+
+// Grid search: evaluate every feasible candidate, return the best by
 // throughput. best is empty when nothing fits.
 SearchResult find_best(const model::TransformerSpec& spec,
                        const hw::ClusterSpec& cluster, Method method,
-                       int batch_size);
+                       int batch_size, const SearchOptions& options = {});
 
 // The batch-size sweeps of Figure 7 (per model).
 std::vector<int> paper_batch_sizes_52b();

@@ -74,6 +74,23 @@ std::vector<std::string> split_ws(const std::string& s) {
   return out;
 }
 
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      if (!cur.empty()) {
+        out.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
 std::string format_bytes(double bytes) {
   if (bytes >= 1e12) return str_format("%.2f TB", bytes / 1e12);
   if (bytes >= 1e9) return str_format("%.2f GB", bytes / 1e9);

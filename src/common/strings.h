@@ -51,6 +51,9 @@ std::string to_lower(std::string s);
 // Splits on runs of whitespace, dropping empty tokens.
 std::vector<std::string> split_ws(const std::string& s);
 
+// Splits on `sep`, dropping empty tokens ("a,,b" -> {"a", "b"}).
+std::vector<std::string> split(const std::string& s, char sep);
+
 // Human-readable byte count, e.g. "15.96 GB" (decimal units, matching the
 // paper's tables which report GB).
 std::string format_bytes(double bytes);

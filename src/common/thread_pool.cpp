@@ -1,0 +1,144 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace bfpp {
+
+namespace {
+
+// State shared by all participants of one parallel_for. Lives in a
+// shared_ptr because enqueued driver tasks may outlive the call (a
+// driver that never got scheduled wakes up after the loop is done,
+// finds no index to claim, and exits).
+struct ForLoop {
+  int n = 0;
+  const std::function<void(int)>* fn = nullptr;
+  std::atomic<int> next_index{0};
+  std::atomic<int> completed{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  // Lowest-index exception, so the rethrown error does not depend on
+  // thread interleaving.
+  int error_index = -1;
+  std::exception_ptr error;
+
+  // Claims indices until the counter runs dry. Every claimed index is
+  // counted as completed even when fn throws, so the caller's wait
+  // always terminates.
+  void drain() {
+    for (;;) {
+      const int i = next_index.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (error_index < 0 || i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int n_threads) {
+  const int n = std::max(1, n_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()) - 1));
+  return pool;
+}
+
+int ThreadPool::resolve_jobs(int jobs) const {
+  return jobs > 0 ? jobs : size() + 1;  // workers + the calling thread
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::run_one_task() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::parallel_for(int n, int jobs,
+                              const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const int width = std::min(resolve_jobs(jobs), n);
+  if (width <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto loop = std::make_shared<ForLoop>();
+  loop->n = n;
+  loop->fn = &fn;
+
+  // width - 1 drivers on the pool; the caller is the width-th.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int d = 0; d < width - 1; ++d) {
+      queue_.emplace_back([loop] { loop->drain(); });
+    }
+  }
+  work_available_.notify_all();
+
+  loop->drain();
+
+  // Wait for stragglers; steal pending pool tasks (other loops' drivers)
+  // while waiting so nested parallel_for calls cannot deadlock.
+  while (loop->completed.load(std::memory_order_acquire) < n) {
+    if (run_one_task()) continue;
+    std::unique_lock<std::mutex> lock(loop->mutex);
+    loop->done.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return loop->completed.load(std::memory_order_acquire) >= n;
+    });
+  }
+
+  if (loop->error) std::rethrow_exception(loop->error);
+}
+
+}  // namespace bfpp

@@ -1,0 +1,76 @@
+// Shared work-stealing thread pool for parallel experiment campaigns.
+//
+// One process-wide pool (ThreadPool::shared()) backs both api::sweep()
+// cell execution and autotune::find_best candidate evaluation, so nested
+// parallelism (a sweep of searches) shares a single thread budget
+// instead of oversubscribing the machine.
+//
+// Scheduling is work-stealing at two levels:
+//  * within a parallel_for, every participant - pool workers and the
+//    calling thread, which always works too - steals the next undone
+//    index from a shared atomic counter, so uneven per-item costs
+//    (simulating a 512-GPU config vs rejecting an invalid one) balance
+//    dynamically;
+//  * a caller whose loop has run dry but is still waiting on straggler
+//    indices steals whole pending tasks from the pool's run queue, so a
+//    blocked outer loop keeps executing inner-loop work instead of
+//    idling. This also makes nested parallel_for calls deadlock-free:
+//    waiting threads make progress on behalf of the pool.
+//
+// Determinism contract: parallel_for(n, jobs, fn) invokes fn(i) exactly
+// once for every i in [0, n), with results addressed by index, so output
+// order never depends on jobs or on thread interleaving. Callers keep
+// byte-identical results across --jobs values by reducing index-ordered
+// slots serially afterwards.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bfpp {
+
+class ThreadPool {
+ public:
+  // A pool of `n_threads` workers (minimum 1). Threads are lazy: they
+  // sleep on a condition variable when the run queue is empty.
+  explicit ThreadPool(int n_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // The process-wide pool, sized to the hardware concurrency.
+  static ThreadPool& shared();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  // Resolves a user-facing --jobs value: 0 (or negative) means "all
+  // hardware threads" (pool workers + the calling thread).
+  [[nodiscard]] int resolve_jobs(int jobs) const;
+
+  // Runs fn(i) for every i in [0, n) on up to `jobs` threads (the caller
+  // included; jobs <= 1 runs serially inline). Blocks until all n calls
+  // completed. If any fn(i) throws, the exception thrown by the
+  // lowest-index failing call is rethrown here after the loop drains
+  // (deterministic across jobs values). Safe to call from inside a pool
+  // task: nested calls share the pool and the waiting caller helps
+  // execute pending work.
+  void parallel_for(int n, int jobs, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+  // Pops and runs one pending task; returns false when the queue is
+  // empty. Used by waiting callers to steal work.
+  bool run_one_task();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_ = false;
+};
+
+}  // namespace bfpp

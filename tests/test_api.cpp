@@ -223,6 +223,46 @@ TEST(Report, JsonEscapesStrings) {
   EXPECT_NE(json.find("\"quo\\\"te\\\\path\\n\""), std::string::npos);
 }
 
+TEST(Report, JsonEscapesHostileNamesEverywhere) {
+  // A hostile name() must come out escaped in every string field the
+  // JSON emitter interpolates: scenario, model, cluster and method.
+  const std::string hostile =
+      "evil\"name\\with\tctrl\x01"
+      "and\rnewline\n";
+  const std::string escaped =
+      "evil\\\"name\\\\with\\tctrl\\u0001and\\u000dnewline\\n";
+  Report r = golden_report();
+  r.scenario = hostile;
+  r.model = hostile;
+  r.cluster = hostile;
+  r.method = hostile;
+  const std::string json = r.to_json();
+  EXPECT_EQ(json.find(hostile), std::string::npos) << "raw interpolation";
+  EXPECT_NE(json.find("\"scenario\": \"" + escaped + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"model\": \"" + escaped + "\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster\": \"" + escaped + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"method\": \"" + escaped + "\""), std::string::npos);
+  // No unescaped quote/control byte may survive inside any JSON string.
+  for (char c : json) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 || c == '\n') << +c;
+  }
+}
+
+TEST(Report, HostileScenarioNameSurvivesTheBuilderRoundTrip) {
+  // End to end: a hostile ScenarioBuilder::name() flows through
+  // estimate_memory into valid JSON and quoted CSV.
+  const Scenario s =
+      fig5a_builder().name("bad\"name,\\with\nbreaks\r").build();
+  const Report report = estimate_memory(s);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"bad\\\"name,\\\\with\\nbreaks\\u000d\""),
+            std::string::npos);
+  const std::string csv = report.to_csv_row();
+  EXPECT_EQ(csv.rfind("\"bad\"\"name,\\with\nbreaks\r\"", 0), 0u);
+}
+
 TEST(Report, CsvGolden) {
   const std::string csv = golden_report().to_csv();
   const std::string expected_header =

@@ -130,6 +130,61 @@ TEST(FindBest, EthernetPrefersLessDataParallelism) {
   EXPECT_GT(ib.best->result.utilization, eth.best->result.utilization);
 }
 
+TEST(FindBest, ParallelEvaluationIsDeterministic) {
+  // Candidates evaluate on the shared pool into index-addressed slots;
+  // the reduced result must be identical for every jobs value, including
+  // tie-breaks and the infeasible/evaluated counters.
+  const auto spec = model::model_6_6b();
+  const auto cluster = hw::dgx1_v100_infiniband();
+  SearchOptions serial;
+  serial.jobs = 1;
+  SearchOptions wide;
+  wide.jobs = 8;
+  const auto a = find_best(spec, cluster, Method::kBreadthFirst, 64, serial);
+  const auto b = find_best(spec, cluster, Method::kBreadthFirst, 64, wide);
+  ASSERT_TRUE(a.best && b.best);
+  EXPECT_EQ(a.best->config, b.best->config);
+  EXPECT_DOUBLE_EQ(a.best->result.throughput_per_gpu,
+                   b.best->result.throughput_per_gpu);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  EXPECT_EQ(a.infeasible, b.infeasible);
+  ASSERT_EQ(a.frugal.has_value(), b.frugal.has_value());
+  if (a.frugal) EXPECT_EQ(a.frugal->config, b.frugal->config);
+}
+
+TEST(FindBest, CustomEvaluatorDrivesTheSearch) {
+  // An evaluator that prefers small N_TP must decide the winner; one
+  // that always rejects must leave best empty and count everything
+  // infeasible.
+  SearchOptions options;
+  options.jobs = 2;
+  options.evaluate = [](const model::TransformerSpec&,
+                        const parallel::ParallelConfig& cfg,
+                        const hw::ClusterSpec&) {
+    runtime::RunResult result;
+    result.throughput_per_gpu = 1.0 / cfg.n_tp;
+    return result;
+  };
+  const auto spec = model::model_6_6b();
+  const auto cluster = hw::dgx1_v100_infiniband();
+  const auto best =
+      find_best(spec, cluster, Method::kBreadthFirst, 64, options);
+  ASSERT_TRUE(best.best.has_value());
+  EXPECT_EQ(best.best->config.n_tp, 1);
+  EXPECT_EQ(best.infeasible, 0);
+
+  options.evaluate = [](const model::TransformerSpec&,
+                        const parallel::ParallelConfig&,
+                        const hw::ClusterSpec&) -> runtime::RunResult {
+    throw ConfigError("rejected");
+  };
+  const auto none =
+      find_best(spec, cluster, Method::kBreadthFirst, 64, options);
+  EXPECT_FALSE(none.best.has_value());
+  EXPECT_EQ(none.evaluated, 0);
+  EXPECT_GT(none.infeasible, 0);
+}
+
 TEST(BatchSizes, MatchThePaperSweeps) {
   EXPECT_EQ(paper_batch_sizes_52b().front(), 8);
   EXPECT_EQ(paper_batch_sizes_52b().back(), 512);

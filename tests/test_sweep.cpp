@@ -1,0 +1,424 @@
+// Tests for the multi-backend execution layer and parallel sweep
+// campaigns: the shared work-stealing thread pool, the Engine backends
+// (simulator / analytic / threaded), SweepBuilder grids, sweep()
+// determinism across thread counts, and the sweep/validate CLI surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/api.h"
+#include "api/cli.h"
+#include "api/engine.h"
+#include "api/sweep.h"
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace bfpp::api {
+namespace {
+
+// ---- Thread pool ----
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, 8, [&](int i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SerialAndEmptyLoops) {
+  ThreadPool pool(2);
+  int sum = 0;  // jobs = 1 runs inline on the caller: no races
+  pool.parallel_for(5, 1, [&](int i) { sum += i; });
+  EXPECT_EQ(sum, 10);
+  pool.parallel_for(0, 8, [&](int) { FAIL() << "empty loop ran a body"; });
+}
+
+TEST(ThreadPool, NestedLoopsDoNotDeadlock) {
+  // A 1-worker pool forces the nested waits onto the helping path.
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, 4, [&](int) {
+    pool.parallel_for(8, 4, [&](int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, RethrowsTheLowestIndexError) {
+  ThreadPool pool(4);
+  for (int jobs : {1, 4}) {
+    try {
+      pool.parallel_for(64, jobs, [](int i) {
+        if (i % 7 == 3) {  // lowest failing index is 3
+          throw ConfigError("boom " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected throw";
+    } catch (const ConfigError& e) {
+      EXPECT_STREQ(e.what(), "boom 3") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ThreadPool, ResolveJobs) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.resolve_jobs(0), 4);  // workers + caller
+  EXPECT_EQ(pool.resolve_jobs(2), 2);
+}
+
+// ---- Backends ----
+
+TEST(Backend, NamesRoundTrip) {
+  for (Backend b :
+       {Backend::kSimulator, Backend::kAnalytic, Backend::kThreaded}) {
+    EXPECT_EQ(parse_backend(to_string(b)), b);
+  }
+  EXPECT_EQ(parse_backend("SIM"), Backend::kSimulator);
+  EXPECT_EQ(parse_backend("theory"), Backend::kAnalytic);
+  EXPECT_EQ(parse_backend("exec"), Backend::kThreaded);
+  EXPECT_THROW(parse_backend("cuda"), ConfigError);
+}
+
+Scenario fig5a(int batch) {
+  return ScenarioBuilder()
+      .model("52b")
+      .cluster("dgx1-v100-ib")
+      .pp(8)
+      .tp(8)
+      .nmb(batch)
+      .schedule("bf")
+      .loop(4)
+      .build();
+}
+
+TEST(Backend, AnalyticTracksTheSimulatorOnFigure5a) {
+  // The closed-form model and the simulator implement the same paper;
+  // on the Figure 5a operating point they must agree on batch time
+  // within tolerance (the analytic path skips latency interleaving and
+  // reconstruction stalls, so exact equality is not expected).
+  RunOptions analytic;
+  analytic.backend = Backend::kAnalytic;
+  const BackendComparison cmp =
+      compare_backends(fig5a(16).model, fig5a(16).require_config(),
+                       fig5a(16).cluster, *make_engine({}), *make_engine(analytic));
+  EXPECT_GT(cmp.candidate.utilization, 0.3);
+  EXPECT_LT(std::abs(cmp.batch_time_deviation), 0.15);
+  EXPECT_LT(std::abs(cmp.utilization_deviation), 0.15);
+}
+
+TEST(Backend, AnalyticPrunesLikeTheSimulator) {
+  // Invalid and out-of-memory configurations must throw the same error
+  // classes so a search prunes the same space on either backend.
+  const Scenario oom = ScenarioBuilder()
+                           .model("52b")
+                           .cluster("dgx1-v100-ib")
+                           .pp(1)
+                           .tp(1)
+                           .dp(64)
+                           .nmb(1)
+                           .schedule("gpipe")
+                           .build();
+  RunOptions analytic;
+  analytic.backend = Backend::kAnalytic;
+  EXPECT_THROW(run(oom, analytic), OutOfMemoryError);
+  EXPECT_FALSE(try_run(oom, analytic).has_value());
+}
+
+TEST(Backend, AnalyticSearchFindsAConfig) {
+  // The fast path for huge grids: a full method search on the
+  // closed-form model.
+  RunOptions analytic;
+  analytic.backend = Backend::kAnalytic;
+  analytic.threads = 2;
+  const Report report = search(ScenarioBuilder()
+                                   .model("6.6b")
+                                   .cluster("dgx1-v100-ib")
+                                   .batch(64)
+                                   .build(),
+                               autotune::Method::kBreadthFirst, analytic);
+  EXPECT_TRUE(report.found);
+  EXPECT_GT(report.evaluated, 0);
+  EXPECT_EQ(report.config.batch_size(), 64);
+  EXPECT_GT(report.result.utilization, 0.2);
+}
+
+TEST(Backend, ThreadedExecutesSmallShapesForReal) {
+  // 4 devices x 2 loops x 8 micro-batches on real OS threads; the
+  // backend bitwise-checks gradients against serial execution and
+  // reports the measured wall-clock.
+  const Scenario s = ScenarioBuilder()
+                         .model("6.6b")
+                         .cluster("dgx1-v100-ib")
+                         .pp(4)
+                         .tp(2)
+                         .dp(8)
+                         .smb(1)
+                         .nmb(8)
+                         .schedule("bf")
+                         .loop(2)
+                         .build();
+  RunOptions threaded;
+  threaded.backend = Backend::kThreaded;
+  const Report report = run(s, threaded);
+  EXPECT_TRUE(report.found);
+  EXPECT_GT(report.result.batch_time, 0.0);
+  EXPECT_DOUBLE_EQ(report.result.throughput_per_gpu, 0.0);  // proxy shape
+  EXPECT_GT(report.memory.total(), 0.0);  // memory model still applies
+}
+
+TEST(Backend, ThreadedRejectsLargeShapes) {
+  const Scenario s = ScenarioBuilder()
+                         .model("52b")
+                         .cluster("dgx1-v100-ib:64")
+                         .pp(8)
+                         .tp(8)
+                         .dp(8)
+                         .nmb(512)
+                         .schedule("bf")
+                         .loop(4)
+                         .build();
+  RunOptions threaded;
+  threaded.backend = Backend::kThreaded;
+  EXPECT_THROW(run(s, threaded), ConfigError);
+  EXPECT_FALSE(try_run(s, threaded).has_value());
+}
+
+// try_run absorbs exactly the two configuration-rejection errors;
+// anything else is a programming error and must propagate.
+class ThrowingEngine : public Engine {
+ public:
+  explicit ThrowingEngine(int kind) : kind_(kind) {}
+  [[nodiscard]] Backend backend() const override {
+    return Backend::kSimulator;
+  }
+  [[nodiscard]] runtime::RunResult evaluate(
+      const model::TransformerSpec&, const parallel::ParallelConfig&,
+      const hw::ClusterSpec&) const override {
+    if (kind_ == 0) throw ConfigError("config");
+    if (kind_ == 1) throw OutOfMemoryError("oom");
+    throw Error("programming error");
+  }
+
+ private:
+  int kind_;
+};
+
+TEST(TryRun, AbsorbsOnlyConfigurationErrors) {
+  const Scenario s = fig5a(16);
+  EXPECT_FALSE(try_run_with(s, ThrowingEngine(0)).has_value());
+  EXPECT_FALSE(try_run_with(s, ThrowingEngine(1)).has_value());
+  EXPECT_THROW(try_run_with(s, ThrowingEngine(2)), Error);
+}
+
+// ---- SweepBuilder / ScenarioGrid ----
+
+TEST(SweepBuilder, ProductOrderIsMethodMajorThenBatch) {
+  const ScenarioGrid grid = SweepBuilder()
+                                .models({"6.6b"})
+                                .clusters({"dgx1-v100-eth"})
+                                .batches({16, 64})
+                                .methods({"bf", "df"})
+                                .build();
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid.cells()[0].label, "6.6b/dgx1-v100-eth/bf/b16");
+  EXPECT_EQ(grid.cells()[1].label, "6.6b/dgx1-v100-eth/bf/b64");
+  EXPECT_EQ(grid.cells()[2].label, "6.6b/dgx1-v100-eth/df/b16");
+  EXPECT_EQ(grid.cells()[3].label, "6.6b/dgx1-v100-eth/df/b64");
+  EXPECT_EQ(*grid.cells()[2].method, autotune::Method::kDepthFirst);
+}
+
+TEST(SweepBuilder, RunGridsComposeAxesOverABase) {
+  const ScenarioGrid grid =
+      SweepBuilder()
+          .base(ScenarioBuilder().model("52b").cluster("dgx1-v100-ib").smb(1))
+          .pp({8})
+          .tp({8})
+          .nmb({16, 32})
+          .schedules({"bf"})
+          .loops({2, 4})
+          .build();
+  ASSERT_EQ(grid.size(), 4u);  // nmb x loop
+  const Scenario first = grid.cells()[0].scenario.build();
+  EXPECT_EQ(first.config->n_mb, 16);
+  EXPECT_EQ(first.config->n_loop, 2);
+  EXPECT_FALSE(grid.cells()[0].method.has_value());
+}
+
+TEST(SweepBuilder, MethodsRejectGridAxes) {
+  EXPECT_THROW(SweepBuilder().methods({"bf"}).batches({16}).pp({8}).build(),
+               ConfigError);
+  EXPECT_THROW(SweepBuilder().methods({"bf"}).build(), ConfigError);
+  EXPECT_THROW(SweepBuilder().build(), ConfigError);  // empty grid
+}
+
+// ---- sweep() ----
+
+TEST(Sweep, OneReportPerCellInCellOrder) {
+  // Mixed outcomes: feasible cells, a structurally invalid cell
+  // (depth-first with N_mb % N_PP != 0) and an OOM cell all produce
+  // exactly one row, in cell order.
+  ScenarioGrid grid;
+  grid.push({ScenarioBuilder()
+                 .model("6.6b")
+                 .cluster("dgx1-v100-ib")
+                 .pp(4)
+                 .tp(2)
+                 .dp(8)
+                 .nmb(8)
+                 .schedule("bf")
+                 .loop(2),
+             std::nullopt, "ok"});
+  grid.push({ScenarioBuilder()
+                 .model("6.6b")
+                 .cluster("dgx1-v100-ib")
+                 .pp(4)
+                 .tp(2)
+                 .dp(8)
+                 .nmb(6)
+                 .schedule("df")
+                 .loop(2)
+                 .megatron(),
+             std::nullopt, "invalid"});
+  grid.push({ScenarioBuilder()
+                 .model("52b")
+                 .cluster("dgx1-v100-ib")
+                 .pp(1)
+                 .tp(1)
+                 .dp(64)
+                 .nmb(1)
+                 .schedule("gpipe"),
+             std::nullopt, "oom"});
+  const std::vector<Report> reports = sweep(grid);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[0].scenario, "ok");
+  EXPECT_TRUE(reports[0].found);
+  EXPECT_EQ(reports[1].scenario, "invalid");
+  EXPECT_FALSE(reports[1].found);
+  EXPECT_EQ(reports[1].error.rfind("[config] ", 0), 0u);
+  EXPECT_EQ(reports[2].scenario, "oom");
+  EXPECT_FALSE(reports[2].found);
+  EXPECT_EQ(reports[2].error.rfind("[oom] ", 0), 0u);
+  // The failure reason lands in the JSON output.
+  EXPECT_NE(reports[2].to_json().find("\"error\": \"[oom] "),
+            std::string::npos);
+}
+
+TEST(Sweep, CsvIsByteIdenticalAcrossJobCounts) {
+  // The acceptance contract: a search sweep's CSV must not depend on the
+  // thread count. The analytic backend keeps this test fast while still
+  // exercising the full sweep-of-searches nesting.
+  const ScenarioGrid grid = SweepBuilder()
+                                .models({"6.6b"})
+                                .clusters({"dgx1-v100-eth"})
+                                .batches({16, 64, 256})
+                                .methods({"bf", "df"})
+                                .build();
+  SweepOptions serial;
+  serial.jobs = 1;
+  serial.run.backend = Backend::kAnalytic;
+  serial.run.threads = 1;
+  SweepOptions wide;
+  wide.jobs = 8;
+  wide.run.backend = Backend::kAnalytic;
+  wide.run.threads = 4;
+  const std::string csv_serial = to_csv(sweep(grid, serial));
+  const std::string csv_wide = to_csv(sweep(grid, wide));
+  EXPECT_EQ(csv_serial, csv_wide);
+  // One row per (method, batch) cell plus the header.
+  EXPECT_EQ(static_cast<int>(
+                std::count(csv_serial.begin(), csv_serial.end(), '\n')),
+            7);
+}
+
+TEST(Sweep, RunCellsAreDeterministicAcrossJobCountsOnTheSimulator) {
+  const ScenarioGrid grid =
+      SweepBuilder()
+          .base(ScenarioBuilder().model("6.6b").cluster("dgx1-v100-ib").smb(1))
+          .pp({4})
+          .tp({2})
+          .nmb({8, 16})
+          .schedules({"bf"})
+          .loops({2, 4})
+          .build();
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions wide;
+  wide.jobs = 8;
+  EXPECT_EQ(to_csv(sweep(grid, serial)), to_csv(sweep(grid, wide)));
+}
+
+// ---- CLI: sweep / validate / --output ----
+
+TEST(Cli, ParsesSweepAxisLists) {
+  const CliOptions options =
+      parse_cli({"sweep", "--model", "6.6b", "--cluster", "dgx1-v100-eth",
+                 "--batch", "16,64,256", "--method", "bf,df", "--jobs", "8",
+                 "--csv"});
+  EXPECT_EQ(options.command, "sweep");
+  EXPECT_EQ(options.models, std::vector<std::string>{"6.6b"});
+  EXPECT_EQ(options.batches, (std::vector<int>{16, 64, 256}));
+  EXPECT_EQ(options.methods, (std::vector<std::string>{"bf", "df"}));
+  EXPECT_EQ(options.jobs, 8);
+  EXPECT_TRUE(options.csv);
+  const ScenarioGrid grid = grid_from_cli(options);
+  EXPECT_EQ(grid.size(), 6u);  // one cell per (method, batch)
+}
+
+TEST(Cli, SweepGridFlagsDescribeRunCells) {
+  const CliOptions options = parse_cli(
+      {"sweep", "--pp", "4,8", "--tp", "2", "--nmb", "16", "--schedule",
+       "bf", "--loop", "2,4", "--model", "6.6b"});
+  const ScenarioGrid grid = grid_from_cli(options);
+  EXPECT_EQ(grid.size(), 4u);  // pp x loop
+  for (const SweepCell& cell : grid.cells()) {
+    EXPECT_FALSE(cell.method.has_value());
+  }
+}
+
+TEST(Cli, RejectsBadSweepAndBackendFlags) {
+  EXPECT_THROW(parse_cli({"sweep", "--batch", "16,sixty-four"}), ConfigError);
+  EXPECT_THROW(parse_cli({"run", "--backend", "cuda"}), ConfigError);
+  EXPECT_THROW(parse_cli({"run", "--output"}), ConfigError);
+  EXPECT_THROW(grid_from_cli(parse_cli(
+                   {"sweep", "--preset", "fig5a-bf-b16"})),
+               ConfigError);
+  // Search sweeps cannot pin grid axes.
+  EXPECT_THROW(grid_from_cli(parse_cli({"sweep", "--method", "bf", "--batch",
+                                        "16", "--pp", "8"})),
+               ConfigError);
+}
+
+TEST(Cli, UsageMentionsTheNewCommands) {
+  const std::string usage = cli_usage();
+  for (const char* needle :
+       {"sweep", "validate", "--backend", "--jobs", "--output"}) {
+    EXPECT_NE(usage.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Cli, OutputFlagWritesTheReportToAFile) {
+  const std::string path = testing::TempDir() + "bfpp_cli_output.csv";
+  std::vector<std::string> args = {
+      "run",    "--model",    "6.6b", "--pp",   "4",      "--tp",
+      "2",      "--nmb",      "8",    "--schedule", "bf", "--loop",
+      "2",      "--csv",      "--output", path};
+  std::vector<char*> argv = {const_cast<char*>("bfpp")};
+  for (std::string& arg : args) argv.push_back(arg.data());
+  ASSERT_EQ(cli_main(static_cast<int>(argv.size()), argv.data()), 0);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str().rfind("scenario,model,cluster", 0), 0u);
+  EXPECT_NE(content.str().find("6.6B"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bfpp::api
