@@ -1,0 +1,108 @@
+// Serve-mode throughput: request rate of the `bfpp serve` core with a
+// cold ReportCache (every request simulated) vs a warm one (every
+// request a cache hit), for the simulator and analytic backends.
+//
+// Drives Server::handle() directly - the same code path both transports
+// (TCP and --stdio) call - so the numbers isolate request parsing +
+// execution + response rendering from socket I/O. Each pass issues the
+// same set of distinct run requests (6.6B, pp4/tp2, nmb x schedule x
+// loop grid); the first pass misses everywhere, the second hits
+// everywhere, and the ratio is what a repeated-workload client (a sweep
+// dashboard, a CI job re-running a figure) gains from the cache.
+//
+// Usage: serve_throughput [requests_per_pass]   (default 64)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/server.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+using namespace bfpp;
+
+namespace {
+
+std::vector<std::string> distinct_run_requests(int n) {
+  const std::vector<std::string> schedules = {"bf", "df"};
+  const std::vector<int> loops = {1, 2, 4};
+  std::vector<std::string> requests;
+  requests.reserve(static_cast<size_t>(n));
+  for (int i = 0; requests.size() < static_cast<size_t>(n); ++i) {
+    const std::string& schedule =
+        schedules[static_cast<size_t>(i) % schedules.size()];
+    const int loop = loops[(static_cast<size_t>(i) / schedules.size()) %
+                           loops.size()];
+    const int nmb = 8 * (1 + i / static_cast<int>(schedules.size() *
+                                                  loops.size()));
+    requests.push_back(str_format(
+        R"({"type":"run","model":"6.6b","cluster":"dgx1-v100-ib","pp":4,)"
+        R"("tp":2,"dp":8,"nmb":%d,"schedule":"%s","loop":%d})",
+        nmb, schedule.c_str(), loop));
+  }
+  return requests;
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  size_t responses = 0;
+  size_t bytes = 0;
+};
+
+PassResult run_pass(api::Server& server,
+                    const std::vector<std::string>& requests) {
+  PassResult result;
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::string& request : requests) {
+    const std::string response = server.handle(request);
+    result.bytes += response.size();
+    ++result.responses;
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+double rate(const PassResult& r) {
+  return r.seconds > 0.0 ? static_cast<double>(r.responses) / r.seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 64;
+  if (n <= 0) {
+    std::fprintf(stderr, "usage: serve_throughput [requests_per_pass]\n");
+    return 1;
+  }
+  const std::vector<std::string> requests = distinct_run_requests(n);
+
+  std::printf("== serve throughput: %d distinct run requests per pass ==\n\n",
+              n);
+  Table table({"Backend", "Cold (req/s)", "Warm (req/s)", "Speedup",
+               "Hit rate", "Resp. bytes"});
+  for (const char* backend : {"sim", "analytic"}) {
+    api::ServeOptions options;
+    options.run.backend = api::parse_backend(backend);
+    api::Server server(options);
+    const PassResult cold = run_pass(server, requests);
+    const PassResult warm = run_pass(server, requests);
+    const api::ReportCache::Stats stats = server.cache_stats();
+    const double hit_rate =
+        static_cast<double>(stats.hits) /
+        static_cast<double>(stats.hits + stats.misses);
+    table.add_row({backend, str_format("%.0f", rate(cold)),
+                   str_format("%.0f", rate(warm)),
+                   str_format("%.1fx", rate(warm) / rate(cold)),
+                   str_format("%.0f%%", 100.0 * hit_rate),
+                   format_number(static_cast<double>(cold.bytes))});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nCold = empty ReportCache (every request simulated); warm = the\n"
+      "same requests again (every request served from the LRU cache).\n");
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "api/api.h"
+#include "api/server.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "common/table.h"
@@ -229,6 +230,18 @@ int do_validate(const CliOptions& options) {
   return 0;
 }
 
+int do_serve(const CliOptions& options) {
+  ServeOptions serve;
+  serve.stdio = options.stdio;
+  serve.port = options.port;
+  serve.cache_capacity = static_cast<size_t>(options.cache_size);
+  serve.jobs = options.jobs;
+  serve.run = run_options_from_cli(options);
+  Server server(serve);
+  if (serve.stdio) return server.serve_stdio();
+  return server.serve();
+}
+
 void list_section(const char* title, const std::vector<std::string>& names) {
   std::printf("%s:\n", title);
   for (const std::string& name : names) std::printf("  %s\n", name.c_str());
@@ -264,9 +277,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   check_config(options.command == "run" || options.command == "search" ||
                    options.command == "sweep" ||
                    options.command == "validate" ||
+                   options.command == "serve" ||
                    options.command == "list" || options.command == "help",
                str_format("cli: unknown command '%s' (run, search, sweep, "
-                          "validate, list or help)",
+                          "validate, serve, list or help)",
                           args[0].c_str()));
   const bool sweeping = options.command == "sweep";
 
@@ -360,6 +374,19 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       options.backend = value(flag);
     } else if (flag == "--jobs") {
       options.jobs = parse_int_flag(flag, value(flag));
+    } else if (flag == "--port") {
+      check_config(options.command == "serve",
+                   "cli: --port only applies to 'bfpp serve'");
+      options.port = parse_int_flag(flag, value(flag));
+      check_config(options.port <= 65535, "cli: --port must be <= 65535");
+    } else if (flag == "--stdio") {
+      check_config(options.command == "serve",
+                   "cli: --stdio only applies to 'bfpp serve'");
+      options.stdio = true;
+    } else if (flag == "--cache-size") {
+      check_config(options.command == "serve",
+                   "cli: --cache-size only applies to 'bfpp serve'");
+      options.cache_size = parse_int_flag(flag, value(flag));
     } else if (flag == "--output") {
       options.output = value(flag);
       check_config(!options.output.empty(), "cli: --output expects a path");
@@ -495,7 +522,9 @@ std::string cli_usage() {
       "  bfpp sweep    [axis flags, comma lists] [--jobs N] [--backend B]\n"
       "                [--json|--csv]\n"
       "  bfpp validate [--jobs N] [--backend B] [--csv]\n"
-      "  bfpp list     [models|clusters|scenarios]\n"
+      "  bfpp serve    [--port N | --stdio] [--cache-size N] [--jobs N]\n"
+      "                [--backend B]\n"
+      "  bfpp list     [models|clusters|scenarios|all]\n"
       "  bfpp help\n"
       "\n"
       "scenario flags:\n"
@@ -515,13 +544,32 @@ std::string cli_usage() {
       "  --megatron          Megatron-LM capability flags (no overlap)\n"
       "  --no-dp-overlap / --no-pp-overlap / --no-overlap\n"
       "\n"
+      "search (bfpp search):\n"
+      "  --method M          bf | df | nl (non-looped) | np (no-pipeline);\n"
+      "                      default bf. search needs --batch and accepts\n"
+      "                      only --model/--cluster/--batch/--method (it\n"
+      "                      enumerates the grid, schedule and sharding\n"
+      "                      itself). Exit code 2 when nothing fits.\n"
+      "\n"
       "sweeps (bfpp sweep):\n"
       "  axis flags take comma lists (--batch 16,64,256 --method bf,df)\n"
       "  and grid over the product, one Report row per cell. --method\n"
-      "  sweeps run the full grid search per cell; without --method the\n"
-      "  grid axes (--schedule/--pp/--tp/--smb/--nmb/--loop/--sharding)\n"
+      "  sweeps run the full grid search per cell (only --model/--cluster/\n"
+      "  --batch axes compose with it); without --method the grid axes\n"
+      "  (--schedule/--pp/--tp/--dp/--smb/--nmb/--loop/--sharding)\n"
       "  describe exact configurations. Rows are deterministic and\n"
-      "  independent of --jobs.\n"
+      "  independent of --jobs; failed cells become found=0 rows with the\n"
+      "  reason in the error column. Exit code 2 when no cell is feasible.\n"
+      "\n"
+      "server (bfpp serve):\n"
+      "  --port N            TCP port on 127.0.0.1 (default 7070; 0 picks\n"
+      "                      an ephemeral port)\n"
+      "  --stdio             serve stdin/stdout instead of TCP (tests,\n"
+      "                      one-shot scripting)\n"
+      "  --cache-size N      LRU Report cache capacity in entries\n"
+      "                      (default 1024; 0 disables caching)\n"
+      "  requests are line-delimited JSON (docs/PROTOCOL.md); --backend\n"
+      "  and --jobs set per-request defaults\n"
       "\n"
       "execution:\n"
       "  --backend B         sim (default) | analytic | threaded\n"
@@ -536,9 +584,14 @@ std::string cli_usage() {
       "\n"
       "output:\n"
       "  --json / --csv      structured Report(s) instead of a table\n"
+      "                      (mutually exclusive)\n"
       "  --output FILE       write the report/CSV/JSON to FILE\n"
-      "  --timeline          append a Figure-4-style ASCII timeline (run)\n"
+      "  --timeline          append a Figure-4-style ASCII timeline\n"
+      "                      (run only; requires --backend sim)\n"
       "  --width N           timeline width in columns (default 100)\n"
+      "\n"
+      "exit codes: 0 ok; 1 usage/config error; 2 search or sweep found\n"
+      "no feasible configuration\n"
       "\n"
       "examples:\n"
       "  bfpp run --model 52b --cluster dgx1-v100-ib --pp 8 --tp 8 \\\n"
@@ -549,7 +602,10 @@ std::string cli_usage() {
       "             --batch 16,64,256 --method bf,df --jobs 8 --csv\n"
       "  bfpp sweep --pp 8 --tp 8 --batch 16,32,64 --schedule bf \\\n"
       "             --loop 2,4,8 --csv\n"
-      "  bfpp validate --jobs 8\n";
+      "  bfpp validate --jobs 8\n"
+      "  bfpp serve --port 7070 --cache-size 4096\n"
+      "  printf '%s\\n' '{\"type\":\"run\",\"preset\":\"fig5a-bf-b16\"}' \\\n"
+      "      | bfpp serve --stdio\n";
 }
 
 int cli_main(int argc, char** argv) {
@@ -568,6 +624,7 @@ int cli_main(int argc, char** argv) {
     if (options.command == "search") return do_search(options);
     if (options.command == "sweep") return do_sweep(options);
     if (options.command == "validate") return do_validate(options);
+    if (options.command == "serve") return do_serve(options);
     return do_run(options);
   } catch (const Error& e) {
     std::fprintf(stderr, "bfpp: %s\n", e.what());

@@ -9,12 +9,15 @@
 //   bfpp sweep    --model 6.6b --cluster dgx1-v100-eth
 //                 --batch 16,64,256 --method bf,df --jobs 8 --csv
 //   bfpp validate --jobs 8
-//   bfpp list     [models|clusters|scenarios]
+//   bfpp serve    --port 7070 --cache-size 1024
+//   bfpp list     [models|clusters|scenarios|all]
 //
 // `sweep` axis flags take comma-separated lists and grid over the
 // product; `validate` cross-checks the analytic backend against the
 // simulator on the paper's fixed (Figure 5) configurations and prints a
-// deviation table.
+// deviation table; `serve` starts the long-lived experiment server of
+// api/server.h (line-delimited JSON over TCP, or stdin/stdout with
+// --stdio).
 #pragma once
 
 #include <optional>
@@ -27,7 +30,8 @@
 namespace bfpp::api {
 
 struct CliOptions {
-  std::string command;  // "run", "search", "sweep", "validate", "list", "help"
+  // "run", "search", "sweep", "validate", "serve", "list" or "help".
+  std::string command;
 
   // Scenario selection (run/search).
   std::string preset;                 // --preset <scenario name>
@@ -50,6 +54,11 @@ struct CliOptions {
   // Execution.
   std::string backend = "sim";  // --backend sim|analytic|threaded
   int jobs = 0;                 // --jobs (0 = all hardware threads)
+
+  // Server mode (serve only).
+  bool stdio = false;     // --stdio (serve stdin/stdout instead of TCP)
+  int port = 7070;        // --port (TCP port on 127.0.0.1)
+  int cache_size = 1024;  // --cache-size (ReportCache entries; 0 disables)
 
   // Output.
   bool json = false;      // --json

@@ -10,42 +10,9 @@ namespace {
 // trailing noise ("0.25", "36280000000000").
 std::string fmt_double(double x) { return str_format("%.10g", x); }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += str_format("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_str(const std::string& s) {
-  // Built piecewise: gcc 12's -Wrestrict false-positives on
-  // `"literal" + std::string&&` (PR105651).
-  std::string out = "\"";
-  out += json_escape(s);
-  out += '"';
-  return out;
-}
+// Escaping lives in common/strings.h (json_escape/json_quote), shared
+// with the serve protocol emitter.
+std::string json_str(const std::string& s) { return json_quote(s); }
 
 std::string config_json(const parallel::ParallelConfig& cfg,
                         const std::string& indent) {
@@ -144,7 +111,7 @@ std::string Report::csv_header() {
          "schedule,sharding,n_pp,n_tp,n_dp,s_mb,n_mb,n_loop,overlap_dp,"
          "overlap_pp,batch_time_s,throughput_per_gpu,utilization,"
          "compute_idle_fraction,memory_total_bytes,memory_min_total_bytes,"
-         "evaluated,infeasible";
+         "evaluated,infeasible,error";
 }
 
 std::string Report::to_csv_row() const {
@@ -175,6 +142,9 @@ std::string Report::to_csv_row() const {
   }
   cells.push_back(std::to_string(evaluated));
   cells.push_back(std::to_string(infeasible));
+  // Explicit (usually empty) error column, quoted like every other text
+  // field, so failed sweep cells never change the CSV schema.
+  cells.push_back(csv_quote(error));
   return join(cells, ",");
 }
 

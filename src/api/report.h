@@ -29,8 +29,12 @@ struct Report {
   // cell failed); the fields below are only meaningful when true.
   bool found = false;
   // Why a sweep cell has found == false: the rejecting backend's message
-  // prefixed with "[config] " or "[oom] " (api::sweep fills this; plain
-  // searches leave it empty). JSON-only; the CSV column set is stable.
+  // prefixed with "[config] " or "[oom] " (api::sweep and the serve
+  // ReportCache fill this; plain searches leave it empty). The two
+  // emitters treat it asymmetrically: JSON includes an "error" key only
+  // when found is false and the message is non-empty, while CSV always
+  // emits a trailing `error` column (empty string for successful rows),
+  // so sweep CSVs keep a stable schema across failed cells.
   std::string error;
   parallel::ParallelConfig config;
   runtime::RunResult result;

@@ -1,0 +1,619 @@
+#include "api/server.h"
+
+#include <cmath>
+#include <utility>
+
+#include "api/api.h"
+#include "api/cli.h"
+#include "api/registry.h"
+#include "api/sweep.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "common/socket.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace bfpp::api {
+
+// ---- ReportCache ----
+
+ReportCache::ReportCache(size_t capacity) : capacity_(capacity) {
+  counters_.capacity = capacity;
+}
+
+std::optional<Report> ReportCache::get(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  return it->second->second;
+}
+
+void ReportCache::put(const std::string& key, Report report) {
+  if (capacity_ == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(report);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(report));
+  index_[key] = lru_.begin();
+  ++counters_.insertions;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+ReportCache::Stats ReportCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = counters_;
+  out.entries = lru_.size();
+  return out;
+}
+
+void ReportCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  counters_.entries = 0;
+}
+
+std::string cache_key(const Scenario& scenario,
+                      const std::optional<autotune::Method>& method,
+                      const RunOptions& options) {
+  // describe() round-trips through ParallelConfig::parse, so it is a
+  // faithful (injective) encoding of the whole configuration, overlap
+  // flags included. Structural model/cluster fields guard against two
+  // specs sharing a display name; total_gpus covers ':<n_nodes>' resizes.
+  const std::string cfg =
+      scenario.config.has_value() ? scenario.config->describe() : "-";
+  const std::string kernel =
+      options.kernel.has_value()
+          ? str_format("%.17g/%.17g/%.17g", options.kernel->max_efficiency,
+                       options.kernel->narrow_half, options.kernel->rows_half)
+          : "default";
+  return str_format(
+      "model=%s#l%dh%ds%dv%d|cluster=%s#%dgpus|cfg=%s|batch=%d|method=%s|"
+      "backend=%s|kernel=%s",
+      scenario.model.name.c_str(), scenario.model.n_layers,
+      scenario.model.hidden_size, scenario.model.seq_len,
+      scenario.model.vocab_size, scenario.cluster.name.c_str(),
+      scenario.cluster.total_gpus(), cfg.c_str(), scenario.batch_size,
+      method.has_value() ? autotune::to_string(*method) : "-",
+      to_string(options.backend), kernel.c_str());
+}
+
+// ---- Request parsing ----
+
+namespace {
+
+// Strips all whitespace outside string literals: turns the pretty-printed
+// Report::to_json() into one protocol line. Safe because the emitter
+// escapes every control character, so no raw newline can appear inside a
+// JSON string.
+std::string json_compact(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      out += c;
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\n' || c == '\t' || c == '\r') continue;
+    out += c;
+    if (c == '"') in_string = true;
+  }
+  return out;
+}
+
+std::string json_names(const std::vector<std::string>& names) {
+  std::vector<std::string> quoted;
+  quoted.reserve(names.size());
+  for (const std::string& name : names) quoted.push_back(json_quote(name));
+  return "[" + join(quoted, ",") + "]";
+}
+
+// One response line: '{' + ["id":<echo>,] + fields + '}\n'.
+std::string response_line(const std::string& id_echo,
+                          const std::string& fields) {
+  std::string out = "{";
+  if (!id_echo.empty()) out += "\"id\":" + id_echo + ",";
+  out += fields;
+  out += "}\n";
+  return out;
+}
+
+std::string error_line(const std::string& id_echo, const std::string& what) {
+  return response_line(id_echo, "\"ok\":false,\"error\":" + json_quote(what));
+}
+
+std::vector<std::string> names_from(const json::Value& v, const char* key) {
+  if (v.is_array()) {
+    std::vector<std::string> out;
+    for (const json::Value& item : v.items()) {
+      out.push_back(item.as_string(key));
+    }
+    check_config(!out.empty(),
+                 str_format("serve: \"%s\" must not be an empty list", key));
+    return out;
+  }
+  return {v.as_string(key)};
+}
+
+std::vector<int> ints_from(const json::Value& v, const char* key) {
+  if (v.is_array()) {
+    std::vector<int> out;
+    for (const json::Value& item : v.items()) out.push_back(item.as_int(key));
+    check_config(!out.empty(),
+                 str_format("serve: \"%s\" must not be an empty list", key));
+    return out;
+  }
+  return {v.as_int(key)};
+}
+
+// Everything one run/search/sweep request carries, after validation.
+struct Request {
+  std::string type;     // run | search | sweep | stats | list | ping | shutdown
+  std::string id_echo;  // compact JSON to echo back ("" = no id)
+  std::string format = "json";  // json | csv
+  CliOptions cli;               // scenario / grid / method fields
+  RunOptions run;               // backend + kernel + threads
+  int jobs = 0;
+  std::string list_what = "all";
+};
+
+hw::KernelModel kernel_from(const json::Value& v,
+                            const hw::KernelModel& defaults) {
+  check_config(v.is_object(), "serve: \"kernel\" must be an object");
+  hw::KernelModel kernel = defaults;
+  for (const auto& [key, field] : v.members()) {
+    if (key == "max_efficiency") {
+      kernel.max_efficiency = field.as_number("kernel.max_efficiency");
+    } else if (key == "narrow_half") {
+      kernel.narrow_half = field.as_number("kernel.narrow_half");
+    } else if (key == "rows_half") {
+      kernel.rows_half = field.as_number("kernel.rows_half");
+    } else {
+      throw ConfigError(str_format(
+          "serve: unknown \"kernel\" field '%s' (max_efficiency, "
+          "narrow_half or rows_half)",
+          key.c_str()));
+    }
+  }
+  return kernel;
+}
+
+// The compact JSON to echo back as "id" (empty = none). Extracted before
+// the rest of the request parses, so even malformed requests keep their
+// correlation id.
+std::string id_echo_from(const json::Value& root) {
+  check_config(root.is_object(), "serve: a request must be a JSON object");
+  const json::Value* id = root.get("id");
+  if (id == nullptr) return {};
+  if (id->is_string()) return json_quote(id->as_string());
+  if (id->is_number()) {
+    // Integral ids (the common case: counters, epoch timestamps) echo
+    // back digit-for-digit; only genuinely fractional ids round-trip
+    // through shortest-faithful double formatting. Non-finite values
+    // (e.g. an overflowing 1e400 literal) would print as bare `inf`
+    // and corrupt the response line.
+    const double x = id->as_number();
+    check_config(std::isfinite(x), "serve: \"id\" must be a finite number");
+    if (x == std::floor(x) && std::abs(x) <= 9007199254740992.0) {
+      return str_format("%lld", static_cast<long long>(x));
+    }
+    return str_format("%.17g", x);
+  }
+  throw ConfigError("serve: \"id\" must be a string or a number");
+}
+
+Request parse_request(const json::Value& root, const ServeOptions& defaults) {
+  Request req;
+  req.run = defaults.run;
+  req.jobs = defaults.jobs;
+
+  const json::Value* type = root.get("type");
+  check_config(type != nullptr,
+               "serve: a request needs a \"type\" (run, search, sweep, "
+               "stats, list, ping or shutdown)");
+  req.type = to_lower(type->as_string("type"));
+  const bool scenario_request =
+      req.type == "run" || req.type == "search" || req.type == "sweep";
+  check_config(scenario_request || req.type == "stats" ||
+                   req.type == "list" || req.type == "ping" ||
+                   req.type == "shutdown",
+               str_format("serve: unknown request type '%s' (run, search, "
+                          "sweep, stats, list, ping or shutdown)",
+                          req.type.c_str()));
+  const bool sweeping = req.type == "sweep";
+  req.cli.command = req.type;
+
+  for (const auto& [key, v] : root.members()) {
+    if (key == "id" || key == "type") continue;
+    if (key == "what" && req.type == "list") {
+      req.list_what = v.as_string("what");
+      continue;
+    }
+    check_config(scenario_request,
+                 str_format("serve: field \"%s\" is not valid for a '%s' "
+                            "request",
+                            key.c_str(), req.type.c_str()));
+    if (key == "format") {
+      req.format = to_lower(v.as_string("format"));
+      check_config(req.format == "json" || req.format == "csv",
+                   "serve: \"format\" must be \"json\" or \"csv\"");
+    } else if (key == "backend") {
+      req.run.backend = parse_backend(v.as_string("backend"));
+    } else if (key == "kernel") {
+      req.run.kernel =
+          kernel_from(v, req.run.kernel.value_or(hw::KernelModel{}));
+    } else if (key == "jobs") {
+      req.jobs = v.as_int("jobs");
+      check_config(req.jobs >= 0, "serve: \"jobs\" must be >= 0");
+    } else if (key == "preset") {
+      req.cli.preset = v.as_string("preset");
+    } else if (key == "model") {
+      if (sweeping) {
+        req.cli.models = names_from(v, "model");
+      } else {
+        req.cli.model = v.as_string("model");
+      }
+    } else if (key == "cluster") {
+      if (sweeping) {
+        req.cli.clusters = names_from(v, "cluster");
+      } else {
+        req.cli.cluster = v.as_string("cluster");
+      }
+    } else if (key == "schedule") {
+      if (sweeping) {
+        req.cli.schedules = names_from(v, "schedule");
+      } else {
+        req.cli.schedule = v.as_string("schedule");
+      }
+    } else if (key == "sharding") {
+      if (sweeping) {
+        req.cli.shardings = names_from(v, "sharding");
+      } else {
+        req.cli.sharding = v.as_string("sharding");
+      }
+    } else if (key == "method") {
+      // run simulates one exact configuration; silently ignoring a
+      // search method would mislead (mirrors the CLI's pinned-flag
+      // guards).
+      check_config(req.type != "run",
+                   "serve: \"method\" applies to search and sweep "
+                   "requests, not run");
+      if (sweeping) {
+        req.cli.methods = names_from(v, "method");
+      } else {
+        req.cli.method = v.as_string("method");
+      }
+    } else if (key == "pp") {
+      if (sweeping) {
+        req.cli.pps = ints_from(v, "pp");
+      } else {
+        req.cli.pp = v.as_int("pp");
+      }
+    } else if (key == "tp") {
+      if (sweeping) {
+        req.cli.tps = ints_from(v, "tp");
+      } else {
+        req.cli.tp = v.as_int("tp");
+      }
+    } else if (key == "dp") {
+      if (sweeping) {
+        req.cli.dps = ints_from(v, "dp");
+      } else {
+        req.cli.dp = v.as_int("dp");
+      }
+    } else if (key == "smb") {
+      if (sweeping) {
+        req.cli.smbs = ints_from(v, "smb");
+      } else {
+        req.cli.smb = v.as_int("smb");
+      }
+    } else if (key == "nmb") {
+      if (sweeping) {
+        req.cli.nmbs = ints_from(v, "nmb");
+      } else {
+        req.cli.nmb = v.as_int("nmb");
+      }
+    } else if (key == "loop") {
+      if (sweeping) {
+        req.cli.loops = ints_from(v, "loop");
+      } else {
+        req.cli.loop = v.as_int("loop");
+      }
+    } else if (key == "batch") {
+      if (sweeping) {
+        req.cli.batches = ints_from(v, "batch");
+      } else {
+        req.cli.batch = v.as_int("batch");
+      }
+    } else if (key == "megatron") {
+      req.cli.megatron = v.as_bool("megatron");
+    } else if (key == "no_dp_overlap") {
+      req.cli.no_dp_overlap = v.as_bool("no_dp_overlap");
+    } else if (key == "no_pp_overlap") {
+      req.cli.no_pp_overlap = v.as_bool("no_pp_overlap");
+    } else {
+      throw ConfigError(str_format(
+          "serve: unknown field \"%s\" for a '%s' request (see "
+          "docs/PROTOCOL.md)",
+          key.c_str(), req.type.c_str()));
+    }
+  }
+  req.run.threads = req.jobs;
+  return req;
+}
+
+// Payload rendering shared by run/search/sweep responses.
+std::string rows_response(const std::string& id_echo, const char* type,
+                          const std::vector<Report>& reports,
+                          const std::string& format, bool single) {
+  if (format == "csv") {
+    std::string head = str_format(
+        "\"ok\":true,\"type\":\"%s\",\"format\":\"csv\",\"rows\":%zu,"
+        "\"lines\":%zu",
+        type, reports.size(), reports.size() + 1);
+    std::string out = response_line(id_echo, head);
+    out += Report::csv_header() + "\n";
+    for (const Report& r : reports) out += r.to_csv_row() + "\n";
+    return out;
+  }
+  if (single) {
+    return response_line(id_echo,
+                         str_format("\"ok\":true,\"type\":\"%s\",", type) +
+                             "\"report\":" + json_compact(reports[0].to_json()));
+  }
+  std::string head = str_format(
+      "\"ok\":true,\"type\":\"%s\",\"rows\":%zu,\"lines\":%zu", type,
+      reports.size(), reports.size());
+  std::string out = response_line(id_echo, head);
+  for (const Report& r : reports) out += json_compact(r.to_json()) + "\n";
+  return out;
+}
+
+}  // namespace
+
+// ---- Server ----
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {}
+
+std::vector<Report> Server::execute(const std::vector<Cell>& cells,
+                                    const RunOptions& run, int jobs) {
+  struct Slot {
+    std::optional<Report> report;
+    std::optional<Scenario> scenario;
+    std::string key;
+    bool computed = false;  // freshly evaluated (not a hit): publish it
+  };
+  std::vector<Slot> slots(cells.size());
+  std::vector<int> misses;
+
+  // Phase 1, serial: build scenarios and probe the cache. Cells that hit
+  // are relabelled (the cache key deliberately excludes the cosmetic
+  // label, so a sweep cell can satisfy a later run request and vice
+  // versa).
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    Slot& slot = slots[i];
+    if (cell.built.has_value()) {
+      slot.scenario = cell.built;
+    } else {
+      try {
+        slot.scenario = cell.recipe.build();
+      } catch (const ConfigError& e) {
+        slot.report = failed_report(nullptr, cell.label, cell.method,
+                                    "[config] ", e.what());
+        continue;
+      }
+    }
+    slot.key = cache_key(*slot.scenario, cell.method, run);
+    if (std::optional<Report> hit = cache_.get(slot.key)) {
+      hit->scenario = cell.label.empty() ? slot.scenario->name : cell.label;
+      slot.report = std::move(hit);
+      continue;
+    }
+    misses.push_back(static_cast<int>(i));
+  }
+
+  // Phase 2, parallel: compute the misses on the shared pool. Same
+  // error-to-row semantics as api::sweep, so cached and uncached cells
+  // render identically.
+  const std::unique_ptr<Engine> engine = make_engine(run);
+  ThreadPool::shared().parallel_for(
+      static_cast<int>(misses.size()), jobs, [&](int j) {
+        const int i = misses[static_cast<size_t>(j)];
+        const Cell& cell = cells[static_cast<size_t>(i)];
+        Slot& slot = slots[static_cast<size_t>(i)];
+        slot.computed = true;
+        try {
+          Report report = cell.method.has_value()
+                              ? search(*slot.scenario, *cell.method, run)
+                              : run_with(*slot.scenario, *engine);
+          if (!cell.label.empty()) report.scenario = cell.label;
+          slot.report = std::move(report);
+        } catch (const ConfigError& e) {
+          slot.report = failed_report(&*slot.scenario, cell.label,
+                                      cell.method, "[config] ", e.what());
+        } catch (const OutOfMemoryError& e) {
+          slot.report = failed_report(&*slot.scenario, cell.label,
+                                      cell.method, "[oom] ", e.what());
+        }
+      });
+
+  // Phase 3, serial in cell order: publish results to the cache (found
+  // and infeasible alike - both are deterministic) and collect.
+  std::vector<Report> reports;
+  reports.reserve(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (slots[i].computed && !slots[i].key.empty()) {
+      cache_.put(slots[i].key, *slots[i].report);
+    }
+    reports.push_back(std::move(*slots[i].report));
+  }
+  return reports;
+}
+
+std::string Server::handle_or_throw(std::string& id_echo,
+                                    const std::string& line) {
+  const json::Value root = json::parse(line);
+  id_echo = id_echo_from(root);
+  Request req = parse_request(root, options_);
+  req.id_echo = id_echo;
+
+  if (req.type == "ping") {
+    return response_line(id_echo, "\"ok\":true,\"type\":\"pong\"");
+  }
+  if (req.type == "shutdown") {
+    shutdown_ = true;
+    return response_line(id_echo, "\"ok\":true,\"type\":\"shutdown\"");
+  }
+  if (req.type == "stats") {
+    const ReportCache::Stats s = cache_.stats();
+    return response_line(
+        id_echo,
+        str_format("\"ok\":true,\"type\":\"stats\",\"requests\":%llu,"
+                   "\"cache\":{\"entries\":%zu,\"capacity\":%zu,"
+                   "\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
+                   "\"evictions\":%llu}",
+                   static_cast<unsigned long long>(requests_.load()),
+                   s.entries, s.capacity,
+                   static_cast<unsigned long long>(s.hits),
+                   static_cast<unsigned long long>(s.misses),
+                   static_cast<unsigned long long>(s.insertions),
+                   static_cast<unsigned long long>(s.evictions)));
+  }
+  if (req.type == "list") {
+    const std::string what = to_lower(req.list_what);
+    check_config(what == "models" || what == "clusters" ||
+                     what == "scenarios" || what == "all",
+                 str_format("serve: unknown list target '%s' (models, "
+                            "clusters, scenarios or all)",
+                            req.list_what.c_str()));
+    std::vector<std::string> fields = {"\"ok\":true", "\"type\":\"list\""};
+    if (what == "models" || what == "all") {
+      fields.push_back("\"models\":" + json_names(model_names()));
+    }
+    if (what == "clusters" || what == "all") {
+      fields.push_back("\"clusters\":" + json_names(cluster_names()));
+    }
+    if (what == "scenarios" || what == "all") {
+      fields.push_back("\"scenarios\":" + json_names(scenario_names()));
+    }
+    return response_line(id_echo, join(fields, ","));
+  }
+
+  if (req.type == "sweep") {
+    const ScenarioGrid grid = grid_from_cli(req.cli);
+    std::vector<Cell> cells;
+    cells.reserve(grid.size());
+    for (const SweepCell& sc : grid.cells()) {
+      Cell cell;
+      cell.recipe = sc.scenario;
+      cell.method = sc.method;
+      cell.label = sc.label;
+      cells.push_back(std::move(cell));
+    }
+    const std::vector<Report> reports = execute(cells, req.run, req.jobs);
+    return rows_response(id_echo, "sweep", reports, req.format,
+                         /*single=*/false);
+  }
+
+  // run / search: one fully-validated cell. A structurally invalid
+  // scenario throws here and becomes an {"ok":false} line; infeasibility
+  // discovered during execution becomes a found=false report instead.
+  Cell cell;
+  cell.built = scenario_from_cli(req.cli);
+  cell.label = req.cli.preset.empty() ? "serve" : "";
+  if (req.type == "search") {
+    cell.method = autotune::parse_method(req.cli.method);
+  }
+  const std::vector<Report> reports = execute({cell}, req.run, req.jobs);
+  return rows_response(id_echo, req.type.c_str(), reports, req.format,
+                       /*single=*/true);
+}
+
+std::string Server::handle(const std::string& request_line) {
+  const size_t begin = request_line.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};  // blank keep-alive line
+  ++requests_;
+  std::string id_echo;
+  try {
+    return handle_or_throw(id_echo, request_line);
+  } catch (const Error& e) {
+    return error_line(id_echo, e.what());
+  } catch (const std::exception& e) {
+    return error_line(id_echo, std::string("internal: ") + e.what());
+  }
+}
+
+namespace {
+
+bool read_stdio_line(std::FILE* in, std::string& line) {
+  line.clear();
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    line += static_cast<char>(c);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return !line.empty();
+}
+
+}  // namespace
+
+int Server::serve_stdio(std::FILE* in, std::FILE* out) {
+  std::string line;
+  while (!shutdown_ && read_stdio_line(in, line)) {
+    const std::string response = handle(line);
+    if (!response.empty()) {
+      std::fputs(response.c_str(), out);
+      std::fflush(out);
+    }
+  }
+  return 0;
+}
+
+int Server::serve() {
+  net::Listener listener(options_.port);
+  std::fprintf(stderr,
+               "bfpp serve: listening on 127.0.0.1:%d (backend %s, cache "
+               "%zu entries); send {\"type\":\"shutdown\"} to stop\n",
+               listener.port(), to_string(options_.run.backend),
+               options_.cache_capacity);
+  while (!shutdown_) {
+    std::optional<net::Stream> client = listener.accept();
+    if (!client.has_value()) return 1;  // listener torn down under us
+    std::string line;
+    while (!shutdown_ && client->read_line(line)) {
+      const std::string response = handle(line);
+      if (!response.empty() && !client->write_all(response)) break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace bfpp::api

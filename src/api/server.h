@@ -1,0 +1,143 @@
+// `bfpp serve`: the long-lived experiment server.
+//
+// A Server accepts scenario / sweep requests as line-delimited JSON
+// (one request object per line, one framed response per request) over a
+// loopback TCP socket (serve()) or stdin/stdout (serve_stdio(), the
+// test and scripting transport), executes them on the shared
+// work-stealing ThreadPool with the backend each request selects, and
+// streams Report rows back as JSON or CSV. docs/PROTOCOL.md documents
+// every request and response shape with copy-pasteable examples.
+//
+//   $ bfpp serve --port 7070 &
+//   $ printf '%s\n' '{"type":"run","preset":"fig5a-bf-b16"}' | nc 127.0.0.1 7070
+//   {"ok":true,"type":"run","report":{...}}
+//
+// Repeated cells are served from an LRU ReportCache keyed by
+// (model, cluster, config, backend, kernel-override) - the simulator is
+// deterministic, so a cached Report is byte-for-byte the one a fresh
+// simulation would produce. Cache effectiveness is surfaced by the
+// "stats" request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/report.h"
+#include "api/scenario.h"
+#include "autotune/autotune.h"
+
+namespace bfpp::api {
+
+// Thread-safe LRU cache of finished Reports. Keys are the canonical
+// strings cache_key() builds; capacity is an entry count (Reports are a
+// few hundred bytes each). get() promotes to most-recently-used; put()
+// evicts from the least-recently-used end once full.
+class ReportCache {
+ public:
+  explicit ReportCache(size_t capacity = 1024);
+
+  // The cached Report under `key`, promoting it to MRU; nullopt on miss.
+  // Hit/miss counters update on every call.
+  std::optional<Report> get(const std::string& key);
+
+  // Inserts (or refreshes) `key`. Evicts LRU entries beyond capacity; a
+  // capacity of 0 disables caching entirely.
+  void put(const std::string& key, Report report);
+
+  struct Stats {
+    size_t entries = 0;
+    size_t capacity = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  // Front = most recently used. The index maps key -> list node.
+  std::list<std::pair<std::string, Report>> lru_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, Report>>::iterator>
+      index_;
+  Stats counters_;
+};
+
+// The canonical cache identity of one executed cell: model, cluster
+// (including its resized node count), the exact parallel configuration
+// (or the search method + batch for search cells), the backend and the
+// kernel-model override. Deliberately excluded: the scenario *label*
+// (purely cosmetic) and the thread budget (results are deterministic
+// across thread counts by the sweep contract).
+std::string cache_key(const Scenario& scenario,
+                      const std::optional<autotune::Method>& method,
+                      const RunOptions& options);
+
+struct ServeOptions {
+  bool stdio = false;       // serve stdin/stdout instead of TCP
+  int port = 7070;          // TCP port on 127.0.0.1 (0 = ephemeral)
+  int jobs = 0;             // default --jobs for requests that set none
+  size_t cache_capacity = 1024;  // ReportCache entries (0 disables)
+  RunOptions run;           // default backend for requests that set none
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options = {});
+
+  // The transport-independent core: handles one request line and returns
+  // the complete, newline-terminated response (one JSON line, plus
+  // payload lines for multi-row responses). Never throws: malformed or
+  // failing requests become {"ok":false,"error":...} lines. Blank lines
+  // return the empty string (keep-alive no-ops).
+  std::string handle(const std::string& request_line);
+
+  // Serves line requests from `in` until EOF or a shutdown request,
+  // writing responses to `out` (flushed per response). Returns 0.
+  int serve_stdio(std::FILE* in = stdin, std::FILE* out = stdout);
+
+  // Binds 127.0.0.1:options.port and serves clients sequentially until
+  // a shutdown request. Returns 0 on orderly shutdown.
+  int serve();
+
+  [[nodiscard]] bool shutdown_requested() const { return shutdown_; }
+  [[nodiscard]] ReportCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+
+ private:
+  std::string handle_or_throw(std::string& id_echo, const std::string& line);
+
+  // Executes one batch of cells (a single run/search, or a whole sweep
+  // grid) through the cache: probe serially, compute misses in parallel
+  // on the shared pool, insert, and return Reports in cell order. A cell
+  // is either pre-built (run/search requests, validated eagerly) or a
+  // lazy recipe (sweep cells, whose build failures become rows).
+  struct Cell {
+    std::optional<Scenario> built;
+    ScenarioBuilder recipe;
+    std::optional<autotune::Method> method;
+    std::string label;
+  };
+  std::vector<Report> execute(const std::vector<Cell>& cells,
+                              const RunOptions& run, int jobs);
+
+  ServeOptions options_;
+  ReportCache cache_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace bfpp::api

@@ -19,30 +19,14 @@ std::vector<int> or_zero(const std::vector<int>& axis) {
   return axis.empty() ? std::vector<int>{0} : axis;
 }
 
-Report failed_report(const SweepCell& cell, const Scenario* scenario,
-                     const char* kind, const char* what) {
-  Report report;
-  report.scenario = cell.label;
-  if (scenario != nullptr) {
-    if (report.scenario.empty()) report.scenario = scenario->name;
-    report.model = scenario->model.name;
-    report.cluster = scenario->cluster.name;
-    report.n_gpus = scenario->cluster.total_gpus();
-    report.batch_size = scenario->batch_size;
-  }
-  if (cell.method) report.method = autotune::to_string(*cell.method);
-  report.found = false;
-  report.error = std::string(kind) + what;
-  return report;
-}
-
 Report run_cell(const SweepCell& cell, const Engine& engine,
                 const RunOptions& run_options) {
   Scenario scenario;
   try {
     scenario = cell.scenario.build();
   } catch (const ConfigError& e) {
-    return failed_report(cell, nullptr, "[config] ", e.what());
+    return failed_report(nullptr, cell.label, cell.method, "[config] ",
+                         e.what());
   }
   try {
     Report report = cell.method
@@ -51,13 +35,33 @@ Report run_cell(const SweepCell& cell, const Engine& engine,
     if (!cell.label.empty()) report.scenario = cell.label;
     return report;
   } catch (const ConfigError& e) {
-    return failed_report(cell, &scenario, "[config] ", e.what());
+    return failed_report(&scenario, cell.label, cell.method, "[config] ",
+                         e.what());
   } catch (const OutOfMemoryError& e) {
-    return failed_report(cell, &scenario, "[oom] ", e.what());
+    return failed_report(&scenario, cell.label, cell.method, "[oom] ",
+                         e.what());
   }
 }
 
 }  // namespace
+
+Report failed_report(const Scenario* scenario, const std::string& label,
+                     const std::optional<autotune::Method>& method,
+                     const char* kind, const char* what) {
+  Report report;
+  report.scenario = label;
+  if (scenario != nullptr) {
+    if (report.scenario.empty()) report.scenario = scenario->name;
+    report.model = scenario->model.name;
+    report.cluster = scenario->cluster.name;
+    report.n_gpus = scenario->cluster.total_gpus();
+    report.batch_size = scenario->batch_size;
+  }
+  if (method.has_value()) report.method = autotune::to_string(*method);
+  report.found = false;
+  report.error = std::string(kind) + what;
+  return report;
+}
 
 ScenarioGrid& ScenarioGrid::push(SweepCell cell) {
   cells_.push_back(std::move(cell));

@@ -1,0 +1,290 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace bfpp::json {
+
+namespace {
+
+// Hostile-input guard: a request line of nothing but '[' would otherwise
+// recurse once per byte.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+bool Value::as_bool(const std::string& what) const {
+  check_config(is_bool(), str_format("json: %s must be true or false",
+                                     what.c_str()));
+  return bool_;
+}
+
+double Value::as_number(const std::string& what) const {
+  check_config(is_number(),
+               str_format("json: %s must be a number", what.c_str()));
+  return number_;
+}
+
+int Value::as_int(const std::string& what) const {
+  const double x = as_number(what);
+  check_config(x == std::floor(x) && x >= -2147483648.0 && x <= 2147483647.0,
+               str_format("json: %s must be an integer", what.c_str()));
+  return static_cast<int>(x);
+}
+
+const std::string& Value::as_string(const std::string& what) const {
+  check_config(is_string(),
+               str_format("json: %s must be a string", what.c_str()));
+  return string_;
+}
+
+const Value* Value::get(const std::string& key) const {
+  const Value* found = nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value(0);
+    skip_ws();
+    check_config(pos_ == text_.size(),
+                 err("trailing content after the JSON document"));
+    return v;
+  }
+
+ private:
+  [[nodiscard]] std::string err(const char* what) const {
+    return str_format("json: %s (at byte %zu)", what, pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    check_config(pos_ < text_.size(), err("unexpected end of input"));
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    check_config(peek() == c,
+                 str_format("json: expected '%c' (at byte %zu)", c, pos_));
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(const char* word) {
+    const size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value(int depth) {
+    check_config(depth < kMaxDepth, err("nesting too deep"));
+    const char c = peek();
+    Value v;
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        v.type_ = Value::Type::kString;
+        v.string_ = parse_string();
+        return v;
+      case 't':
+        check_config(consume_word("true"), err("invalid literal"));
+        v.type_ = Value::Type::kBool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        check_config(consume_word("false"), err("invalid literal"));
+        v.type_ = Value::Type::kBool;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        check_config(consume_word("null"), err("invalid literal"));
+        return v;  // kNull
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Value v;
+    v.type_ = Value::Type::kObject;
+    if (consume('}')) return v;
+    while (true) {
+      check_config(peek() == '"', err("object keys must be strings"));
+      std::string key = parse_string();
+      expect(':');
+      v.object_.emplace_back(std::move(key), parse_value(depth + 1));
+      if (consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Value v;
+    v.type_ = Value::Type::kArray;
+    if (consume(']')) return v;
+    while (true) {
+      v.array_.push_back(parse_value(depth + 1));
+      if (consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      check_config(pos_ < text_.size(), err("unterminated string"));
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return out;
+      if (c == '\\') {
+        check_config(pos_ < text_.size(), err("unterminated escape"));
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': out += parse_unicode_escape(); break;
+          default:
+            throw ConfigError(err("invalid escape sequence"));
+        }
+        continue;
+      }
+      check_config(c >= 0x20, err("unescaped control character in string"));
+      out += static_cast<char>(c);
+    }
+  }
+
+  unsigned parse_hex4() {
+    check_config(pos_ + 4 <= text_.size(), err("truncated \\u escape"));
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        throw ConfigError(err("invalid \\u escape"));
+      }
+    }
+    return code;
+  }
+
+  // Decodes \uXXXX (and a surrogate pair when the first escape is a high
+  // surrogate) to UTF-8.
+  std::string parse_unicode_escape() {
+    unsigned code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {  // high surrogate
+      check_config(pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+                       text_[pos_ + 1] == 'u',
+                   err("unpaired surrogate in \\u escape"));
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      check_config(low >= 0xDC00 && low <= 0xDFFF,
+                   err("invalid low surrogate in \\u escape"));
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else {
+      check_config(!(code >= 0xDC00 && code <= 0xDFFF),
+                   err("unpaired surrogate in \\u escape"));
+    }
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      return pos_ > before;
+    };
+    check_config(digits(), err("invalid number"));
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      check_config(digits(), err("invalid number"));
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      check_config(digits(), err("invalid number"));
+    }
+    // The grammar above admits exactly what strtod parses; the C locale
+    // guard keeps '.' the radix point everywhere.
+    const detail::ScopedCLocale c_locale;
+    Value v;
+    v.type_ = Value::Type::kNumber;
+    v.number_ = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Value parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace bfpp::json

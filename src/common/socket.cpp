@@ -1,0 +1,117 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace bfpp::net {
+
+Stream::~Stream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Stream::Stream(Stream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Stream& Stream::operator=(Stream&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+bool Stream::read_line(std::string& line) {
+  while (true) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EOF (or a dead peer): hand back any unterminated final line.
+    if (buffer_.empty()) return false;
+    line = std::move(buffer_);
+    buffer_.clear();
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return true;
+  }
+}
+
+bool Stream::write_all(const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    // MSG_NOSIGNAL: a vanished client must surface as a return value,
+    // not kill the server with SIGPIPE.
+    const ssize_t n = ::send(fd_, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Listener::Listener(int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  check_config(fd_ >= 0, str_format("socket: cannot create socket: %s",
+                                    std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd_, 16) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw ConfigError(str_format("socket: cannot listen on 127.0.0.1:%d: %s",
+                                 port, why.c_str()));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<Stream> Listener::accept() {
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return Stream(client);
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return std::nullopt;
+  }
+}
+
+}  // namespace bfpp::net

@@ -1,0 +1,63 @@
+// Minimal POSIX TCP helpers for the `bfpp serve` line protocol
+// (api/server.h): a loopback listen socket and a connected socket with
+// buffered line reads.
+//
+// Scope is one blocking server loop - no polling, no timeouts, no TLS.
+// The listener binds 127.0.0.1 only: the experiment server is a local
+// tool, not an internet-facing daemon (front it with an SSH tunnel or a
+// reverse proxy to share it).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace bfpp::net {
+
+// A connected TCP socket (or any byte stream addressed by fd). Owns and
+// closes the descriptor; move-only.
+class Stream {
+ public:
+  explicit Stream(int fd) : fd_(fd) {}
+  ~Stream();
+  Stream(Stream&& other) noexcept;
+  Stream& operator=(Stream&& other) noexcept;
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  // Reads up to the next '\n' (consumed, and stripped along with a
+  // preceding '\r'). Returns false on EOF with no buffered bytes; a final
+  // unterminated line is returned as-is. Retries EINTR.
+  bool read_line(std::string& line);
+
+  // Writes all of `data`, retrying short writes and EINTR. Returns false
+  // once the peer is gone (EPIPE & friends).
+  bool write_all(const std::string& data);
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+// A listening TCP socket on 127.0.0.1:`port`. Port 0 picks an ephemeral
+// port (read it back with port()). Throws bfpp::ConfigError when the
+// socket cannot be created or bound.
+class Listener {
+ public:
+  explicit Listener(int port);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Blocks for the next client; nullopt on unrecoverable accept errors.
+  std::optional<Stream> accept();
+
+  [[nodiscard]] int port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace bfpp::net

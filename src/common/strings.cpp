@@ -50,6 +50,43 @@ std::string join(const std::vector<std::string>& parts, const std::string& sep) 
   return out;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_quote(const std::string& s) {
+  // Built piecewise: gcc 12's -Wrestrict false-positives on
+  // `"literal" + std::string&&` (PR105651).
+  std::string out = "\"";
+  out += json_escape(s);
+  out += '"';
+  return out;
+}
+
 std::string to_lower(std::string s) {
   for (char& c : s) {
     c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));

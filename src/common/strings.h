@@ -45,6 +45,15 @@ std::string str_format(const char* fmt, Args... args) {
 // Joins `parts` with `sep`.
 std::string join(const std::vector<std::string>& parts, const std::string& sep);
 
+// Escapes `s` for interpolation inside a JSON string literal (quotes,
+// backslashes, \n/\t, \u00xx for other control bytes). Shared by the
+// Report emitters and the serve protocol so both sides of the wire
+// escape identically.
+std::string json_escape(const std::string& s);
+
+// json_escape plus the surrounding double quotes.
+std::string json_quote(const std::string& s);
+
 // ASCII lowercase copy (used by the name/enum parsers).
 std::string to_lower(std::string s);
 

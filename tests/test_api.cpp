@@ -270,12 +270,39 @@ TEST(Report, CsvGolden) {
       "schedule,sharding,n_pp,n_tp,n_dp,s_mb,n_mb,n_loop,overlap_dp,"
       "overlap_pp,batch_time_s,throughput_per_gpu,utilization,"
       "compute_idle_fraction,memory_total_bytes,memory_min_total_bytes,"
-      "evaluated,infeasible";
+      "evaluated,infeasible,error";
   const std::string expected_row =
       "golden,52B,DGX-1 V100 (InfiniBand),,64,16,0.25,1,"
       "Breadth-first,DP0,8,8,1,1,16,4,1,1,2,5.25e+13,0.42,0.125,"
-      "1.2e+10,1000000000,0,0";
+      "1.2e+10,1000000000,0,0,";
   EXPECT_EQ(csv, expected_header + "\n" + expected_row + "\n");
+}
+
+TEST(Report, CsvErrorColumnKeepsTheSchemaStableAcrossFailedCells) {
+  // A failed sweep cell carries its reason in the last CSV column; a
+  // successful row emits an explicit empty string there. Both rows have
+  // the same column count, so sweep CSVs stay rectangular.
+  Report failed;
+  failed.scenario = "bad-cell";
+  failed.found = false;
+  failed.error = "[config] stages do not divide layers";
+  const std::string row = failed.to_csv_row();
+  EXPECT_NE(row.find(",[config] stages do not divide layers"),
+            std::string::npos);
+  const auto columns = [](const std::string& line) {
+    size_t n = 1;
+    bool quoted = false;
+    for (char c : line) {
+      if (c == '"') quoted = !quoted;
+      if (c == ',' && !quoted) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(columns(Report::csv_header()), columns(row));
+  EXPECT_EQ(columns(Report::csv_header()), columns(golden_report().to_csv_row()));
+  // Errors with commas are quoted so they stay one column.
+  failed.error = "[oom] needs 3 GB, has 2 GB";
+  EXPECT_EQ(columns(failed.to_csv_row()), columns(Report::csv_header()));
 }
 
 TEST(Report, CsvQuotesCommas) {

@@ -1,0 +1,530 @@
+// Tests for the `bfpp serve` experiment server (api/server.h): the LRU
+// ReportCache and its key construction, the line-delimited JSON
+// protocol, cached-response byte identity, the JSON request parser
+// (common/json.h) and the stdio / TCP transports.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/cli.h"
+#include "api/server.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "common/socket.h"
+
+namespace bfpp::api {
+namespace {
+
+// ---- common/json.h ----
+
+TEST(Json, ParsesScalarsArraysAndObjects) {
+  const json::Value v = json::parse(
+      R"({"s":"hi","i":8,"f":2.5,"t":true,"n":null,"a":[1,2,3],"o":{"k":"v"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get("s")->as_string(), "hi");
+  EXPECT_EQ(v.get("i")->as_int(), 8);
+  EXPECT_DOUBLE_EQ(v.get("f")->as_number(), 2.5);
+  EXPECT_TRUE(v.get("t")->as_bool());
+  EXPECT_TRUE(v.get("n")->is_null());
+  ASSERT_EQ(v.get("a")->size(), 3u);
+  EXPECT_EQ(v.get("a")->items()[2].as_int(), 3);
+  EXPECT_EQ(v.get("o")->get("k")->as_string(), "v");
+  EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+TEST(Json, DecodesEscapesIncludingSurrogatePairs) {
+  const json::Value v =
+      json::parse(R"({"e":"a\"b\\c\nd\u0041\u00e9\ud83d\ude00"})");
+  EXPECT_EQ(v.get("e")->as_string(), "a\"b\\c\ndA\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse(""), ConfigError);
+  EXPECT_THROW(json::parse("{"), ConfigError);
+  EXPECT_THROW(json::parse("{\"a\":1,}"), ConfigError);
+  EXPECT_THROW(json::parse("{\"a\":1} extra"), ConfigError);
+  EXPECT_THROW(json::parse("{'a':1}"), ConfigError);
+  EXPECT_THROW(json::parse("nul"), ConfigError);
+  EXPECT_THROW(json::parse("\"unterminated"), ConfigError);
+  EXPECT_THROW(json::parse("01x"), ConfigError);
+  EXPECT_THROW(json::parse(std::string(100, '[')), ConfigError);  // depth cap
+  EXPECT_THROW(json::parse("{\"a\":\"\\ud800\"}"), ConfigError);
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  const json::Value v = json::parse(R"({"s":"x","f":2.5})");
+  EXPECT_THROW((void)v.get("s")->as_int("s"), ConfigError);
+  EXPECT_THROW((void)v.get("f")->as_int("f"), ConfigError);  // not integral
+  EXPECT_THROW((void)v.get("s")->as_bool("s"), ConfigError);
+  EXPECT_THROW((void)v.get("f")->as_string("f"), ConfigError);
+}
+
+// ---- ReportCache ----
+
+Report tagged_report(const std::string& tag) {
+  Report r;
+  r.scenario = tag;
+  r.found = true;
+  return r;
+}
+
+TEST(ReportCache, RoundTripsAndCounts) {
+  ReportCache cache(4);
+  EXPECT_FALSE(cache.get("a").has_value());
+  cache.put("a", tagged_report("a"));
+  const auto hit = cache.get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->scenario, "a");
+  const ReportCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.capacity, 4u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(ReportCache, EvictsLeastRecentlyUsedFirst) {
+  ReportCache cache(2);
+  cache.put("a", tagged_report("a"));
+  cache.put("b", tagged_report("b"));
+  EXPECT_TRUE(cache.get("a").has_value());   // promote a: LRU order b, a
+  cache.put("c", tagged_report("c"));        // evicts b
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ReportCache, PutRefreshesExistingKeysWithoutEvicting) {
+  ReportCache cache(2);
+  cache.put("a", tagged_report("a"));
+  cache.put("b", tagged_report("b"));
+  cache.put("a", tagged_report("a2"));  // refresh, promote a: LRU order b, a
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  cache.put("c", tagged_report("c"));  // evicts b, not a
+  EXPECT_EQ(cache.get("a")->scenario, "a2");
+  EXPECT_FALSE(cache.get("b").has_value());
+}
+
+TEST(ReportCache, CapacityZeroDisablesCaching) {
+  ReportCache cache(0);
+  cache.put("a", tagged_report("a"));
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---- cache_key ----
+
+Scenario fig5a_scenario() {
+  return ScenarioBuilder()
+      .model("52b")
+      .cluster("dgx1-v100-ib")
+      .pp(8)
+      .tp(8)
+      .nmb(16)
+      .schedule("bf")
+      .loop(4)
+      .build();
+}
+
+TEST(CacheKey, IdenticalCellsShareAKey) {
+  EXPECT_EQ(cache_key(fig5a_scenario(), std::nullopt, {}),
+            cache_key(fig5a_scenario(), std::nullopt, {}));
+}
+
+TEST(CacheKey, LabelAndThreadBudgetAreExcluded) {
+  // The cosmetic name and the (result-invariant) thread budget must not
+  // split the cache: a sweep cell can serve a later run request.
+  Scenario relabelled = fig5a_scenario();
+  relabelled.name = "some/sweep/label";
+  RunOptions threads;
+  threads.threads = 7;
+  EXPECT_EQ(cache_key(fig5a_scenario(), std::nullopt, {}),
+            cache_key(relabelled, std::nullopt, threads));
+}
+
+TEST(CacheKey, BackendsKernelsConfigsAndMethodsSplitTheKey) {
+  const Scenario s = fig5a_scenario();
+  const std::string base = cache_key(s, std::nullopt, {});
+
+  RunOptions analytic;
+  analytic.backend = Backend::kAnalytic;
+  EXPECT_NE(base, cache_key(s, std::nullopt, analytic));
+
+  RunOptions kernel;
+  kernel.kernel = hw::KernelModel{};
+  kernel.kernel->max_efficiency = 0.5;
+  EXPECT_NE(base, cache_key(s, std::nullopt, kernel));
+  RunOptions kernel2 = kernel;
+  kernel2.kernel->max_efficiency = 0.51;
+  EXPECT_NE(cache_key(s, std::nullopt, kernel),
+            cache_key(s, std::nullopt, kernel2));
+
+  Scenario other = ScenarioBuilder()
+                       .model("52b")
+                       .cluster("dgx1-v100-ib")
+                       .pp(8)
+                       .tp(8)
+                       .nmb(32)  // different micro-batch count
+                       .schedule("bf")
+                       .loop(4)
+                       .build();
+  EXPECT_NE(base, cache_key(other, std::nullopt, {}));
+
+  // Overlap capability flags are part of describe(), hence of the key.
+  Scenario no_overlap = ScenarioBuilder()
+                            .model("52b")
+                            .cluster("dgx1-v100-ib")
+                            .pp(8)
+                            .tp(8)
+                            .nmb(16)
+                            .schedule("bf")
+                            .loop(4)
+                            .overlap(false, true)
+                            .build();
+  EXPECT_NE(base, cache_key(no_overlap, std::nullopt, {}));
+
+  EXPECT_NE(base,
+            cache_key(s, autotune::Method::kBreadthFirst, {}));
+  EXPECT_NE(cache_key(s, autotune::Method::kBreadthFirst, {}),
+            cache_key(s, autotune::Method::kDepthFirst, {}));
+
+  // A resized cluster shares the preset display name but not the key.
+  Scenario resized = ScenarioBuilder()
+                         .model("52b")
+                         .cluster("dgx1-v100-ib:16")
+                         .pp(8)
+                         .tp(8)
+                         .nmb(16)
+                         .schedule("bf")
+                         .loop(4)
+                         .build();
+  EXPECT_NE(base, cache_key(resized, std::nullopt, {}));
+}
+
+// ---- Server protocol ----
+
+constexpr const char* kFig5aRun =
+    R"({"type":"run","model":"52b","cluster":"dgx1-v100-ib","pp":8,"tp":8,)"
+    R"("nmb":16,"schedule":"bf","loop":4})";
+
+TEST(Server, PingStatsAndShutdown) {
+  Server server;
+  EXPECT_EQ(server.handle(R"({"id":7,"type":"ping"})"),
+            "{\"id\":7,\"ok\":true,\"type\":\"pong\"}\n");
+  EXPECT_EQ(server.handle(R"({"id":"x","type":"ping"})"),
+            "{\"id\":\"x\",\"ok\":true,\"type\":\"pong\"}\n");
+  const std::string stats = server.handle(R"({"type":"stats"})");
+  EXPECT_NE(stats.find("\"requests\":3"), std::string::npos);
+  EXPECT_NE(stats.find("\"hits\":0,\"misses\":0"), std::string::npos);
+  EXPECT_FALSE(server.shutdown_requested());
+  EXPECT_EQ(server.handle(R"({"type":"shutdown"})"),
+            "{\"ok\":true,\"type\":\"shutdown\"}\n");
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(Server, EchoesLargeIntegerIdsVerbatim) {
+  // Correlation ids are commonly epoch-millisecond timestamps; they must
+  // come back digit-for-digit, not through %g scientific notation.
+  Server server;
+  EXPECT_EQ(server.handle(R"({"id":1722300000000,"type":"ping"})"),
+            "{\"id\":1722300000000,\"ok\":true,\"type\":\"pong\"}\n");
+  EXPECT_EQ(server.handle(R"({"id":-3,"type":"ping"})"),
+            "{\"id\":-3,\"ok\":true,\"type\":\"pong\"}\n");
+  EXPECT_NE(server.handle(R"({"id":[1],"type":"ping"})")
+                .find("\"ok\":false"),
+            std::string::npos);
+  // An overflowing literal parses to infinity; echoing it would emit
+  // bare `inf` and corrupt the response line.
+  const std::string inf_id = server.handle(R"({"id":1e400,"type":"ping"})");
+  EXPECT_NE(inf_id.find("\"ok\":false"), std::string::npos);
+  EXPECT_EQ(inf_id.find("inf"), std::string::npos);
+}
+
+TEST(Server, RunRequestsRejectASearchMethod) {
+  // run simulates one exact configuration; a method field on it would
+  // otherwise be silently dropped and mislead.
+  Server server;
+  const std::string response = server.handle(
+      R"({"type":"run","preset":"fig5a-bf-b16","method":"df"})");
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(response.find("search and sweep"), std::string::npos);
+}
+
+TEST(Server, BlankLinesAreKeepAliveNoOps) {
+  Server server;
+  EXPECT_EQ(server.handle(""), "");
+  EXPECT_EQ(server.handle("   \t"), "");
+  EXPECT_NE(server.handle(R"({"type":"stats"})").find("\"requests\":1"),
+            std::string::npos);
+}
+
+TEST(Server, MalformedRequestsBecomeErrorLines) {
+  Server server;
+  EXPECT_NE(server.handle("not json").find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(server.handle("[1,2]").find("must be a JSON object"),
+            std::string::npos);
+  EXPECT_NE(server.handle(R"({"no_type":1})").find("needs a"),
+            std::string::npos);
+  EXPECT_NE(server.handle(R"({"type":"frobnicate"})")
+                .find("unknown request type"),
+            std::string::npos);
+  // Unknown fields are rejected (typo protection), echoing the id.
+  const std::string bad_field =
+      server.handle(R"({"id":3,"type":"run","pq":8})");
+  EXPECT_EQ(bad_field.rfind("{\"id\":3,\"ok\":false", 0), 0u);
+  EXPECT_NE(bad_field.find("unknown field"), std::string::npos);
+  EXPECT_NE(bad_field.find("pq"), std::string::npos);
+  // A structurally invalid *request* (contradictory flags) is a protocol
+  // error; a valid request whose configuration the engine rejects is a
+  // found=false row instead (see InfeasibleRunsAreReportRowsNot...).
+  EXPECT_NE(server.handle(
+                    R"({"type":"run","preset":"fig5a-bf-b16","pp":4})")
+                .find("\"ok\":false"),
+            std::string::npos);
+  // Scenario fields make no sense on a stats request.
+  EXPECT_NE(server.handle(R"({"type":"stats","pp":8})").find("\"ok\":false"),
+            std::string::npos);
+}
+
+TEST(Server, RepeatedRunIsAByteIdenticalCacheHit) {
+  Server server;
+  const std::string first = server.handle(kFig5aRun);
+  EXPECT_EQ(first.rfind("{\"ok\":true,\"type\":\"run\",\"report\":{", 0), 0u);
+  EXPECT_NE(first.find("\"found\":true"), std::string::npos);
+  EXPECT_EQ(first.find('\n'), first.size() - 1);  // one line
+  const std::string second = server.handle(kFig5aRun);
+  EXPECT_EQ(first, second);
+  const std::string stats = server.handle(R"({"type":"stats"})");
+  EXPECT_NE(stats.find("\"hits\":1,\"misses\":1,\"insertions\":1"),
+            std::string::npos);
+}
+
+TEST(Server, CacheKeysRespectBackendAndKernelAcrossRequests) {
+  Server server;
+  (void)server.handle(kFig5aRun);
+  // Same cell on another backend: a miss, not a hit.
+  const std::string analytic = std::string(kFig5aRun);
+  (void)server.handle(analytic.substr(0, analytic.size() - 1) +
+                      R"(,"backend":"analytic"})");
+  // Same cell with a kernel override: a third miss.
+  (void)server.handle(analytic.substr(0, analytic.size() - 1) +
+                      R"(,"kernel":{"max_efficiency":0.5}})");
+  const std::string stats = server.handle(R"({"type":"stats"})");
+  EXPECT_NE(stats.find("\"hits\":0,\"misses\":3,\"insertions\":3"),
+            std::string::npos);
+}
+
+TEST(Server, InfeasibleRunsAreReportRowsNotProtocolErrors) {
+  Server server;
+  // 52B replicated on every GPU: out of memory, reported as a
+  // found=false row with the reason, and cached like any other result.
+  const std::string oom =
+      R"({"type":"run","model":"52b","cluster":"dgx1-v100-ib","pp":1,)"
+      R"("tp":1,"dp":64,"nmb":1,"schedule":"gpipe"})";
+  const std::string first = server.handle(oom);
+  EXPECT_NE(first.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(first.find("\"found\":false"), std::string::npos);
+  EXPECT_NE(first.find("[oom]"), std::string::npos);
+  EXPECT_EQ(first, server.handle(oom));
+  const std::string stats = server.handle(R"({"type":"stats"})");
+  EXPECT_NE(stats.find("\"hits\":1,\"misses\":1"), std::string::npos);
+}
+
+TEST(Server, SweepStreamsRowsAndServesRepeatsFromTheCache) {
+  Server server;
+  const std::string sweep =
+      R"({"id":1,"type":"sweep","model":"52b","cluster":"dgx1-v100-ib",)"
+      R"("pp":[8],"tp":[8],"nmb":[16,32],"schedule":["bf"],"loop":[4]})";
+  const std::string first = server.handle(sweep);
+  // Framing: one header line announcing the payload, then one compact
+  // JSON object per row.
+  std::vector<std::string> lines;
+  for (size_t pos = 0; pos < first.size();) {
+    const size_t nl = first.find('\n', pos);
+    lines.push_back(first.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0],
+            "{\"id\":1,\"ok\":true,\"type\":\"sweep\",\"rows\":2,"
+            "\"lines\":2}");
+  EXPECT_EQ(lines[1].rfind("{\"scenario\":", 0), 0u);
+  EXPECT_NE(lines[1].find("nmb16"), std::string::npos);
+  EXPECT_NE(lines[2].find("nmb32"), std::string::npos);
+
+  const std::string second = server.handle(sweep);
+  EXPECT_EQ(first, second);
+  const std::string stats = server.handle(R"({"type":"stats"})");
+  EXPECT_NE(stats.find("\"hits\":2,\"misses\":2"), std::string::npos);
+}
+
+TEST(Server, RunRequestHitsACellComputedByASweep) {
+  // The cache key excludes the label, so the same physical cell is
+  // shared between a sweep and a later run request (relabelled).
+  Server server;
+  (void)server.handle(
+      R"({"type":"sweep","model":"52b","cluster":"dgx1-v100-ib",)"
+      R"("pp":[8],"tp":[8],"nmb":[16],"schedule":["bf"],"loop":[4]})");
+  const std::string run = server.handle(kFig5aRun);
+  EXPECT_NE(run.find("\"scenario\":\"serve\""), std::string::npos);
+  const std::string stats = server.handle(R"({"type":"stats"})");
+  EXPECT_NE(stats.find("\"hits\":1,\"misses\":1"), std::string::npos);
+}
+
+TEST(Server, CsvFormatFramesHeaderAndRows) {
+  Server server;
+  const std::string response = server.handle(
+      std::string(kFig5aRun).substr(0, std::string(kFig5aRun).size() - 1) +
+      R"(,"format":"csv"})");
+  const size_t first_nl = response.find('\n');
+  EXPECT_EQ(response.substr(0, first_nl),
+            "{\"ok\":true,\"type\":\"run\",\"format\":\"csv\",\"rows\":1,"
+            "\"lines\":2}");
+  const size_t second_nl = response.find('\n', first_nl + 1);
+  EXPECT_EQ(response.substr(first_nl + 1, second_nl - first_nl - 1),
+            Report::csv_header());
+  EXPECT_EQ(std::count(response.begin(), response.end(), '\n'), 3);
+}
+
+TEST(Server, SearchRequestFindsAConfigOnTheAnalyticBackend) {
+  Server server;
+  const std::string response = server.handle(
+      R"({"type":"search","model":"6.6b","cluster":"dgx1-v100-ib",)"
+      R"("batch":64,"method":"bf","backend":"analytic","jobs":2})");
+  EXPECT_EQ(response.rfind("{\"ok\":true,\"type\":\"search\"", 0), 0u);
+  EXPECT_NE(response.find("\"found\":true"), std::string::npos);
+  EXPECT_NE(response.find("\"method\":\"Breadth-first\""),
+            std::string::npos);
+  EXPECT_EQ(response, server.handle(
+      R"({"type":"search","model":"6.6b","cluster":"dgx1-v100-ib",)"
+      R"("batch":64,"method":"bf","backend":"analytic","jobs":2})"));
+}
+
+TEST(Server, ListAndPresetRequests) {
+  Server server;
+  const std::string models = server.handle(R"({"type":"list","what":"models"})");
+  EXPECT_NE(models.find("\"models\":[\"52b\",\"6.6b\""), std::string::npos);
+  EXPECT_EQ(models.find("\"clusters\""), std::string::npos);
+  const std::string all = server.handle(R"({"type":"list"})");
+  EXPECT_NE(all.find("\"clusters\""), std::string::npos);
+  EXPECT_NE(all.find("\"scenarios\""), std::string::npos);
+
+  const std::string preset =
+      server.handle(R"({"type":"run","preset":"fig5a-bf-b16"})");
+  EXPECT_NE(preset.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(preset.find("\"scenario\":\"fig5a-bf-b16\""), std::string::npos);
+}
+
+TEST(Server, CacheSizeZeroMeansEveryRequestRecomputes) {
+  ServeOptions options;
+  options.cache_capacity = 0;
+  Server server(options);
+  const std::string first = server.handle(kFig5aRun);
+  const std::string second = server.handle(kFig5aRun);
+  EXPECT_EQ(first, second);  // still deterministic, just recomputed
+  const std::string stats = server.handle(R"({"type":"stats"})");
+  EXPECT_NE(stats.find("\"hits\":0,\"misses\":2"), std::string::npos);
+  EXPECT_NE(stats.find("\"capacity\":0"), std::string::npos);
+}
+
+// ---- Transports ----
+
+TEST(Server, StdioTransportAnswersLineRequests) {
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  std::fputs("{\"id\":1,\"type\":\"ping\"}\n", in);
+  std::fputs(kFig5aRun, in);
+  std::fputs("\n{\"type\":\"shutdown\"}\n", in);
+  std::fputs("{\"type\":\"ping\"}\n", in);  // after shutdown: unread
+  std::rewind(in);
+
+  Server server;
+  EXPECT_EQ(server.serve_stdio(in, out), 0);
+  EXPECT_TRUE(server.shutdown_requested());
+
+  std::rewind(out);
+  std::string output;
+  char chunk[256];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), out)) > 0) {
+    output.append(chunk, n);
+  }
+  std::fclose(in);
+  std::fclose(out);
+  EXPECT_EQ(output.rfind("{\"id\":1,\"ok\":true,\"type\":\"pong\"}\n", 0),
+            0u);
+  EXPECT_NE(output.find("\"type\":\"run\""), std::string::npos);
+  EXPECT_NE(output.find("\"type\":\"shutdown\""), std::string::npos);
+  // The post-shutdown ping is never read: exactly one pong in the output.
+  const size_t first_pong = output.find("\"type\":\"pong\"");
+  EXPECT_EQ(output.find("\"type\":\"pong\"", first_pong + 1),
+            std::string::npos);
+}
+
+TEST(Server, TcpTransportServesALoopbackClient) {
+  // An ephemeral-port listener; skip (not fail) where the sandbox forbids
+  // binding loopback sockets.
+  std::unique_ptr<net::Listener> listener;
+  try {
+    listener = std::make_unique<net::Listener>(0);
+  } catch (const ConfigError& e) {
+    GTEST_SKIP() << e.what();
+  }
+  const int port = listener->port();
+  ASSERT_GT(port, 0);
+
+  std::string got_ping, got_stats;
+  std::thread client([&] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    net::Stream stream(fd);
+    ASSERT_TRUE(stream.write_all("{\"type\":\"ping\"}\n"));
+    ASSERT_TRUE(stream.read_line(got_ping));
+    ASSERT_TRUE(stream.write_all("{\"type\":\"stats\"}\n"));
+    ASSERT_TRUE(stream.read_line(got_stats));
+    ASSERT_TRUE(stream.write_all("{\"type\":\"shutdown\"}\n"));
+    std::string bye;
+    ASSERT_TRUE(stream.read_line(bye));
+  });
+
+  // Serve the one client on this thread (the accept loop exits once the
+  // shutdown request lands).
+  ServeOptions options;
+  Server server(options);
+  std::optional<net::Stream> stream = listener->accept();
+  ASSERT_TRUE(stream.has_value());
+  std::string line;
+  while (!server.shutdown_requested() && stream->read_line(line)) {
+    const std::string response = server.handle(line);
+    if (!response.empty() && !stream->write_all(response)) break;
+  }
+  client.join();
+  EXPECT_EQ(got_ping, "{\"ok\":true,\"type\":\"pong\"}");
+  EXPECT_NE(got_stats.find("\"requests\":2"), std::string::npos);
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+}  // namespace
+}  // namespace bfpp::api

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in markdown files.
+
+Usage: tools/check_links.py FILE.md [FILE.md ...]
+
+Checks every inline markdown link/image target ([text](target)) that is
+not an absolute URL or a pure in-page anchor: the target, resolved
+relative to the file that contains it, must exist. Anchors on relative
+links are stripped (existence of the file is what is checked). Exits 1
+listing every dead link. Stdlib only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links and images: [text](target) / ![alt](target). Targets with
+# spaces or nested parens do not occur in this repo's docs.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+# Fenced code blocks do not contain real links.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: dead link '{target}'")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(argv) - 1} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
