@@ -1,20 +1,26 @@
 // Serve-mode throughput: request rate of the `bfpp serve` core with a
 // cold ReportCache (every request simulated) vs a warm one (every
-// request a cache hit), for the simulator and analytic backends.
+// request a cache hit), for the simulator and analytic backends, plus
+// the aggregate warm rate under concurrent client sessions.
 //
 // Drives Server::handle() directly - the same code path both transports
-// (TCP and --stdio) call - so the numbers isolate request parsing +
+// (TCP and --stdio) call and the same thread-safe entry point each
+// session thread uses - so the numbers isolate request parsing +
 // execution + response rendering from socket I/O. Each pass issues the
 // same set of distinct run requests (6.6B, pp4/tp2, nmb x schedule x
 // loop grid); the first pass misses everywhere, the second hits
 // everywhere, and the ratio is what a repeated-workload client (a sweep
-// dashboard, a CI job re-running a figure) gains from the cache.
+// dashboard, a CI job re-running a figure) gains from the cache. The
+// concurrent pass replays the warm workload from N threads at once,
+// measuring how the shared-cache hot path scales across sessions.
 //
-// Usage: serve_throughput [requests_per_pass]   (default 64)
+// Usage: serve_throughput [requests_per_pass] [concurrent_clients]
+//        (defaults 64 and 4)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/server.h"
@@ -70,26 +76,60 @@ double rate(const PassResult& r) {
   return r.seconds > 0.0 ? static_cast<double>(r.responses) / r.seconds : 0.0;
 }
 
+// The warm workload replayed from `clients` threads at once, the way
+// concurrent sessions hit handle(). Aggregate responses / wall-clock.
+PassResult run_concurrent_pass(api::Server& server,
+                               const std::vector<std::string>& requests,
+                               int clients) {
+  PassResult result;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  std::vector<size_t> bytes(static_cast<size_t>(clients), 0);
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&server, &requests, &bytes, c] {
+      for (const std::string& request : requests) {
+        bytes[static_cast<size_t>(c)] += server.handle(request).size();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.responses = requests.size() * static_cast<size_t>(clients);
+  for (size_t b : bytes) result.bytes += b;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const int n = argc > 1 ? std::atoi(argv[1]) : 64;
-  if (n <= 0) {
-    std::fprintf(stderr, "usage: serve_throughput [requests_per_pass]\n");
+  const int clients = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (n <= 0 || clients <= 0) {
+    std::fprintf(stderr,
+                 "usage: serve_throughput [requests_per_pass] "
+                 "[concurrent_clients]\n");
     return 1;
   }
   const std::vector<std::string> requests = distinct_run_requests(n);
 
-  std::printf("== serve throughput: %d distinct run requests per pass ==\n\n",
-              n);
+  std::printf(
+      "== serve throughput: %d distinct run requests per pass, %d "
+      "concurrent clients ==\n\n",
+      n, clients);
   Table table({"Backend", "Cold (req/s)", "Warm (req/s)", "Speedup",
-               "Hit rate", "Resp. bytes"});
+               str_format("Warm x%d (req/s)", clients), "Hit rate",
+               "Resp. bytes"});
   for (const char* backend : {"sim", "analytic"}) {
     api::ServeOptions options;
     options.run.backend = api::parse_backend(backend);
     api::Server server(options);
     const PassResult cold = run_pass(server, requests);
     const PassResult warm = run_pass(server, requests);
+    const PassResult concurrent =
+        run_concurrent_pass(server, requests, clients);
     const api::ReportCache::Stats stats = server.cache_stats();
     const double hit_rate =
         static_cast<double>(stats.hits) /
@@ -97,12 +137,15 @@ int main(int argc, char** argv) {
     table.add_row({backend, str_format("%.0f", rate(cold)),
                    str_format("%.0f", rate(warm)),
                    str_format("%.1fx", rate(warm) / rate(cold)),
+                   str_format("%.0f", rate(concurrent)),
                    str_format("%.0f%%", 100.0 * hit_rate),
                    format_number(static_cast<double>(cold.bytes))});
   }
   std::fputs(table.to_string().c_str(), stdout);
   std::printf(
       "\nCold = empty ReportCache (every request simulated); warm = the\n"
-      "same requests again (every request served from the LRU cache).\n");
+      "same requests again (every request served from the LRU cache);\n"
+      "warm xN = the warm workload issued from N threads concurrently\n"
+      "(aggregate rate through the shared, mutex-guarded cache).\n");
   return 0;
 }

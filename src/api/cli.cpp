@@ -15,12 +15,18 @@ namespace bfpp::api {
 
 namespace {
 
+// Checked flag-value integer parse: never lets std::stoi's uncaught
+// std::invalid_argument / std::out_of_range escape to the user. A bad
+// value names the flag and the offending text, and exits 2 via
+// UsageError (see cli_main).
 int parse_int_flag(const std::string& flag, const std::string& value) {
-  check_config(!value.empty() && value.size() <= 9 &&
-                   value.find_first_not_of("0123456789") == std::string::npos,
-               str_format("cli: %s expects a positive integer, got '%s'",
-                          flag.c_str(), value.c_str()));
-  return std::stoi(value);
+  const std::optional<int> parsed = parse_int(value);
+  if (!parsed.has_value()) {
+    throw UsageError(
+        str_format("cli: %s expects a non-negative integer, got '%s'",
+                   flag.c_str(), value.c_str()));
+  }
+  return *parsed;
 }
 
 std::vector<int> parse_int_list(const std::string& flag,
@@ -235,6 +241,8 @@ int do_serve(const CliOptions& options) {
   serve.stdio = options.stdio;
   serve.port = options.port;
   serve.cache_capacity = static_cast<size_t>(options.cache_size);
+  serve.max_clients = options.max_clients;
+  serve.cache_file = options.cache_file;
   serve.jobs = options.jobs;
   serve.run = run_options_from_cli(options);
   Server server(serve);
@@ -387,6 +395,18 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       check_config(options.command == "serve",
                    "cli: --cache-size only applies to 'bfpp serve'");
       options.cache_size = parse_int_flag(flag, value(flag));
+    } else if (flag == "--max-clients") {
+      check_config(options.command == "serve",
+                   "cli: --max-clients only applies to 'bfpp serve'");
+      options.max_clients = parse_int_flag(flag, value(flag));
+      check_config(options.max_clients >= 1,
+                   "cli: --max-clients must be at least 1");
+    } else if (flag == "--cache-file") {
+      check_config(options.command == "serve",
+                   "cli: --cache-file only applies to 'bfpp serve'");
+      options.cache_file = value(flag);
+      check_config(!options.cache_file.empty(),
+                   "cli: --cache-file expects a path");
     } else if (flag == "--output") {
       options.output = value(flag);
       check_config(!options.output.empty(), "cli: --output expects a path");
@@ -522,7 +542,8 @@ std::string cli_usage() {
       "  bfpp sweep    [axis flags, comma lists] [--jobs N] [--backend B]\n"
       "                [--json|--csv]\n"
       "  bfpp validate [--jobs N] [--backend B] [--csv]\n"
-      "  bfpp serve    [--port N | --stdio] [--cache-size N] [--jobs N]\n"
+      "  bfpp serve    [--port N | --stdio] [--cache-size N]\n"
+      "                [--cache-file F] [--max-clients N] [--jobs N]\n"
       "                [--backend B]\n"
       "  bfpp list     [models|clusters|scenarios|all]\n"
       "  bfpp help\n"
@@ -568,8 +589,15 @@ std::string cli_usage() {
       "                      one-shot scripting)\n"
       "  --cache-size N      LRU Report cache capacity in entries\n"
       "                      (default 1024; 0 disables caching)\n"
+      "  --cache-file F      persist the Report cache to F: loaded on\n"
+      "                      startup, saved after mutating requests and\n"
+      "                      on shutdown (a corrupt file is ignored with\n"
+      "                      a warning)\n"
+      "  --max-clients N     concurrent TCP client sessions (default 32;\n"
+      "                      extra connections wait in the backlog)\n"
       "  requests are line-delimited JSON (docs/PROTOCOL.md); --backend\n"
-      "  and --jobs set per-request defaults\n"
+      "  and --jobs set per-request defaults. Clients are served\n"
+      "  concurrently; an idle client never delays another's requests\n"
       "\n"
       "execution:\n"
       "  --backend B         sim (default) | analytic | threaded\n"
@@ -590,8 +618,8 @@ std::string cli_usage() {
       "                      (run only; requires --backend sim)\n"
       "  --width N           timeline width in columns (default 100)\n"
       "\n"
-      "exit codes: 0 ok; 1 usage/config error; 2 search or sweep found\n"
-      "no feasible configuration\n"
+      "exit codes: 0 ok; 1 usage/config error; 2 malformed numeric flag\n"
+      "value, or search/sweep found no feasible configuration\n"
       "\n"
       "examples:\n"
       "  bfpp run --model 52b --cluster dgx1-v100-ib --pp 8 --tp 8 \\\n"
@@ -603,7 +631,8 @@ std::string cli_usage() {
       "  bfpp sweep --pp 8 --tp 8 --batch 16,32,64 --schedule bf \\\n"
       "             --loop 2,4,8 --csv\n"
       "  bfpp validate --jobs 8\n"
-      "  bfpp serve --port 7070 --cache-size 4096\n"
+      "  bfpp serve --port 7070 --cache-size 4096 \\\n"
+      "             --cache-file reports.jsonl --max-clients 64\n"
       "  printf '%s\\n' '{\"type\":\"run\",\"preset\":\"fig5a-bf-b16\"}' \\\n"
       "      | bfpp serve --stdio\n";
 }
@@ -626,6 +655,11 @@ int cli_main(int argc, char** argv) {
     if (options.command == "validate") return do_validate(options);
     if (options.command == "serve") return do_serve(options);
     return do_run(options);
+  } catch (const UsageError& e) {
+    // Malformed flag values (e.g. `--pp eight`) exit 2, distinguishable
+    // from semantic configuration errors (1) in scripts.
+    std::fprintf(stderr, "bfpp: %s\n", e.what());
+    return 2;
   } catch (const Error& e) {
     std::fprintf(stderr, "bfpp: %s\n", e.what());
     return 1;

@@ -59,6 +59,8 @@ struct CliOptions {
   bool stdio = false;     // --stdio (serve stdin/stdout instead of TCP)
   int port = 7070;        // --port (TCP port on 127.0.0.1)
   int cache_size = 1024;  // --cache-size (ReportCache entries; 0 disables)
+  int max_clients = 32;   // --max-clients (concurrent TCP sessions)
+  std::string cache_file;  // --cache-file (durable ReportCache snapshot)
 
   // Output.
   bool json = false;      // --json
@@ -85,7 +87,8 @@ ScenarioGrid grid_from_cli(const CliOptions& options);
 std::string cli_usage();
 
 // Entry point for the `bfpp` binary: parse, dispatch, print. Returns
-// the process exit code (0 success, 1 usage/config error, 2 infeasible).
+// the process exit code (0 success, 1 usage/config error, 2 malformed
+// numeric flag value or nothing feasible anywhere in a search/sweep).
 int cli_main(int argc, char** argv);
 
 }  // namespace bfpp::api

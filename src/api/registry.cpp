@@ -1,5 +1,7 @@
 #include "api/registry.h"
 
+#include <optional>
+
 #include "common/error.h"
 #include "common/strings.h"
 
@@ -19,12 +21,15 @@ ClusterKey parse_cluster_key(const std::string& name) {
   key.base = to_lower(name.substr(0, colon));
   if (colon != std::string::npos) {
     const std::string digits = name.substr(colon + 1);
-    check_config(!digits.empty() && digits.size() <= 9 &&
-                     digits.find_first_not_of("0123456789") ==
-                         std::string::npos,
-                 str_format("registry: bad node count in cluster '%s'",
-                            name.c_str()));
-    key.n_nodes = std::stoi(digits);
+    // parse_int (not bare std::stoi) so a malformed or out-of-range
+    // suffix is a ConfigError naming the offending value, never an
+    // uncaught std::invalid_argument / std::out_of_range.
+    const std::optional<int> n_nodes = parse_int(digits);
+    check_config(n_nodes.has_value(),
+                 str_format("registry: bad node count ':%s' in cluster '%s' "
+                            "(expected a positive integer)",
+                            digits.c_str(), name.c_str()));
+    key.n_nodes = *n_nodes;
     check_config(key.n_nodes >= 1,
                  str_format("registry: cluster '%s' needs at least one node",
                             name.c_str()));

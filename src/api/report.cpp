@@ -1,5 +1,7 @@
 #include "api/report.h"
 
+#include "common/error.h"
+#include "common/json.h"
 #include "common/strings.h"
 
 namespace bfpp::api {
@@ -150,6 +152,132 @@ std::string Report::to_csv_row() const {
 
 std::string Report::to_csv() const {
   return csv_header() + "\n" + to_csv_row() + "\n";
+}
+
+// ---- wire form (cache persistence) ----
+
+namespace {
+
+// %.17g: enough digits that parsing the decimal back yields the exact
+// same double, which keeps reloaded Reports byte-identical under the
+// %.10g display emitters.
+std::string wire_double(double x) { return str_format("%.17g", x); }
+
+std::string wire_result(const runtime::RunResult& r) {
+  return "[" + wire_double(r.batch_time) + "," +
+         wire_double(r.throughput_per_gpu) + "," +
+         wire_double(r.utilization) + "," +
+         wire_double(r.compute_idle_fraction) + "]";
+}
+
+std::string wire_memory(const memmodel::MemoryEstimate& m) {
+  return "[" + wire_double(m.state_bytes) + "," +
+         wire_double(m.buffer_bytes) + "," +
+         wire_double(m.activation_bytes) + "," +
+         wire_double(m.checkpoint_bytes) + "," +
+         wire_double(m.p2p_buffer_bytes) + "]";
+}
+
+const json::Value& wire_field(const json::Value& v, const char* key) {
+  const json::Value* field = v.get(key);
+  check_config(field != nullptr,
+               str_format("report: wire form is missing \"%s\"", key));
+  return *field;
+}
+
+std::vector<double> wire_doubles(const json::Value& v, const char* key,
+                                 size_t n) {
+  const json::Value& field = wire_field(v, key);
+  check_config(field.is_array() && field.size() == n,
+               str_format("report: \"%s\" must be an array of %zu numbers",
+                          key, n));
+  std::vector<double> out;
+  out.reserve(n);
+  for (const json::Value& item : field.items()) {
+    out.push_back(item.as_number(key));
+  }
+  return out;
+}
+
+runtime::RunResult result_from_wire(const json::Value& v, const char* key) {
+  const std::vector<double> d = wire_doubles(v, key, 4);
+  runtime::RunResult r;
+  r.batch_time = d[0];
+  r.throughput_per_gpu = d[1];
+  r.utilization = d[2];
+  r.compute_idle_fraction = d[3];
+  return r;
+}
+
+memmodel::MemoryEstimate memory_from_wire(const json::Value& v,
+                                          const char* key) {
+  const std::vector<double> d = wire_doubles(v, key, 5);
+  memmodel::MemoryEstimate m;
+  m.state_bytes = d[0];
+  m.buffer_bytes = d[1];
+  m.activation_bytes = d[2];
+  m.checkpoint_bytes = d[3];
+  m.p2p_buffer_bytes = d[4];
+  return m;
+}
+
+}  // namespace
+
+std::string Report::to_wire() const {
+  std::vector<std::string> fields = {
+      "\"scenario\":" + json_quote(scenario),
+      "\"model\":" + json_quote(model),
+      "\"cluster\":" + json_quote(cluster),
+      "\"method\":" + json_quote(method),
+      str_format("\"n_gpus\":%d", n_gpus),
+      str_format("\"batch_size\":%d", batch_size),
+      std::string("\"found\":") + (found ? "true" : "false"),
+      "\"error\":" + json_quote(error),
+      "\"config\":" + json_quote(config.describe()),
+      "\"result\":" + wire_result(result),
+      "\"memory\":" + wire_memory(memory),
+      "\"memory_min\":" + wire_memory(memory_min),
+      str_format("\"evaluated\":%d", evaluated),
+      str_format("\"infeasible\":%d", infeasible)};
+  if (frugal.has_value()) {
+    fields.push_back("\"frugal\":{\"config\":" +
+                     json_quote(frugal->config.describe()) +
+                     ",\"result\":" + wire_result(frugal->result) +
+                     ",\"memory_min\":" + wire_memory(frugal->memory_min) +
+                     "}");
+  }
+  return "{" + join(fields, ",") + "}";
+}
+
+Report Report::from_wire(const json::Value& value) {
+  check_config(value.is_object(), "report: wire form must be a JSON object");
+  Report r;
+  r.scenario = wire_field(value, "scenario").as_string("scenario");
+  r.model = wire_field(value, "model").as_string("model");
+  r.cluster = wire_field(value, "cluster").as_string("cluster");
+  r.method = wire_field(value, "method").as_string("method");
+  r.n_gpus = wire_field(value, "n_gpus").as_int("n_gpus");
+  r.batch_size = wire_field(value, "batch_size").as_int("batch_size");
+  r.found = wire_field(value, "found").as_bool("found");
+  r.error = wire_field(value, "error").as_string("error");
+  r.config =
+      parallel::ParallelConfig::parse(wire_field(value, "config").as_string());
+  r.result = result_from_wire(value, "result");
+  r.memory = memory_from_wire(value, "memory");
+  r.memory_min = memory_from_wire(value, "memory_min");
+  r.evaluated = wire_field(value, "evaluated").as_int("evaluated");
+  r.infeasible = wire_field(value, "infeasible").as_int("infeasible");
+  if (const json::Value* frugal = value.get("frugal")) {
+    check_config(frugal->is_object(),
+                 "report: \"frugal\" must be a JSON object");
+    Report::Frugal f;
+    f.config = parallel::ParallelConfig::parse(
+        wire_field(*frugal, "config").as_string());
+    f.result = result_from_wire(*frugal, "result");
+    f.memory_min = memory_from_wire(*frugal, "memory_min");
+    r.frugal = std::move(f);
+  }
+  return r;
 }
 
 Table to_table(const std::vector<Report>& reports) {

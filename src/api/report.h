@@ -14,6 +14,10 @@
 #include "parallel/config.h"
 #include "runtime/pipeline_sim.h"
 
+namespace bfpp::json {
+class Value;
+}
+
 namespace bfpp::api {
 
 struct Report {
@@ -66,6 +70,18 @@ struct Report {
   static std::string csv_header();
   [[nodiscard]] std::string to_csv_row() const;
   [[nodiscard]] std::string to_csv() const;  // header + this row
+
+  // Lossless single-line wire form for ReportCache persistence
+  // (api/server.h). Unlike to_json() - a *display* format with %.10g
+  // doubles and found-dependent keys - the wire form always carries
+  // every field, emits doubles with %.17g (so the parsed double is
+  // bit-identical and a reloaded Report renders byte-for-byte like the
+  // original), and encodes the ParallelConfig as its describe() string
+  // (describe() round-trips through ParallelConfig::parse).
+  [[nodiscard]] std::string to_wire() const;
+  // Inverse of to_wire(). Throws bfpp::ConfigError on a malformed or
+  // truncated value (the cache loader skips such entries).
+  static Report from_wire(const json::Value& value);
 };
 
 // Renders reports as the repo's standard ASCII table (one row each).

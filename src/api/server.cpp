@@ -1,6 +1,8 @@
 #include "api/server.h"
 
+#include <cerrno>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "api/api.h"
@@ -9,11 +11,26 @@
 #include "api/sweep.h"
 #include "common/error.h"
 #include "common/json.h"
+#include "common/serialize.h"
 #include "common/socket.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 
 namespace bfpp::api {
+
+namespace {
+
+// Bumped whenever the cache-file line format changes; a mismatched
+// snapshot is ignored (cold start), never misread.
+constexpr int kCacheFileVersion = 1;
+
+// A session write to a client that has stopped reading gives up after
+// this long (the peer is treated as gone), which bounds how long a
+// stuck client can hold a session thread - and the shutdown drain -
+// hostage.
+constexpr int kSendTimeoutSeconds = 30;
+
+}  // namespace
 
 // ---- ReportCache ----
 
@@ -36,20 +53,95 @@ std::optional<Report> ReportCache::get(const std::string& key) {
 void ReportCache::put(const std::string& key, Report report) {
   if (capacity_ == 0) return;
   const std::lock_guard<std::mutex> lock(mutex_);
+  const InsertOutcome outcome = insert_locked(key, std::move(report));
+  if (outcome.inserted) ++counters_.insertions;
+  counters_.evictions += outcome.evicted;
+}
+
+ReportCache::InsertOutcome ReportCache::insert_locked(const std::string& key,
+                                                      Report report) {
+  InsertOutcome outcome;
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(report);
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    return outcome;  // a refresh + promote, nothing new or evicted
   }
   lru_.emplace_front(key, std::move(report));
   index_[key] = lru_.begin();
-  ++counters_.insertions;
+  outcome.inserted = true;
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    ++counters_.evictions;
+    ++outcome.evicted;
   }
+  return outcome;
+}
+
+bool ReportCache::save(const std::string& path) const {
+  // Copy the entries out under the lock, serialize outside it: to_wire()
+  // over the whole cache is the expensive part, and holding the mutex
+  // through it would stall every concurrent session's get/put.
+  std::vector<std::pair<std::string, Report>> entries;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // LRU first, MRU last: load() re-inserts in file order and ends up
+    // with the same recency order this cache has now.
+    entries.assign(lru_.rbegin(), lru_.rend());
+  }
+  std::string out = str_format("{\"bfpp_report_cache\":%d,\"entries\":%zu}\n",
+                               kCacheFileVersion, entries.size());
+  for (const auto& [key, report] : entries) {
+    out += "{\"key\":" + json_quote(key) + ",\"report\":" + report.to_wire() +
+           "}\n";
+  }
+  if (!serialize::write_file_atomic(path, out)) {
+    std::fprintf(stderr, "bfpp serve: cannot persist cache to '%s': %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+size_t ReportCache::load(const std::string& path) {
+  if (capacity_ == 0) return 0;  // caching disabled: nothing to warm
+  const std::optional<std::string> content = serialize::read_file(path);
+  if (!content.has_value()) return 0;  // no snapshot yet: cold start
+  const std::vector<std::string> lines = serialize::split_lines(*content);
+  try {
+    check_config(!lines.empty(), "empty file");
+    const json::Value header = json::parse(lines[0]);
+    const json::Value* version = header.get("bfpp_report_cache");
+    check_config(version != nullptr &&
+                     version->as_int("bfpp_report_cache") == kCacheFileVersion,
+                 "missing or unsupported \"bfpp_report_cache\" version");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "bfpp serve: ignoring cache file '%s' (not a bfpp report "
+                 "cache snapshot: %s)\n",
+                 path.c_str(), e.what());
+    return 0;
+  }
+  size_t loaded = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    try {
+      const json::Value entry = json::parse(lines[i]);
+      const json::Value* key = entry.get("key");
+      const json::Value* report = entry.get("report");
+      check_config(key != nullptr && report != nullptr,
+                   "entry needs \"key\" and \"report\"");
+      Report parsed = Report::from_wire(*report);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      insert_locked(key->as_string("key"), std::move(parsed));
+      ++loaded;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "bfpp serve: skipping corrupt cache entry (line %zu of "
+                   "'%s'): %s\n",
+                   i + 1, path.c_str(), e.what());
+    }
+  }
+  return loaded;
 }
 
 ReportCache::Stats ReportCache::stats() const {
@@ -396,7 +488,50 @@ std::string rows_response(const std::string& id_echo, const char* type,
 // ---- Server ----
 
 Server::Server(ServeOptions options)
-    : options_(std::move(options)), cache_(options_.cache_capacity) {}
+    : options_(std::move(options)), cache_(options_.cache_capacity) {
+  if (!options_.cache_file.empty()) {
+    const size_t loaded = cache_.load(options_.cache_file);
+    if (loaded > 0) {
+      std::fprintf(stderr,
+                   "bfpp serve: warmed cache with %zu entr%s from '%s'\n",
+                   loaded, loaded == 1 ? "y" : "ies",
+                   options_.cache_file.c_str());
+    }
+  }
+}
+
+Server::~Server() = default;
+
+Server::Session::Session(net::Stream&& s)
+    : stream(std::make_unique<net::Stream>(std::move(s))) {}
+
+Server::Session::~Session() = default;
+
+void Server::request_shutdown() {
+  shutdown_ = true;
+  const std::lock_guard<std::mutex> lock(session_mutex_);
+  if (listener_ != nullptr) listener_->wake();
+  session_done_.notify_all();
+}
+
+bool Server::persist_cache() {
+  if (options_.cache_file.empty()) return false;
+  const std::lock_guard<std::mutex> lock(persist_mutex_);
+  // Snapshot the insertion count *before* saving: an insertion racing
+  // with the save stays marked dirty and triggers the next checkpoint.
+  const uint64_t insertions = cache_.stats().insertions;
+  if (!cache_.save(options_.cache_file)) return false;
+  persisted_insertions_ = insertions;
+  return true;
+}
+
+void Server::persist_if_dirty() {
+  if (options_.cache_file.empty()) return;
+  const std::lock_guard<std::mutex> lock(persist_mutex_);
+  const uint64_t insertions = cache_.stats().insertions;
+  if (insertions == persisted_insertions_) return;
+  if (cache_.save(options_.cache_file)) persisted_insertions_ = insertions;
+}
 
 std::vector<Report> Server::execute(const std::vector<Cell>& cells,
                                     const RunOptions& run, int jobs) {
@@ -485,7 +620,10 @@ std::string Server::handle_or_throw(std::string& id_echo,
     return response_line(id_echo, "\"ok\":true,\"type\":\"pong\"");
   }
   if (req.type == "shutdown") {
-    shutdown_ = true;
+    // Wakes the accept loop (self-pipe) and capacity waiters; the
+    // requesting session still gets this acknowledgement before its
+    // stream is drained.
+    request_shutdown();
     return response_line(id_echo, "\"ok\":true,\"type\":\"shutdown\"");
   }
   if (req.type == "stats") {
@@ -567,53 +705,141 @@ std::string Server::handle(const std::string& request_line) {
   }
 }
 
-namespace {
-
-bool read_stdio_line(std::FILE* in, std::string& line) {
-  line.clear();
-  int c;
-  while ((c = std::fgetc(in)) != EOF) {
-    if (c == '\n') {
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      return true;
-    }
-    line += static_cast<char>(c);
-  }
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-  return !line.empty();
-}
-
-}  // namespace
-
 int Server::serve_stdio(std::FILE* in, std::FILE* out) {
   std::string line;
-  while (!shutdown_ && read_stdio_line(in, line)) {
+  while (!shutdown_ && net::read_stdio_line(in, line)) {
     const std::string response = handle(line);
     if (!response.empty()) {
       std::fputs(response.c_str(), out);
       std::fflush(out);
     }
+    persist_if_dirty();
   }
+  persist_cache();
   return 0;
 }
 
-int Server::serve() {
-  net::Listener listener(options_.port);
-  std::fprintf(stderr,
-               "bfpp serve: listening on 127.0.0.1:%d (backend %s, cache "
-               "%zu entries); send {\"type\":\"shutdown\"} to stop\n",
-               listener.port(), to_string(options_.run.backend),
-               options_.cache_capacity);
-  while (!shutdown_) {
-    std::optional<net::Stream> client = listener.accept();
-    if (!client.has_value()) return 1;  // listener torn down under us
-    std::string line;
-    while (!shutdown_ && client->read_line(line)) {
-      const std::string response = handle(line);
-      if (!response.empty() && !client->write_all(response)) break;
+void Server::run_session(net::Stream& stream) {
+  std::string line;
+  while (stream.read_line(line)) {
+    const std::string response = handle(line);
+    if (!response.empty() && !stream.write_all(response)) break;
+    persist_if_dirty();
+    // Checked *after* responding so the client that requested the
+    // shutdown still receives its acknowledgement.
+    if (shutdown_) break;
+  }
+}
+
+void Server::reap_finished_sessions_locked() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->done) {
+      (*it)->thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
     }
   }
-  return 0;
+}
+
+int Server::serve_on(net::Listener& listener) {
+  {
+    const std::lock_guard<std::mutex> lock(session_mutex_);
+    listener_ = &listener;
+    if (shutdown_) listener.wake();  // requested before the loop started
+  }
+  int exit_code = 0;
+  while (!shutdown_) {
+    {
+      // Respect --max-clients: wait for a session slot (or shutdown)
+      // before accepting. Excess connections queue in the kernel
+      // backlog, they are never dropped mid-session.
+      std::unique_lock<std::mutex> lock(session_mutex_);
+      session_done_.wait(lock, [&] {
+        return shutdown_.load() || active_sessions_ < options_.max_clients;
+      });
+      if (shutdown_) break;
+      reap_finished_sessions_locked();
+    }
+    std::optional<net::Stream> client = listener.accept();
+    if (!client.has_value()) {
+      if (shutdown_ || listener.last_error() == 0) break;  // orderly wake
+      // A permanent accept failure (EMFILE, listener torn down, ...)
+      // must be tellable from a shutdown: name the errno and bail.
+      std::fprintf(stderr,
+                   "bfpp serve: accept() failed on 127.0.0.1:%d: %s "
+                   "(errno %d); shutting down\n",
+                   listener.port(), std::strerror(listener.last_error()),
+                   listener.last_error());
+      exit_code = 1;
+      break;
+    }
+    // A client that stops reading its responses must not be able to
+    // block a session writer (and the shutdown join) forever.
+    client->set_send_timeout(kSendTimeoutSeconds);
+    const std::lock_guard<std::mutex> lock(session_mutex_);
+    auto session = std::make_unique<Session>(std::move(*client));
+    Session* raw = session.get();
+    try {
+      raw->thread = std::thread([this, raw] {
+        run_session(*raw->stream);
+        const std::lock_guard<std::mutex> done_lock(session_mutex_);
+        --active_sessions_;
+        raw->done = true;
+        session_done_.notify_all();
+      });
+    } catch (const std::system_error& e) {
+      // Thread exhaustion (EAGAIN under tight rlimits) must drop this
+      // one connection, not std::terminate() the whole server.
+      std::fprintf(stderr,
+                   "bfpp serve: cannot spawn a session thread (%s); "
+                   "dropping the connection\n",
+                   e.what());
+      continue;  // `session` closes the socket on destruction
+    }
+    ++active_sessions_;
+    sessions_.push_back(std::move(session));
+  }
+  // Drain: wake sessions blocked on idle clients (half-close their read
+  // side; in-flight responses still go out), then join every session.
+  {
+    const std::lock_guard<std::mutex> lock(session_mutex_);
+    for (const std::unique_ptr<Session>& session : sessions_) {
+      session->stream->shutdown_read();
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Session> session;
+    {
+      const std::lock_guard<std::mutex> lock(session_mutex_);
+      if (sessions_.empty()) break;
+      session = std::move(sessions_.front());
+      sessions_.pop_front();
+    }
+    if (session->thread.joinable()) session->thread.join();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(session_mutex_);
+    listener_ = nullptr;
+  }
+  persist_cache();
+  return exit_code;
+}
+
+int Server::serve() {
+  // Backlog sized to --max-clients: connections beyond the session
+  // bound queue in the kernel instead of being refused.
+  net::Listener listener(options_.port, options_.max_clients);
+  std::fprintf(
+      stderr,
+      "bfpp serve: listening on 127.0.0.1:%d (backend %s, cache %zu "
+      "entries%s%s, up to %d concurrent clients); send "
+      "{\"type\":\"shutdown\"} to stop\n",
+      listener.port(), to_string(options_.run.backend),
+      options_.cache_capacity,
+      options_.cache_file.empty() ? "" : ", persisted to ",
+      options_.cache_file.c_str(), options_.max_clients);
+  return serve_on(listener);
 }
 
 }  // namespace bfpp::api

@@ -8,24 +8,38 @@
 // streams Report rows back as JSON or CSV. docs/PROTOCOL.md documents
 // every request and response shape with copy-pasteable examples.
 //
-//   $ bfpp serve --port 7070 &
+//   $ bfpp serve --port 7070 --cache-file reports.jsonl &
 //   $ printf '%s\n' '{"type":"run","preset":"fig5a-bf-b16"}' | nc 127.0.0.1 7070
 //   {"ok":true,"type":"run","report":{...}}
+//
+// Clients are served concurrently: the serve() thread accepts
+// connections (woken by a self-pipe on shutdown) and hands each one to
+// a dedicated session thread, up to --max-clients at a time, so a
+// blocked or idle client never delays another client's requests.
+// Session threads only do transport I/O; all computation funnels
+// through the shared ThreadPool exactly as in single-client mode, so
+// concurrent sessions share one thread budget instead of
+// oversubscribing the machine. handle() is fully thread-safe.
 //
 // Repeated cells are served from an LRU ReportCache keyed by
 // (model, cluster, config, backend, kernel-override) - the simulator is
 // deterministic, so a cached Report is byte-for-byte the one a fresh
 // simulation would produce. Cache effectiveness is surfaced by the
-// "stats" request.
+// "stats" request, and --cache-file makes the cache durable across
+// restarts (loaded at startup, persisted after mutating requests and on
+// shutdown).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -34,12 +48,19 @@
 #include "api/scenario.h"
 #include "autotune/autotune.h"
 
+namespace bfpp::net {
+class Listener;
+class Stream;
+}  // namespace bfpp::net
+
 namespace bfpp::api {
 
 // Thread-safe LRU cache of finished Reports. Keys are the canonical
 // strings cache_key() builds; capacity is an entry count (Reports are a
 // few hundred bytes each). get() promotes to most-recently-used; put()
-// evicts from the least-recently-used end once full.
+// evicts from the least-recently-used end once full. save()/load() make
+// the cache durable: a versioned JSON-lines snapshot of every cell,
+// negative (found=false) entries included.
 class ReportCache {
  public:
   explicit ReportCache(size_t capacity = 1024);
@@ -51,6 +72,22 @@ class ReportCache {
   // Inserts (or refreshes) `key`. Evicts LRU entries beyond capacity; a
   // capacity of 0 disables caching entirely.
   void put(const std::string& key, Report report);
+
+  // Serializes every entry to `path` (atomic temp+rename; see
+  // common/serialize.h). Line 1 is a versioned header, then one
+  // {"key":...,"report":<wire form>} line per entry in LRU-to-MRU order
+  // so load() reconstructs the recency order. Returns false (after
+  // warning on stderr) on IO failure; never throws.
+  bool save(const std::string& path) const;
+
+  // Loads a save() snapshot into the cache, preserving recency order and
+  // respecting capacity. Corruption-tolerant: a missing file is a silent
+  // cold start, a bad header ignores the whole file with a stderr
+  // warning, and a corrupt entry line is skipped with a warning - load
+  // never throws. Loaded entries do not count as insertions (the
+  // counters describe this process's traffic). Returns the number of
+  // entries loaded.
+  size_t load(const std::string& path);
 
   struct Stats {
     size_t entries = 0;
@@ -65,6 +102,15 @@ class ReportCache {
   void clear();
 
  private:
+  // The one insert/promote/evict LRU body, shared by put() (which turns
+  // the outcome into counter updates) and load() (which deliberately
+  // leaves the counters alone). Caller holds mutex_.
+  struct InsertOutcome {
+    bool inserted = false;  // false: an existing key was refreshed
+    uint64_t evicted = 0;
+  };
+  InsertOutcome insert_locked(const std::string& key, Report report);
+
   mutable std::mutex mutex_;
   size_t capacity_;
   // Front = most recently used. The index maps key -> list node.
@@ -90,27 +136,48 @@ struct ServeOptions {
   int port = 7070;          // TCP port on 127.0.0.1 (0 = ephemeral)
   int jobs = 0;             // default --jobs for requests that set none
   size_t cache_capacity = 1024;  // ReportCache entries (0 disables)
+  int max_clients = 32;     // concurrent TCP sessions; extra accepts wait
+  std::string cache_file;   // durable cache path ("" = in-memory only)
   RunOptions run;           // default backend for requests that set none
 };
 
 class Server {
  public:
   explicit Server(ServeOptions options = {});
+  ~Server();
 
   // The transport-independent core: handles one request line and returns
   // the complete, newline-terminated response (one JSON line, plus
   // payload lines for multi-row responses). Never throws: malformed or
   // failing requests become {"ok":false,"error":...} lines. Blank lines
-  // return the empty string (keep-alive no-ops).
+  // return the empty string (keep-alive no-ops). Thread-safe: session
+  // threads call this concurrently.
   std::string handle(const std::string& request_line);
 
   // Serves line requests from `in` until EOF or a shutdown request,
   // writing responses to `out` (flushed per response). Returns 0.
   int serve_stdio(std::FILE* in = stdin, std::FILE* out = stdout);
 
-  // Binds 127.0.0.1:options.port and serves clients sequentially until
-  // a shutdown request. Returns 0 on orderly shutdown.
+  // Binds 127.0.0.1:options.port and serves clients concurrently (one
+  // session thread each, at most options.max_clients at a time) until a
+  // shutdown request or request_shutdown(). Returns 0 on orderly
+  // shutdown, 1 after an unrecoverable accept() failure (logged with
+  // its errno to stderr).
   int serve();
+
+  // serve() on a caller-owned listener - tests bind an ephemeral port
+  // themselves and read it back before starting the loop.
+  int serve_on(net::Listener& listener);
+
+  // Initiates an orderly shutdown from any thread: wakes the accept
+  // loop, which then drains in-flight sessions and persists the cache.
+  void request_shutdown();
+
+  // Persists the cache to options.cache_file now (no-op returning false
+  // when no cache file is configured). serve loops call this after
+  // cache-mutating requests and on shutdown; exposed so embedders and
+  // tests can checkpoint explicitly.
+  bool persist_cache();
 
   [[nodiscard]] bool shutdown_requested() const { return shutdown_; }
   [[nodiscard]] ReportCache::Stats cache_stats() const {
@@ -119,6 +186,13 @@ class Server {
 
  private:
   std::string handle_or_throw(std::string& id_echo, const std::string& line);
+
+  // One connected client: reads request lines until EOF / shutdown,
+  // answering each through handle().
+  void run_session(net::Stream& stream);
+  // Saves the cache iff it changed since the last save (cheap no-op
+  // otherwise). Called after every handled request on both transports.
+  void persist_if_dirty();
 
   // Executes one batch of cells (a single run/search, or a whole sweep
   // grid) through the cache: probe serially, compute misses in parallel
@@ -138,6 +212,28 @@ class Server {
   ReportCache cache_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<bool> shutdown_{false};
+
+  // Accept-loop / session bookkeeping (serve_on only). session_mutex_
+  // guards sessions_, active_sessions_ and listener_; session_done_
+  // signals a freed --max-clients slot or shutdown.
+  struct Session {
+    explicit Session(net::Stream&& s);
+    ~Session();
+    std::unique_ptr<net::Stream> stream;  // stable address for wake-ups
+    std::thread thread;
+    bool done = false;
+  };
+  void reap_finished_sessions_locked();
+
+  std::mutex session_mutex_;
+  std::condition_variable session_done_;
+  std::list<std::unique_ptr<Session>> sessions_;
+  int active_sessions_ = 0;
+  net::Listener* listener_ = nullptr;  // non-null while serve_on runs
+
+  // Persistence bookkeeping: last insertion count written to disk.
+  std::mutex persist_mutex_;
+  uint64_t persisted_insertions_ = 0;
 };
 
 }  // namespace bfpp::api

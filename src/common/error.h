@@ -25,6 +25,16 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error(what) {}
 };
 
+// Thrown for a malformed command-line flag *value* (e.g. `--pp eight`,
+// or an out-of-range `--port 99999999999`). A ConfigError so every
+// existing catch site treats it as the configuration error it is, but
+// distinguishable so the CLI driver can exit 2 (bad invocation) instead
+// of 1.
+class UsageError : public ConfigError {
+ public:
+  explicit UsageError(const std::string& what) : ConfigError(what) {}
+};
+
 // Thrown by the memory model / runtime when a configuration does not fit
 // in device memory. Also caught (and counted) by the autotuner.
 class OutOfMemoryError : public Error {

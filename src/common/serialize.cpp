@@ -1,0 +1,52 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+
+namespace bfpp::serialize {
+
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool wrote =
+      content.empty() ||
+      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::string out;
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    out.append(chunk, n);
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!ok) return std::nullopt;
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t nl = text.find('\n', pos);
+    const size_t end = nl == std::string::npos ? text.size() : nl;
+    std::string line = text.substr(pos, end - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) lines.push_back(std::move(line));
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace bfpp::serialize

@@ -1,0 +1,28 @@
+// Small file-persistence helpers for durable state (the serve
+// ReportCache's --cache-file). Writers replace files atomically
+// (temp + rename in the same directory) so a crash mid-save can never
+// leave a half-written file behind, and readers never throw: a missing
+// or unreadable file is a nullopt the caller turns into a cold start.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bfpp::serialize {
+
+// Writes `content` to `path` by writing `path + ".tmp"` and renaming it
+// into place (atomic on POSIX: readers see the old file or the new one,
+// never a torn mix). Returns false - removing the temp file - on any IO
+// failure; never throws.
+bool write_file_atomic(const std::string& path, const std::string& content);
+
+// The whole file as bytes, or nullopt when it cannot be opened or read.
+std::optional<std::string> read_file(const std::string& path);
+
+// Splits on '\n', stripping one trailing '\r' per line (CRLF files) and
+// dropping empty lines, so a missing trailing newline or stray blank
+// line never changes what a line-oriented loader sees.
+std::vector<std::string> split_lines(const std::string& text);
+
+}  // namespace bfpp::serialize

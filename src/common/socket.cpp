@@ -1,10 +1,14 @@
 #include "common/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -14,6 +18,18 @@
 #include "common/strings.h"
 
 namespace bfpp::net {
+
+namespace {
+
+// Strips one trailing '\r' (CRLF clients) and reports whether anything
+// is left — the shared "final unterminated line" rule of both
+// transports: return it iff non-empty.
+bool finish_eof_line(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return !line.empty();
+}
+
+}  // namespace
 
 Stream::~Stream() {
   if (fd_ >= 0) ::close(fd_);
@@ -47,12 +63,11 @@ bool Stream::read_line(std::string& line) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    // EOF (or a dead peer): hand back any unterminated final line.
-    if (buffer_.empty()) return false;
+    // EOF (or a dead peer): hand back a non-empty unterminated final
+    // line, exactly like read_stdio_line.
     line = std::move(buffer_);
     buffer_.clear();
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    return true;
+    return finish_eof_line(line);
   }
 }
 
@@ -72,7 +87,33 @@ bool Stream::write_all(const std::string& data) {
   return true;
 }
 
-Listener::Listener(int port) {
+void Stream::set_send_timeout(int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void Stream::shutdown_read() {
+  // Errors (ENOTCONN on an already-gone peer, ENOTSOCK on a pipe-backed
+  // Stream in tests) are harmless: the goal is only to nudge a blocked
+  // reader towards EOF.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+bool read_stdio_line(std::FILE* in, std::string& line) {
+  line.clear();
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    line += static_cast<char>(c);
+  }
+  return finish_eof_line(line);
+}
+
+Listener::Listener(int port, int backlog) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   check_config(fd_ >= 0, str_format("socket: cannot create socket: %s",
                                     std::strerror(errno)));
@@ -85,13 +126,19 @@ Listener::Listener(int port) {
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
           0 ||
-      ::listen(fd_, 16) < 0) {
+      ::listen(fd_, std::max(backlog, 16)) < 0 || ::pipe(wake_fds_) < 0) {
     const std::string why = std::strerror(errno);
     ::close(fd_);
     fd_ = -1;
     throw ConfigError(str_format("socket: cannot listen on 127.0.0.1:%d: %s",
                                  port, why.c_str()));
   }
+  // Non-blocking listener: accept() multiplexes it with the wake pipe
+  // through poll(), so a shutdown request can unblock the accept loop.
+  ::fcntl(fd_, F_SETFL, ::fcntl(fd_, F_GETFL, 0) | O_NONBLOCK);
+  ::fcntl(wake_fds_[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(wake_fds_[1], F_SETFD, FD_CLOEXEC);
+
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
   if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
@@ -103,15 +150,53 @@ Listener::Listener(int port) {
 
 Listener::~Listener() {
   if (fd_ >= 0) ::close(fd_);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
 }
 
 std::optional<Stream> Listener::accept() {
   while (true) {
+    if (woken_.load(std::memory_order_acquire)) {
+      last_error_ = 0;
+      return std::nullopt;
+    }
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      last_error_ = errno;
+      return std::nullopt;
+    }
+    if ((fds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      last_error_ = 0;  // woken for shutdown, not an error
+      return std::nullopt;
+    }
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
     const int client = ::accept(fd_, nullptr, nullptr);
-    if (client >= 0) return Stream(client);
-    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (client >= 0) {
+      // BSD-derived systems let accepted sockets inherit the listener's
+      // O_NONBLOCK (Linux does not); sessions need blocking reads, so
+      // clear it explicitly either way.
+      ::fcntl(client, F_SETFL,
+              ::fcntl(client, F_GETFL, 0) & ~O_NONBLOCK);
+      return Stream(client);
+    }
+    // The ready connection can vanish between poll() and accept():
+    // EAGAIN and ECONNABORTED are routine, not failures.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      continue;
+    }
+    last_error_ = errno;
     return std::nullopt;
   }
+}
+
+void Listener::wake() {
+  woken_.store(true, std::memory_order_release);
+  const char byte = 'w';
+  // A full pipe means a wake byte is already pending; either way every
+  // accept() call observes woken_.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
 }
 
 }  // namespace bfpp::net

@@ -1,13 +1,18 @@
-// Minimal POSIX TCP helpers for the `bfpp serve` line protocol
-// (api/server.h): a loopback listen socket and a connected socket with
-// buffered line reads.
+// Minimal POSIX transport helpers for the `bfpp serve` line protocol
+// (api/server.h): a loopback listen socket, a connected socket with
+// buffered line reads, and the stdio line reader the --stdio transport
+// shares with it.
 //
-// Scope is one blocking server loop - no polling, no timeouts, no TLS.
-// The listener binds 127.0.0.1 only: the experiment server is a local
-// tool, not an internet-facing daemon (front it with an SSH tunnel or a
-// reverse proxy to share it).
+// Scope is one blocking server - no timeouts, no TLS. The listener
+// binds 127.0.0.1 only: the experiment server is a local tool, not an
+// internet-facing daemon (front it with an SSH tunnel or a reverse
+// proxy to share it). accept() is wakeable: wake() (from any thread)
+// makes every current and future accept() call return nullopt, which is
+// how a shutdown request unblocks the accept loop.
 #pragma once
 
+#include <atomic>
+#include <cstdio>
 #include <optional>
 #include <string>
 
@@ -25,13 +30,28 @@ class Stream {
   Stream& operator=(const Stream&) = delete;
 
   // Reads up to the next '\n' (consumed, and stripped along with a
-  // preceding '\r'). Returns false on EOF with no buffered bytes; a final
-  // unterminated line is returned as-is. Retries EINTR.
+  // preceding '\r'). Returns false on EOF with nothing left to return; a
+  // non-empty final unterminated line is returned as-is (so a client
+  // that forgets the trailing newline before closing still gets an
+  // answer - same contract as read_stdio_line). Retries EINTR.
   bool read_line(std::string& line);
 
   // Writes all of `data`, retrying short writes and EINTR. Returns false
   // once the peer is gone (EPIPE & friends).
   bool write_all(const std::string& data);
+
+  // Half-closes the read side (::shutdown SHUT_RD): a concurrent or
+  // future read_line() drains the buffer and then sees EOF, while
+  // in-flight write_all() calls still reach the peer. This is how the
+  // server wakes sessions blocked on idle clients at shutdown; safe to
+  // call from another thread while read_line() is blocked.
+  void shutdown_read();
+
+  // Bounds every blocking ::send (SO_SNDTIMEO): once the peer stops
+  // reading for `seconds`, write_all gives up and reports the peer
+  // gone. Without it a client that never drains its socket could block
+  // a writer - and the server's shutdown join - forever.
+  void set_send_timeout(int seconds);
 
   [[nodiscard]] int fd() const { return fd_; }
 
@@ -40,24 +60,44 @@ class Stream {
   std::string buffer_;  // bytes read past the last returned line
 };
 
+// The stdio twin of Stream::read_line, used by `bfpp serve --stdio`:
+// identical semantics (strip '\n' and a preceding '\r'; a non-empty
+// final unterminated line is returned, then EOF reports false).
+bool read_stdio_line(std::FILE* in, std::string& line);
+
 // A listening TCP socket on 127.0.0.1:`port`. Port 0 picks an ephemeral
-// port (read it back with port()). Throws bfpp::ConfigError when the
-// socket cannot be created or bound.
+// port (read it back with port()). `backlog` sizes the kernel queue of
+// not-yet-accepted connections - the server passes --max-clients so
+// clients beyond the session bound wait instead of being refused.
+// Throws bfpp::ConfigError when the socket cannot be created or bound.
 class Listener {
  public:
-  explicit Listener(int port);
+  explicit Listener(int port, int backlog = 16);
   ~Listener();
   Listener(const Listener&) = delete;
   Listener& operator=(const Listener&) = delete;
 
-  // Blocks for the next client; nullopt on unrecoverable accept errors.
+  // Blocks for the next client. Returns nullopt when wake() was called
+  // (last_error() == 0, the orderly-shutdown path) or on an
+  // unrecoverable accept error (last_error() == the errno, so the
+  // caller can tell EMFILE from shutdown). Transient errors (EINTR,
+  // ECONNABORTED) are retried internally.
   std::optional<Stream> accept();
 
+  // Makes every current and future accept() return nullopt. Callable
+  // from any thread (a self-pipe write under the hood); idempotent.
+  void wake();
+
   [[nodiscard]] int port() const { return port_; }
+  // errno of the last accept() failure; 0 after a wake().
+  [[nodiscard]] int last_error() const { return last_error_; }
 
  private:
   int fd_ = -1;
   int port_ = 0;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written
+  std::atomic<bool> woken_{false};
+  int last_error_ = 0;  // written only by the accept()ing thread
 };
 
 }  // namespace bfpp::net

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <limits>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <locale.h>
@@ -92,6 +93,17 @@ std::string to_lower(std::string s) {
     c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   }
   return s;
+}
+
+std::optional<int> parse_int(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  long long value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+    if (value > std::numeric_limits<int>::max()) return std::nullopt;
+  }
+  return static_cast<int>(value);
 }
 
 std::vector<std::string> split_ws(const std::string& s) {

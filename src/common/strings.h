@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,14 @@ std::string json_quote(const std::string& s);
 
 // ASCII lowercase copy (used by the name/enum parsers).
 std::string to_lower(std::string s);
+
+// Strict non-negative decimal integer parse: digits only (no sign,
+// whitespace or suffix), value representable as int. Returns nullopt on
+// any violation — including overflow — instead of throwing, so callers
+// (CLI flags, registry name suffixes) attach their own context. Never
+// raises std::invalid_argument/std::out_of_range the way bare std::stoi
+// does.
+std::optional<int> parse_int(const std::string& text);
 
 // Splits on runs of whitespace, dropping empty tokens.
 std::vector<std::string> split_ws(const std::string& s);

@@ -432,6 +432,44 @@ TEST(Cli, RejectsUnknownCommandsAndFlags) {
   EXPECT_THROW(parse_cli({"run", "--json", "--csv"}), ConfigError);
 }
 
+TEST(Cli, MalformedIntegerFlagValuesAreUsageErrors) {
+  // No bare std::stoi anywhere on the flag path: junk and overflow both
+  // surface as a UsageError naming the flag and the value...
+  for (const char* bad : {"eight", "8x", "-4", "99999999999999999999"}) {
+    try {
+      parse_cli({"run", "--pp", bad});
+      FAIL() << "expected UsageError for --pp " << bad;
+    } catch (const UsageError& e) {
+      EXPECT_NE(std::string(e.what()).find("--pp"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(bad), std::string::npos);
+    }
+  }
+  // ...and cli_main turns exactly that case into exit code 2, while
+  // other usage problems stay at 1.
+  auto exit_code = [](std::vector<const char*> args) {
+    args.insert(args.begin(), "bfpp");
+    return cli_main(static_cast<int>(args.size()),
+                    const_cast<char**>(args.data()));
+  };
+  EXPECT_EQ(exit_code({"run", "--pp", "eight"}), 2);
+  EXPECT_EQ(exit_code({"sweep", "--nmb", "8,foo"}), 2);
+  EXPECT_EQ(exit_code({"run", "--gpus", "foo"}), 1);  // unknown flag
+  EXPECT_EQ(exit_code({"frobnicate"}), 1);            // unknown command
+}
+
+TEST(Cli, ServeFlagsParse) {
+  const CliOptions serve = parse_cli(
+      {"serve", "--port", "0", "--cache-size", "16", "--max-clients", "4",
+       "--cache-file", "reports.jsonl"});
+  EXPECT_EQ(serve.port, 0);
+  EXPECT_EQ(serve.cache_size, 16);
+  EXPECT_EQ(serve.max_clients, 4);
+  EXPECT_EQ(serve.cache_file, "reports.jsonl");
+  EXPECT_THROW(parse_cli({"serve", "--max-clients", "0"}), ConfigError);
+  EXPECT_THROW(parse_cli({"run", "--max-clients", "4"}), ConfigError);
+  EXPECT_THROW(parse_cli({"run", "--cache-file", "f"}), ConfigError);
+}
+
 TEST(Cli, PresetAndListForms) {
   const CliOptions preset =
       parse_cli({"run", "--preset", "fig5a-bf-b16", "--timeline"});

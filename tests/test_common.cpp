@@ -77,6 +77,25 @@ TEST(Strings, SplitWs) {
   EXPECT_TRUE(split_ws("").empty());
 }
 
+TEST(Strings, ParseIntAcceptsExactlyNonNegativeDecimals) {
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_EQ(parse_int("8"), 8);
+  EXPECT_EQ(parse_int("2147483647"), 2147483647);  // INT_MAX
+}
+
+TEST(Strings, ParseIntRejectsJunkAndOverflowWithoutThrowing) {
+  // The whole point over bare std::stoi: no std::invalid_argument /
+  // std::out_of_range, just nullopt the caller wraps in context.
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("foo").has_value());
+  EXPECT_FALSE(parse_int("8foo").has_value());   // stoi would return 8
+  EXPECT_FALSE(parse_int(" 8").has_value());     // stoi would skip ws
+  EXPECT_FALSE(parse_int("-1").has_value());
+  EXPECT_FALSE(parse_int("+1").has_value());
+  EXPECT_FALSE(parse_int("2147483648").has_value());   // INT_MAX + 1
+  EXPECT_FALSE(parse_int("99999999999999999999").has_value());
+}
+
 TEST(Strings, FormatNumberTrimsZeros) {
   EXPECT_EQ(format_number(42.77), "42.77");
   EXPECT_EQ(format_number(8.0), "8");
@@ -168,6 +187,16 @@ TEST(Error, ConfigErrorIsDistinguishable) {
     FAIL() << "expected throw";
   } catch (const ConfigError&) {
     // Autotuner relies on catching exactly this type.
+  }
+}
+
+TEST(Error, UsageErrorIsAConfigError) {
+  // The CLI exits 2 on UsageError specifically, but every existing
+  // catch(ConfigError) site must keep treating it as a config error.
+  try {
+    throw UsageError("--pp expects an integer");
+  } catch (const ConfigError& e) {
+    EXPECT_STREQ(e.what(), "--pp expects an integer");
   }
 }
 

@@ -1,14 +1,17 @@
 // Tests for the `bfpp serve` experiment server (api/server.h): the LRU
-// ReportCache and its key construction, the line-delimited JSON
-// protocol, cached-response byte identity, the JSON request parser
-// (common/json.h) and the stdio / TCP transports.
+// ReportCache (incl. its save/load persistence), its key construction,
+// the line-delimited JSON protocol, cached-response byte identity, the
+// JSON request parser (common/json.h), the stdio / TCP transports and
+// the concurrent-client accept loop.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -19,7 +22,9 @@
 #include "api/server.h"
 #include "common/error.h"
 #include "common/json.h"
+#include "common/serialize.h"
 #include "common/socket.h"
+#include "common/strings.h"
 
 namespace bfpp::api {
 namespace {
@@ -122,6 +127,161 @@ TEST(ReportCache, CapacityZeroDisablesCaching) {
   cache.put("a", tagged_report("a"));
   EXPECT_FALSE(cache.get("a").has_value());
   EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---- Report wire form + cache persistence ----
+
+// A Report with every field populated, including awkward doubles (no
+// finite decimal expansion, tiny magnitudes) and the optional frugal
+// block, so the wire round trip is exercised end to end.
+Report full_report() {
+  Report r;
+  r.scenario = "cache/round,trip \"quoted\"";
+  r.model = "52B";
+  r.cluster = "DGX-1 V100 (InfiniBand)";
+  r.method = "Breadth-first";
+  r.n_gpus = 64;
+  r.batch_size = 16;
+  r.found = true;
+  r.config.n_pp = 8;
+  r.config.n_tp = 8;
+  r.config.n_dp = 1;
+  r.config.s_mb = 1;
+  r.config.n_mb = 16;
+  r.config.n_loop = 4;
+  r.config.schedule = parallel::ScheduleKind::kBreadthFirst;
+  r.config.sharding = parallel::DpSharding::kFull;
+  r.config.overlap_dp = false;
+  r.result.batch_time = 1.0 / 3.0;
+  r.result.throughput_per_gpu = 3.6281234567891234e13;
+  r.result.utilization = 0.2903225806451613;
+  r.result.compute_idle_fraction = 1e-9;
+  r.memory.state_bytes = 1.5e10;
+  r.memory.buffer_bytes = 2.0 / 7.0;
+  r.memory.activation_bytes = 3.25e8;
+  r.memory.checkpoint_bytes = 0.0;
+  r.memory.p2p_buffer_bytes = 1.25e6;
+  r.memory_min = r.memory;
+  r.memory_min.state_bytes = 2.5e8;
+  r.evaluated = 97;
+  r.infeasible = 31;
+  Report::Frugal frugal;
+  frugal.config = r.config;
+  frugal.config.n_loop = 2;
+  frugal.result = r.result;
+  frugal.result.batch_time = 0.7071067811865476;
+  frugal.memory_min = r.memory_min;
+  r.frugal = frugal;
+  return r;
+}
+
+Report negative_report() {
+  Report r;
+  r.scenario = "cache/negative";
+  r.model = "52B";
+  r.cluster = "DGX-1 V100 (InfiniBand)";
+  r.batch_size = 64;
+  r.n_gpus = 64;
+  r.found = false;
+  r.error = "[oom] 52B does not fit on one GPU";
+  return r;
+}
+
+TEST(ReportWire, RoundTripsEveryFieldLosslessly) {
+  for (const Report& original : {full_report(), negative_report()}) {
+    const std::string wire = original.to_wire();
+    EXPECT_EQ(wire.find('\n'), std::string::npos);  // one protocol line
+    const Report copy = Report::from_wire(json::parse(wire));
+    // Bit-exact doubles (the %.17g contract): every emitter must render
+    // the reloaded Report byte-for-byte like the original.
+    EXPECT_EQ(copy.to_wire(), wire);
+    EXPECT_EQ(copy.to_json(), original.to_json());
+    EXPECT_EQ(copy.to_csv_row(), original.to_csv_row());
+    EXPECT_EQ(copy.config, original.config);
+    EXPECT_EQ(copy.error, original.error);
+    EXPECT_EQ(copy.frugal.has_value(), original.frugal.has_value());
+  }
+}
+
+TEST(ReportWire, FromWireRejectsTruncatedValues) {
+  EXPECT_THROW((void)Report::from_wire(json::parse("[1,2]")), ConfigError);
+  EXPECT_THROW((void)Report::from_wire(json::parse("{\"scenario\":\"x\"}")),
+               ConfigError);
+  // A result array of the wrong arity is corruption, not a report.
+  std::string wire = full_report().to_wire();
+  const size_t pos = wire.find("\"result\":[");
+  wire.replace(pos, std::string("\"result\":[").size(), "\"result\":[1,");
+  EXPECT_THROW((void)Report::from_wire(json::parse(wire)), ConfigError);
+}
+
+TEST(ReportCache, SaveLoadRoundTripsEntriesRecencyOrderAndNegatives) {
+  const std::string path =
+      testing::TempDir() + "bfpp_cache_roundtrip.jsonl";
+  std::remove(path.c_str());
+  ReportCache cache(4);
+  cache.put("b", full_report());
+  cache.put("neg", negative_report());
+  cache.put("a", tagged_report("a"));
+  (void)cache.get("b");  // recency (MRU first): b, a, neg
+  ASSERT_TRUE(cache.save(path));
+
+  ReportCache loaded(3);
+  EXPECT_EQ(loaded.load(path), 3u);
+  const ReportCache::Stats stats = loaded.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  // Loaded entries are not this process's traffic: counters stay zero.
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+
+  // The negative (found=false) cell survived with its reason.
+  const std::optional<Report> neg = loaded.get("neg");
+  ASSERT_TRUE(neg.has_value());
+  EXPECT_FALSE(neg->found);
+  EXPECT_EQ(neg->error, "[oom] 52B does not fit on one GPU");
+  // Recency order survived the round trip: "neg" was LRU at save time,
+  // and get("neg") above promoted it, leaving "a" as LRU now.
+  loaded.put("d", tagged_report("d"));  // beyond capacity: evicts LRU
+  EXPECT_FALSE(loaded.get("a").has_value());
+  EXPECT_TRUE(loaded.get("b").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ReportCache, LoadToleratesMissingGarbageAndPartiallyCorruptFiles) {
+  const std::string dir = testing::TempDir();
+  ReportCache cache(8);
+  // Missing file: a silent cold start.
+  EXPECT_EQ(cache.load(dir + "bfpp_cache_does_not_exist.jsonl"), 0u);
+
+  // Garbage and version-mismatched files are ignored wholesale.
+  const std::string garbage = dir + "bfpp_cache_garbage.jsonl";
+  ASSERT_TRUE(serialize::write_file_atomic(garbage, "not a cache\x01\xff\n"));
+  EXPECT_EQ(cache.load(garbage), 0u);
+  ASSERT_TRUE(serialize::write_file_atomic(
+      garbage, "{\"bfpp_report_cache\":999,\"entries\":1}\n{\"key\":1}\n"));
+  EXPECT_EQ(cache.load(garbage), 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // A corrupt entry line is skipped; intact neighbours still load.
+  const std::string partial = dir + "bfpp_cache_partial.jsonl";
+  ReportCache donor(4);
+  donor.put("k1", tagged_report("k1"));
+  donor.put("k2", full_report());
+  ASSERT_TRUE(donor.save(partial));
+  std::optional<std::string> content = serialize::read_file(partial);
+  ASSERT_TRUE(content.has_value());
+  std::vector<std::string> lines = serialize::split_lines(*content);
+  ASSERT_EQ(lines.size(), 3u);
+  lines.insert(lines.begin() + 2, "{\"key\":\"kx\",\"report\":{\"trunc");
+  ASSERT_TRUE(serialize::write_file_atomic(
+      partial, join(lines, "\n") + "\n"));
+  ReportCache repaired(8);
+  EXPECT_EQ(repaired.load(partial), 2u);
+  EXPECT_TRUE(repaired.get("k1").has_value());
+  EXPECT_TRUE(repaired.get("k2").has_value());
+  EXPECT_FALSE(repaired.get("kx").has_value());
+  std::remove(garbage.c_str());
+  std::remove(partial.c_str());
 }
 
 // ---- cache_key ----
@@ -476,6 +636,94 @@ TEST(Server, StdioTransportAnswersLineRequests) {
             std::string::npos);
 }
 
+TEST(Transports, FinalUnterminatedLineIsReturnedByBothLineReaders) {
+  // Identical bytes through the TCP reader (Stream over a pipe) and the
+  // stdio reader: a terminated CRLF line, then a final line lacking the
+  // trailing newline. Both must hand back both lines, then EOF.
+  const char bytes[] = "{\"type\":\"one\"}\r\n{\"type\":\"two\"}";
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], bytes, sizeof(bytes) - 1),
+            static_cast<ssize_t>(sizeof(bytes) - 1));
+  ::close(fds[1]);
+  net::Stream stream(fds[0]);
+  std::string line;
+  ASSERT_TRUE(stream.read_line(line));
+  EXPECT_EQ(line, "{\"type\":\"one\"}");
+  ASSERT_TRUE(stream.read_line(line));
+  EXPECT_EQ(line, "{\"type\":\"two\"}");
+  EXPECT_FALSE(stream.read_line(line));
+
+  std::FILE* file = std::tmpfile();
+  ASSERT_NE(file, nullptr);
+  std::fputs(bytes, file);
+  std::rewind(file);
+  ASSERT_TRUE(net::read_stdio_line(file, line));
+  EXPECT_EQ(line, "{\"type\":\"one\"}");
+  ASSERT_TRUE(net::read_stdio_line(file, line));
+  EXPECT_EQ(line, "{\"type\":\"two\"}");
+  EXPECT_FALSE(net::read_stdio_line(file, line));
+  std::fclose(file);
+}
+
+TEST(Transports, LoneCarriageReturnAtEofIsEofOnBothLineReaders) {
+  // The one divergence the transports used to have: a final "\r" with no
+  // newline. Both now strip it and report EOF (nothing useful left).
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], "\r", 1), 1);
+  ::close(fds[1]);
+  net::Stream stream(fds[0]);
+  std::string line;
+  EXPECT_FALSE(stream.read_line(line));
+
+  std::FILE* file = std::tmpfile();
+  ASSERT_NE(file, nullptr);
+  std::fputs("\r", file);
+  std::rewind(file);
+  EXPECT_FALSE(net::read_stdio_line(file, line));
+  std::fclose(file);
+}
+
+TEST(Transports, SendTimeoutUnblocksWritersOnStuckPeers) {
+  // A peer that never reads must not be able to block write_all forever
+  // (it would also wedge the server's shutdown join). With a 1s send
+  // timeout, flooding the socket reports the peer gone instead.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::Stream writer(fds[0]);
+  net::Stream reader(fds[1]);  // never reads a byte
+  writer.set_send_timeout(1);
+  const std::string blob(4 << 20, 'x');
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(writer.write_all(blob));
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(seconds, 20.0);  // bounded, not hung (generous for CI)
+}
+
+TEST(Server, StdioAnswersAFinalRequestLackingItsNewline) {
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  std::fputs("{\"id\":1,\"type\":\"ping\"}", in);  // no trailing newline
+  std::rewind(in);
+  Server server;
+  EXPECT_EQ(server.serve_stdio(in, out), 0);
+  std::rewind(out);
+  std::string output;
+  char chunk[256];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), out)) > 0) {
+    output.append(chunk, n);
+  }
+  std::fclose(in);
+  std::fclose(out);
+  EXPECT_EQ(output, "{\"id\":1,\"ok\":true,\"type\":\"pong\"}\n");
+}
+
 TEST(Server, TcpTransportServesALoopbackClient) {
   // An ephemeral-port listener; skip (not fail) where the sandbox forbids
   // binding loopback sockets.
@@ -524,6 +772,197 @@ TEST(Server, TcpTransportServesALoopbackClient) {
   EXPECT_EQ(got_ping, "{\"ok\":true,\"type\":\"pong\"}");
   EXPECT_NE(got_stats.find("\"requests\":2"), std::string::npos);
   EXPECT_TRUE(server.shutdown_requested());
+}
+
+// ---- Concurrent clients + persistence ----
+
+// Connects to 127.0.0.1:`port`; -1 on failure.
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Reads `n` response lines, re-appending the '\n' framing so the result
+// is byte-comparable against Server::handle() output.
+bool read_lines(net::Stream& stream, size_t n, std::string& out) {
+  out.clear();
+  std::string line;
+  for (size_t i = 0; i < n; ++i) {
+    if (!stream.read_line(line)) return false;
+    out += line + "\n";
+  }
+  return true;
+}
+
+TEST(Server, ConcurrentClientsMatchSerialExecutionAndShareOneCache) {
+  std::unique_ptr<net::Listener> listener;
+  try {
+    listener = std::make_unique<net::Listener>(0);
+  } catch (const ConfigError& e) {
+    GTEST_SKIP() << e.what();
+  }
+  const int port = listener->port();
+
+  constexpr int kClients = 4;
+  ServeOptions options;
+  options.max_clients = kClients + 2;  // all workers + the idle client
+  Server server(options);
+  std::thread serve_thread([&] { EXPECT_EQ(server.serve_on(*listener), 0); });
+
+  // Each client gets a disjoint set of cells (deterministic hit/miss
+  // accounting), issued twice: the repeat must be a byte-identical hit.
+  auto run_request = [](int i) {
+    return str_format(
+        R"({"type":"run","model":"6.6b","cluster":"dgx1-v100-ib","pp":4,)"
+        R"("tp":2,"dp":8,"nmb":%d,"schedule":"bf","loop":2,)"
+        R"("backend":"analytic"})",
+        4 * (i + 1));
+  };
+  auto sweep_request = [](int i) {
+    return str_format(
+        R"({"type":"sweep","model":"6.6b","cluster":"dgx1-v100-ib",)"
+        R"("pp":[4],"tp":[2],"dp":[8],"nmb":[%d,%d],"schedule":["bf"],)"
+        R"("loop":[2],"backend":"analytic"})",
+        24 + 8 * i, 28 + 8 * i);
+  };
+  // The serial reference: the same requests through handle() on one
+  // thread of a fresh server. Concurrent transport responses must be
+  // byte-identical to these.
+  std::vector<std::string> expected_run(kClients), expected_sweep(kClients);
+  {
+    Server reference(options);
+    for (int i = 0; i < kClients; ++i) {
+      expected_run[static_cast<size_t>(i)] = reference.handle(run_request(i));
+      expected_sweep[static_cast<size_t>(i)] =
+          reference.handle(sweep_request(i));
+    }
+  }
+
+  // An idle client that connects first and never sends a byte: with the
+  // old serial accept loop this starved every client below (and this
+  // test would hang); now it must delay no one.
+  const int idle_fd = connect_loopback(port);
+  ASSERT_GE(idle_fd, 0);
+  net::Stream idle(idle_fd);
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      const int fd = connect_loopback(port);
+      ASSERT_GE(fd, 0);
+      net::Stream stream(fd);
+      std::string got;
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        ASSERT_TRUE(stream.write_all(run_request(i) + "\n"));
+        ASSERT_TRUE(read_lines(stream, 1, got));
+        EXPECT_EQ(got, expected_run[static_cast<size_t>(i)]);
+        ASSERT_TRUE(stream.write_all(sweep_request(i) + "\n"));
+        ASSERT_TRUE(read_lines(stream, 3, got));  // header + 2 rows
+        EXPECT_EQ(got, expected_sweep[static_cast<size_t>(i)]);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  // Exact shared-cache accounting across all sessions: per client one
+  // run cell and two sweep cells, each missed once then hit once.
+  const ReportCache::Stats stats = server.cache_stats();
+  EXPECT_EQ(stats.misses, 3u * kClients);
+  EXPECT_EQ(stats.hits, 3u * kClients);
+  EXPECT_EQ(stats.insertions, 3u * kClients);
+
+  // Orderly shutdown from yet another connection; the idle client is
+  // drained (EOF), not abandoned.
+  const int fd = connect_loopback(port);
+  ASSERT_GE(fd, 0);
+  net::Stream stopper(fd);
+  ASSERT_TRUE(stopper.write_all("{\"type\":\"shutdown\"}\n"));
+  std::string bye;
+  ASSERT_TRUE(stopper.read_line(bye));
+  EXPECT_EQ(bye, "{\"ok\":true,\"type\":\"shutdown\"}");
+  serve_thread.join();
+  std::string nothing;
+  EXPECT_FALSE(idle.read_line(nothing));
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(Server, TcpAnswersUnterminatedFinalRequestAndRequestShutdownDrains) {
+  std::unique_ptr<net::Listener> listener;
+  try {
+    listener = std::make_unique<net::Listener>(0);
+  } catch (const ConfigError& e) {
+    GTEST_SKIP() << e.what();
+  }
+  Server server;
+  std::thread serve_thread([&] { EXPECT_EQ(server.serve_on(*listener), 0); });
+
+  const int fd = connect_loopback(listener->port());
+  ASSERT_GE(fd, 0);
+  net::Stream client(fd);
+  // A request lacking its trailing newline, then half-close: the session
+  // must still answer it (same contract as the stdio transport).
+  ASSERT_TRUE(client.write_all("{\"type\":\"ping\"}"));
+  ::shutdown(client.fd(), SHUT_WR);
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));
+  EXPECT_EQ(line, "{\"ok\":true,\"type\":\"pong\"}");
+
+  // Programmatic shutdown (no client involved) wakes the accept loop.
+  server.request_shutdown();
+  serve_thread.join();
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(Server, CacheFileWarmRestartServesEntirelyFromCache) {
+  const std::string path = testing::TempDir() + "bfpp_serve_cache.jsonl";
+  std::remove(path.c_str());
+  ServeOptions options;
+  options.cache_file = path;
+
+  const std::string run_req =
+      R"({"type":"run","model":"6.6b","cluster":"dgx1-v100-ib","pp":4,)"
+      R"("tp":2,"dp":8,"nmb":8,"schedule":"bf","loop":2,"backend":"analytic"})";
+  const std::string search_req =
+      R"({"type":"search","model":"6.6b","cluster":"dgx1-v100-ib",)"
+      R"("batch":64,"method":"bf","backend":"analytic"})";
+  const std::string oom_req =
+      R"({"type":"run","model":"52b","cluster":"dgx1-v100-ib","pp":1,)"
+      R"("tp":1,"dp":64,"nmb":1,"schedule":"gpipe"})";
+
+  std::string first_run, first_search, first_oom;
+  {
+    Server server(options);
+    first_run = server.handle(run_req);
+    first_search = server.handle(search_req);  // frugal block on the wire
+    first_oom = server.handle(oom_req);        // negative entry persisted
+    ASSERT_TRUE(server.persist_cache());
+  }
+
+  Server restarted(options);
+  EXPECT_EQ(restarted.handle(run_req), first_run);
+  EXPECT_EQ(restarted.handle(search_req), first_search);
+  EXPECT_EQ(restarted.handle(oom_req), first_oom);
+  const ReportCache::Stats stats = restarted.cache_stats();
+  EXPECT_EQ(stats.hits, 3u);    // every request answered from the cache
+  EXPECT_EQ(stats.misses, 0u);  // nothing recomputed after the restart
+  EXPECT_EQ(stats.insertions, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Server, PersistCacheWithoutACacheFileIsANoOp) {
+  Server server;
+  (void)server.handle(R"({"type":"ping"})");
+  EXPECT_FALSE(server.persist_cache());
 }
 
 }  // namespace
