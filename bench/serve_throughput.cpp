@@ -1,7 +1,10 @@
 // Serve-mode throughput: request rate of the `bfpp serve` core with a
 // cold ReportCache (every request simulated) vs a warm one (every
 // request a cache hit), for the simulator and analytic backends, plus
-// the aggregate warm rate under concurrent client sessions.
+// two concurrent passes: the warm workload replayed from N sessions at
+// once, and the *contended cold* pass - N sessions racing the same cold
+// workload - where single-flight coalescing turns N duplicate
+// computations per cell into one computation plus N-1 cheap waits.
 //
 // Drives Server::handle() directly - the same code path both transports
 // (TCP and --stdio) call and the same thread-safe entry point each
@@ -11,19 +14,24 @@
 // loop grid); the first pass misses everywhere, the second hits
 // everywhere, and the ratio is what a repeated-workload client (a sweep
 // dashboard, a CI job re-running a figure) gains from the cache. The
-// concurrent pass replays the warm workload from N threads at once,
-// measuring how the shared-cache hot path scales across sessions.
+// contended-cold pass is the thundering-herd scenario of a popular new
+// cell: the `Coalesced` column counts the duplicate computations the
+// in-flight table absorbed.
 //
 // Usage: serve_throughput [requests_per_pass] [concurrent_clients]
-//        (defaults 64 and 4)
+//                         [--json FILE]
+//        (defaults 64 and 4; --json additionally writes the table as a
+//        machine-readable JSON document, the artifact CI archives)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/server.h"
+#include "common/serialize.h"
 #include "common/strings.h"
 #include "common/table.h"
 
@@ -76,7 +84,7 @@ double rate(const PassResult& r) {
   return r.seconds > 0.0 ? static_cast<double>(r.responses) / r.seconds : 0.0;
 }
 
-// The warm workload replayed from `clients` threads at once, the way
+// The workload replayed from `clients` threads at once, the way
 // concurrent sessions hit handle(). Aggregate responses / wall-clock.
 PassResult run_concurrent_pass(api::Server& server,
                                const std::vector<std::string>& requests,
@@ -102,15 +110,66 @@ PassResult run_concurrent_pass(api::Server& server,
   return result;
 }
 
+// One backend's numbers, as printed and as serialized to --json.
+struct BackendResult {
+  std::string backend;
+  double cold_rps = 0.0;
+  double warm_rps = 0.0;
+  double warm_concurrent_rps = 0.0;
+  double contended_cold_rps = 0.0;
+  double hit_rate = 0.0;
+  uint64_t coalesced = 0;
+  size_t cold_bytes = 0;
+};
+
+std::string to_json(const std::vector<BackendResult>& results, int n,
+                    int clients) {
+  std::string out = str_format(
+      "{\"bench\":\"serve_throughput\",\"requests_per_pass\":%d,"
+      "\"clients\":%d,\"results\":[",
+      n, clients);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BackendResult& r = results[i];
+    out += str_format(
+        "%s{\"backend\":\"%s\",\"cold_rps\":%.1f,\"warm_rps\":%.1f,"
+        "\"speedup\":%.2f,\"warm_concurrent_rps\":%.1f,"
+        "\"contended_cold_rps\":%.1f,\"coalesced\":%llu,\"hit_rate\":%.4f,"
+        "\"cold_response_bytes\":%zu}",
+        i == 0 ? "" : ",", r.backend.c_str(), r.cold_rps, r.warm_rps,
+        r.cold_rps > 0.0 ? r.warm_rps / r.cold_rps : 0.0,
+        r.warm_concurrent_rps, r.contended_cold_rps,
+        static_cast<unsigned long long>(r.coalesced), r.hit_rate,
+        r.cold_bytes);
+  }
+  out += "]}\n";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 64;
-  const int clients = argc > 2 ? std::atoi(argv[2]) : 4;
+  int n = 64;
+  int clients = 4;
+  std::string json_path;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (positional == 0) {
+      n = std::atoi(argv[i]);
+      ++positional;
+    } else if (positional == 1) {
+      clients = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      n = 0;  // too many positionals: fall through to usage
+      break;
+    }
+  }
   if (n <= 0 || clients <= 0) {
     std::fprintf(stderr,
                  "usage: serve_throughput [requests_per_pass] "
-                 "[concurrent_clients]\n");
+                 "[concurrent_clients] [--json FILE]\n");
     return 1;
   }
   const std::vector<std::string> requests = distinct_run_requests(n);
@@ -120,8 +179,10 @@ int main(int argc, char** argv) {
       "concurrent clients ==\n\n",
       n, clients);
   Table table({"Backend", "Cold (req/s)", "Warm (req/s)", "Speedup",
-               str_format("Warm x%d (req/s)", clients), "Hit rate",
-               "Resp. bytes"});
+               str_format("Warm x%d (req/s)", clients),
+               str_format("Cold x%d (req/s)", clients), "Coalesced",
+               "Hit rate", "Resp. bytes"});
+  std::vector<BackendResult> results;
   for (const char* backend : {"sim", "analytic"}) {
     api::ServeOptions options;
     options.run.backend = api::parse_backend(backend);
@@ -134,10 +195,35 @@ int main(int argc, char** argv) {
     const double hit_rate =
         static_cast<double>(stats.hits) /
         static_cast<double>(stats.hits + stats.misses);
-    table.add_row({backend, str_format("%.0f", rate(cold)),
-                   str_format("%.0f", rate(warm)),
-                   str_format("%.1fx", rate(warm) / rate(cold)),
-                   str_format("%.0f", rate(concurrent)),
+
+    // The contended-cold pass needs its own cold cache: N sessions race
+    // the same never-seen cells, and single-flight coalescing means each
+    // cell is computed once while the other sessions wait for its bytes
+    // instead of duplicating the work.
+    api::Server contended_server(options);
+    const PassResult contended =
+        run_concurrent_pass(contended_server, requests, clients);
+    const api::ReportCache::Stats contended_stats =
+        contended_server.cache_stats();
+
+    BackendResult result;
+    result.backend = backend;
+    result.cold_rps = rate(cold);
+    result.warm_rps = rate(warm);
+    result.warm_concurrent_rps = rate(concurrent);
+    result.contended_cold_rps = rate(contended);
+    result.hit_rate = hit_rate;
+    result.coalesced = contended_stats.coalesced;
+    result.cold_bytes = cold.bytes;
+    results.push_back(result);
+
+    table.add_row({backend, str_format("%.0f", result.cold_rps),
+                   str_format("%.0f", result.warm_rps),
+                   str_format("%.1fx", result.warm_rps / result.cold_rps),
+                   str_format("%.0f", result.warm_concurrent_rps),
+                   str_format("%.0f", result.contended_cold_rps),
+                   str_format("%llu", static_cast<unsigned long long>(
+                                          result.coalesced)),
                    str_format("%.0f%%", 100.0 * hit_rate),
                    format_number(static_cast<double>(cold.bytes))});
   }
@@ -146,6 +232,18 @@ int main(int argc, char** argv) {
       "\nCold = empty ReportCache (every request simulated); warm = the\n"
       "same requests again (every request served from the LRU cache);\n"
       "warm xN = the warm workload issued from N threads concurrently\n"
-      "(aggregate rate through the shared, mutex-guarded cache).\n");
+      "(aggregate rate through the shared, mutex-guarded cache);\n"
+      "cold xN = N threads racing the *same cold* workload - single-\n"
+      "flight coalescing computes each cell once and the Coalesced\n"
+      "column counts the duplicate computations it absorbed.\n");
+  if (!json_path.empty()) {
+    if (!serialize::write_file_atomic(json_path,
+                                      to_json(results, n, clients))) {
+      std::fprintf(stderr, "serve_throughput: cannot write '%s'\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -243,6 +243,7 @@ int do_serve(const CliOptions& options) {
   serve.cache_capacity = static_cast<size_t>(options.cache_size);
   serve.max_clients = options.max_clients;
   serve.cache_file = options.cache_file;
+  serve.checkpoint_interval = options.checkpoint_interval;
   serve.jobs = options.jobs;
   serve.run = run_options_from_cli(options);
   Server server(serve);
@@ -407,6 +408,12 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       options.cache_file = value(flag);
       check_config(!options.cache_file.empty(),
                    "cli: --cache-file expects a path");
+    } else if (flag == "--checkpoint-interval") {
+      check_config(options.command == "serve",
+                   "cli: --checkpoint-interval only applies to 'bfpp serve'");
+      options.checkpoint_interval = parse_int_flag(flag, value(flag));
+      check_config(options.checkpoint_interval >= 1,
+                   "cli: --checkpoint-interval must be at least 1 second");
     } else if (flag == "--output") {
       options.output = value(flag);
       check_config(!options.output.empty(), "cli: --output expects a path");
@@ -435,6 +442,9 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   }
   check_config(!(options.json && options.csv),
                "cli: --json and --csv are mutually exclusive");
+  // An interval with nowhere to write would silently checkpoint nothing.
+  check_config(options.checkpoint_interval == 0 || !options.cache_file.empty(),
+               "cli: --checkpoint-interval requires --cache-file");
   parse_backend(options.backend);  // reject unknown backends early
   return options;
 }
@@ -543,8 +553,8 @@ std::string cli_usage() {
       "                [--json|--csv]\n"
       "  bfpp validate [--jobs N] [--backend B] [--csv]\n"
       "  bfpp serve    [--port N | --stdio] [--cache-size N]\n"
-      "                [--cache-file F] [--max-clients N] [--jobs N]\n"
-      "                [--backend B]\n"
+      "                [--cache-file F] [--checkpoint-interval S]\n"
+      "                [--max-clients N] [--jobs N] [--backend B]\n"
       "  bfpp list     [models|clusters|scenarios|all]\n"
       "  bfpp help\n"
       "\n"
@@ -593,11 +603,19 @@ std::string cli_usage() {
       "                      startup, saved after mutating requests and\n"
       "                      on shutdown (a corrupt file is ignored with\n"
       "                      a warning)\n"
+      "  --checkpoint-interval S\n"
+      "                      persist the cache from a background thread\n"
+      "                      every S seconds when dirty, instead of after\n"
+      "                      every mutating request (write-heavy\n"
+      "                      workloads; requires --cache-file; the final\n"
+      "                      shutdown save always happens)\n"
       "  --max-clients N     concurrent TCP client sessions (default 32;\n"
       "                      extra connections wait in the backlog)\n"
       "  requests are line-delimited JSON (docs/PROTOCOL.md); --backend\n"
       "  and --jobs set per-request defaults. Clients are served\n"
-      "  concurrently; an idle client never delays another's requests\n"
+      "  concurrently; an idle client never delays another's requests,\n"
+      "  and requests racing on the same uncached cell are coalesced\n"
+      "  (one computes, the rest wait for its bytes)\n"
       "\n"
       "execution:\n"
       "  --backend B         sim (default) | analytic | threaded\n"

@@ -61,6 +61,9 @@ struct CliOptions {
   int cache_size = 1024;  // --cache-size (ReportCache entries; 0 disables)
   int max_clients = 32;   // --max-clients (concurrent TCP sessions)
   std::string cache_file;  // --cache-file (durable ReportCache snapshot)
+  // --checkpoint-interval (seconds between background cache
+  // checkpoints; 0 = save after every mutating request instead)
+  int checkpoint_interval = 0;
 
   // Output.
   bool json = false;      // --json

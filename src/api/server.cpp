@@ -1,6 +1,7 @@
 #include "api/server.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <utility>
@@ -48,6 +49,64 @@ std::optional<Report> ReportCache::get(const std::string& key) {
   ++counters_.hits;
   lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
   return it->second->second;
+}
+
+ReportCache::Probe ReportCache::probe_or_lead(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Probe probe;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++counters_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+    probe.report = it->second->second;
+    return probe;
+  }
+  const auto flight = inflight_.find(key);
+  if (flight != inflight_.end()) {
+    ++counters_.coalesced;
+    probe.waiting = flight->second;
+    return probe;
+  }
+  ++counters_.misses;
+  inflight_.emplace(key, std::make_shared<InFlight>());
+  probe.leader = true;
+  return probe;
+}
+
+std::optional<Report> ReportCache::wait(
+    const std::shared_ptr<InFlight>& entry) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  entry->ready.wait(lock, [&] { return entry->done; });
+  return entry->result;
+}
+
+void ReportCache::finish_inflight_locked(const std::string& key,
+                                         std::optional<Report> result) {
+  const auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;
+  const std::shared_ptr<InFlight> entry = it->second;
+  inflight_.erase(it);
+  entry->result = std::move(result);
+  entry->done = true;
+  entry->ready.notify_all();
+}
+
+void ReportCache::publish(const std::string& key, Report report) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ > 0) {
+    const InsertOutcome outcome = insert_locked(key, report);
+    if (outcome.inserted) ++counters_.insertions;
+    counters_.evictions += outcome.evicted;
+  }
+  // Followers are handed the result through the entry itself, so they
+  // are served even when the cache is disabled or the new cell was
+  // immediately evicted.
+  finish_inflight_locked(key, std::move(report));
+}
+
+void ReportCache::abandon(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  finish_inflight_locked(key, std::nullopt);
 }
 
 void ReportCache::put(const std::string& key, Report report) {
@@ -148,6 +207,7 @@ ReportCache::Stats ReportCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   Stats out = counters_;
   out.entries = lru_.size();
+  out.inflight = inflight_.size();
   return out;
 }
 
@@ -500,7 +560,51 @@ Server::Server(ServeOptions options)
   }
 }
 
-Server::~Server() = default;
+Server::~Server() { stop_checkpointer(); }
+
+void Server::checkpoint_loop() {
+  const auto interval = std::chrono::seconds(options_.checkpoint_interval);
+  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+  while (!checkpoint_stop_) {
+    // Wakes early only on stop; a spurious wake just re-sleeps.
+    if (checkpoint_wake_.wait_for(lock, interval,
+                                  [&] { return checkpoint_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    persist_if_dirty();
+    lock.lock();
+  }
+}
+
+void Server::start_checkpointer() {
+  if (options_.cache_file.empty() || options_.checkpoint_interval <= 0) {
+    return;
+  }
+  // The lifecycle mutex serializes start against a concurrent stop: a
+  // start landing mid-stop must wait for the old thread to be joined,
+  // not resurrect the stop flag under it (which would strand the join).
+  const std::lock_guard<std::mutex> lifecycle(checkpoint_lifecycle_mutex_);
+  const std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+  if (checkpoint_thread_.joinable()) return;  // already running
+  checkpoint_stop_ = false;
+  checkpoint_thread_ = std::thread([this] { checkpoint_loop(); });
+}
+
+void Server::stop_checkpointer() {
+  // Held across the join; checkpoint_loop never takes this mutex, so
+  // the exiting thread can still reacquire checkpoint_mutex_ to leave.
+  const std::lock_guard<std::mutex> lifecycle(checkpoint_lifecycle_mutex_);
+  std::thread thread;
+  {
+    const std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    if (!checkpoint_thread_.joinable()) return;
+    checkpoint_stop_ = true;
+    thread = std::move(checkpoint_thread_);
+  }
+  checkpoint_wake_.notify_all();
+  thread.join();
+}
 
 Server::Session::Session(net::Stream&& s)
     : stream(std::make_unique<net::Stream>(std::move(s))) {}
@@ -533,21 +637,49 @@ void Server::persist_if_dirty() {
   if (cache_.save(options_.cache_file)) persisted_insertions_ = insertions;
 }
 
+void Server::persist_after_request() {
+  // With a checkpoint interval configured, periodic saving belongs to
+  // the checkpoint thread: a write-heavy workload then costs one save
+  // per interval, not one per mutating request. Shutdown still saves.
+  if (options_.checkpoint_interval > 0) return;
+  persist_if_dirty();
+}
+
 std::vector<Report> Server::execute(const std::vector<Cell>& cells,
                                     const RunOptions& run, int jobs) {
   struct Slot {
     std::optional<Report> report;
     std::optional<Scenario> scenario;
     std::string key;
-    bool computed = false;  // freshly evaluated (not a hit): publish it
+    std::shared_ptr<ReportCache::InFlight> waiting;  // follower: wait here
+    bool leader = false;     // this request computes (and publishes) it
+    bool published = false;  // publish() reached the cache
   };
   std::vector<Slot> slots(cells.size());
-  std::vector<int> misses;
 
-  // Phase 1, serial: build scenarios and probe the cache. Cells that hit
-  // are relabelled (the cache key deliberately excludes the cosmetic
-  // label, so a sweep cell can satisfy a later run request and vice
-  // versa).
+  // Whatever unwinds out of here - an unexpected exception in a compute
+  // task, a bad_alloc building the work lists - a claimed cell must
+  // never stay in-flight: followers on other sessions would wait
+  // forever. publish() flips `published`, so the normal path is a no-op.
+  struct AbandonGuard {
+    ReportCache& cache;
+    std::vector<Slot>& slots;
+    ~AbandonGuard() {
+      for (const Slot& slot : slots) {
+        if (slot.leader && !slot.published) cache.abandon(slot.key);
+      }
+    }
+  } guard{cache_, slots};
+
+  std::vector<int> owned;    // cells this request leads (computed below)
+  std::vector<int> waits;    // cells in flight on another session
+
+  // Phase 1, serial: build scenarios and single-flight-probe the cache.
+  // Cells that hit are relabelled (the cache key deliberately excludes
+  // the cosmetic label, so a sweep cell can satisfy a later run request
+  // and vice versa); uncached cells are either claimed (this request
+  // leads and computes them) or joined (another session is already
+  // computing the identical cell - overlapping sweeps share cells).
   for (size_t i = 0; i < cells.size(); ++i) {
     const Cell& cell = cells[i];
     Slot& slot = slots[i];
@@ -563,47 +695,97 @@ std::vector<Report> Server::execute(const std::vector<Cell>& cells,
       }
     }
     slot.key = cache_key(*slot.scenario, cell.method, run);
-    if (std::optional<Report> hit = cache_.get(slot.key)) {
-      hit->scenario = cell.label.empty() ? slot.scenario->name : cell.label;
-      slot.report = std::move(hit);
-      continue;
+    ReportCache::Probe probe = cache_.probe_or_lead(slot.key);
+    if (probe.report.has_value()) {
+      probe.report->scenario =
+          cell.label.empty() ? slot.scenario->name : cell.label;
+      slot.report = std::move(probe.report);
+    } else if (probe.waiting != nullptr) {
+      slot.waiting = std::move(probe.waiting);
+      waits.push_back(static_cast<int>(i));
+    } else {
+      slot.leader = true;
+      owned.push_back(static_cast<int>(i));
     }
-    misses.push_back(static_cast<int>(i));
   }
 
-  // Phase 2, parallel: compute the misses on the shared pool. Same
-  // error-to-row semantics as api::sweep, so cached and uncached cells
-  // render identically.
+  // One cell, leader-side: same error-to-row semantics as api::sweep
+  // (infeasible cells become found=false rows and are published like any
+  // other deterministic result), so cached and uncached cells render
+  // identically. Shared by the parallel phase and the re-lead path.
   const std::unique_ptr<Engine> engine = make_engine(run);
+  auto compute_cell = [&](size_t i) -> Report {
+    const Cell& cell = cells[i];
+    Slot& slot = slots[i];
+    try {
+      Report report = cell.method.has_value()
+                          ? search(*slot.scenario, *cell.method, run)
+                          : run_with(*slot.scenario, *engine);
+      if (!cell.label.empty()) report.scenario = cell.label;
+      return report;
+    } catch (const ConfigError& e) {
+      return failed_report(&*slot.scenario, cell.label, cell.method,
+                           "[config] ", e.what());
+    } catch (const OutOfMemoryError& e) {
+      return failed_report(&*slot.scenario, cell.label, cell.method,
+                           "[oom] ", e.what());
+    }
+  };
+
+  // Phase 2, parallel: compute the owned cells on the shared pool,
+  // publishing each as soon as it finishes - followers (other sessions,
+  // or a duplicate cell later in this very batch) unblock per cell, not
+  // per request.
   ThreadPool::shared().parallel_for(
-      static_cast<int>(misses.size()), jobs, [&](int j) {
-        const int i = misses[static_cast<size_t>(j)];
-        const Cell& cell = cells[static_cast<size_t>(i)];
-        Slot& slot = slots[static_cast<size_t>(i)];
-        slot.computed = true;
-        try {
-          Report report = cell.method.has_value()
-                              ? search(*slot.scenario, *cell.method, run)
-                              : run_with(*slot.scenario, *engine);
-          if (!cell.label.empty()) report.scenario = cell.label;
-          slot.report = std::move(report);
-        } catch (const ConfigError& e) {
-          slot.report = failed_report(&*slot.scenario, cell.label,
-                                      cell.method, "[config] ", e.what());
-        } catch (const OutOfMemoryError& e) {
-          slot.report = failed_report(&*slot.scenario, cell.label,
-                                      cell.method, "[oom] ", e.what());
-        }
+      static_cast<int>(owned.size()), jobs, [&](int j) {
+        const size_t i = static_cast<size_t>(owned[static_cast<size_t>(j)]);
+        Slot& slot = slots[i];
+        slot.report = compute_cell(i);
+        cache_.publish(slot.key, *slot.report);
+        slot.published = true;
       });
 
-  // Phase 3, serial in cell order: publish results to the cache (found
-  // and infeasible alike - both are deterministic) and collect.
+  // Phase 3, serial: collect the coalesced cells. The loop handles the
+  // failure protocol: a leader that abandoned (unexpected error on its
+  // session) wakes us with nullopt, and the re-probe either hits (some
+  // other follower recomputed first), joins the new leader, or appoints
+  // *us* leader - in which case we compute inline and publish, so an
+  // erroring leader degrades to one extra computation, never a hang.
+  for (const int wi : waits) {
+    const size_t i = static_cast<size_t>(wi);
+    const Cell& cell = cells[i];
+    Slot& slot = slots[i];
+    while (!slot.report.has_value()) {
+      if (slot.waiting != nullptr) {
+        std::optional<Report> result = cache_.wait(slot.waiting);
+        slot.waiting = nullptr;
+        if (result.has_value()) {
+          result->scenario =
+              cell.label.empty() ? slot.scenario->name : cell.label;
+          slot.report = std::move(result);
+        }
+        continue;
+      }
+      ReportCache::Probe probe = cache_.probe_or_lead(slot.key);
+      if (probe.report.has_value()) {
+        probe.report->scenario =
+            cell.label.empty() ? slot.scenario->name : cell.label;
+        slot.report = std::move(probe.report);
+      } else if (probe.waiting != nullptr) {
+        slot.waiting = std::move(probe.waiting);
+      } else {
+        slot.leader = true;
+        slot.report = compute_cell(i);
+        cache_.publish(slot.key, *slot.report);
+        slot.published = true;
+      }
+    }
+  }
+
+  // Phase 4, serial in cell order: collect.
   std::vector<Report> reports;
   reports.reserve(cells.size());
   for (size_t i = 0; i < cells.size(); ++i) {
-    if (slots[i].computed && !slots[i].key.empty()) {
-      cache_.put(slots[i].key, *slots[i].report);
-    }
     reports.push_back(std::move(*slots[i].report));
   }
   return reports;
@@ -633,13 +815,15 @@ std::string Server::handle_or_throw(std::string& id_echo,
         str_format("\"ok\":true,\"type\":\"stats\",\"requests\":%llu,"
                    "\"cache\":{\"entries\":%zu,\"capacity\":%zu,"
                    "\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
-                   "\"evictions\":%llu}",
+                   "\"evictions\":%llu,\"coalesced\":%llu,\"inflight\":%zu}",
                    static_cast<unsigned long long>(requests_.load()),
                    s.entries, s.capacity,
                    static_cast<unsigned long long>(s.hits),
                    static_cast<unsigned long long>(s.misses),
                    static_cast<unsigned long long>(s.insertions),
-                   static_cast<unsigned long long>(s.evictions)));
+                   static_cast<unsigned long long>(s.evictions),
+                   static_cast<unsigned long long>(s.coalesced),
+                   s.inflight));
   }
   if (req.type == "list") {
     const std::string what = to_lower(req.list_what);
@@ -706,6 +890,7 @@ std::string Server::handle(const std::string& request_line) {
 }
 
 int Server::serve_stdio(std::FILE* in, std::FILE* out) {
+  start_checkpointer();
   std::string line;
   while (!shutdown_ && net::read_stdio_line(in, line)) {
     const std::string response = handle(line);
@@ -713,8 +898,9 @@ int Server::serve_stdio(std::FILE* in, std::FILE* out) {
       std::fputs(response.c_str(), out);
       std::fflush(out);
     }
-    persist_if_dirty();
+    persist_after_request();
   }
+  stop_checkpointer();
   persist_cache();
   return 0;
 }
@@ -724,7 +910,7 @@ void Server::run_session(net::Stream& stream) {
   while (stream.read_line(line)) {
     const std::string response = handle(line);
     if (!response.empty() && !stream.write_all(response)) break;
-    persist_if_dirty();
+    persist_after_request();
     // Checked *after* responding so the client that requested the
     // shutdown still receives its acknowledgement.
     if (shutdown_) break;
@@ -748,6 +934,7 @@ int Server::serve_on(net::Listener& listener) {
     listener_ = &listener;
     if (shutdown_) listener.wake();  // requested before the loop started
   }
+  start_checkpointer();
   int exit_code = 0;
   while (!shutdown_) {
     {
@@ -822,6 +1009,7 @@ int Server::serve_on(net::Listener& listener) {
     const std::lock_guard<std::mutex> lock(session_mutex_);
     listener_ = nullptr;
   }
+  stop_checkpointer();
   persist_cache();
   return exit_code;
 }

@@ -24,10 +24,13 @@
 // Repeated cells are served from an LRU ReportCache keyed by
 // (model, cluster, config, backend, kernel-override) - the simulator is
 // deterministic, so a cached Report is byte-for-byte the one a fresh
-// simulation would produce. Cache effectiveness is surfaced by the
-// "stats" request, and --cache-file makes the cache durable across
-// restarts (loaded at startup, persisted after mutating requests and on
-// shutdown).
+// simulation would produce. Concurrent requests for the same *uncached*
+// cell are single-flighted: one session computes it, the others wait on
+// the in-flight entry and serve the identical bytes (no thundering
+// herd). Cache effectiveness is surfaced by the "stats" request, and
+// --cache-file makes the cache durable across restarts (loaded at
+// startup, persisted after mutating requests - or on a background
+// checkpoint thread with --checkpoint-interval - and on shutdown).
 #pragma once
 
 #include <atomic>
@@ -61,12 +64,66 @@ namespace bfpp::api {
 // evicts from the least-recently-used end once full. save()/load() make
 // the cache durable: a versioned JSON-lines snapshot of every cell,
 // negative (found=false) entries included.
+//
+// The cache is also the single-flight coalescing point: probe_or_lead()
+// appoints exactly one caller per uncached key as its *leader* (who
+// computes the cell and then publish()es or abandon()s it) and turns
+// every concurrent request for the same key into a *follower* that
+// wait()s on the leader's in-flight entry and is handed the
+// byte-identical result - so N clients racing on a cold cell cost one
+// computation, not N.
 class ReportCache {
  public:
   explicit ReportCache(size_t capacity = 1024);
 
+  // One in-flight (claimed but not yet published) computation. Followers
+  // hold a shared_ptr so a publish/abandon racing with the last waiter
+  // can never free the entry out from under it.
+  struct InFlight {
+    std::condition_variable ready;
+    bool done = false;             // publish() or abandon() happened
+    std::optional<Report> result;  // set by publish(); nullopt = abandoned
+  };
+
+  // The outcome of a single-flight probe: exactly one of the three
+  // fields is set.
+  struct Probe {
+    std::optional<Report> report;       // cache hit (counted in hits)
+    std::shared_ptr<InFlight> waiting;  // another caller is computing this
+                                        // key: block on wait() (counted in
+                                        // coalesced)
+    bool leader = false;  // the caller must compute the cell, then
+                          // publish() or abandon() it (counted in misses)
+  };
+
+  // Non-blocking single-flight lookup. A hit returns the Report; an
+  // uncached key with no in-flight computation appoints the caller
+  // leader and registers the in-flight entry; an uncached key that is
+  // already being computed returns that entry to wait() on.
+  [[nodiscard]] Probe probe_or_lead(const std::string& key);
+
+  // Blocks until the in-flight computation behind `entry` publishes or
+  // abandons. Returns the published Report (byte-identical to what the
+  // leader cached), or nullopt when the leader abandoned - the caller
+  // should probe_or_lead() again (it may be appointed the new leader).
+  [[nodiscard]] std::optional<Report> wait(
+      const std::shared_ptr<InFlight>& entry);
+
+  // Leader-side completion: inserts the Report under `key` exactly like
+  // put() (no-op at capacity 0), hands it to every follower waiting on
+  // the in-flight entry and retires that entry. Followers are served
+  // from the entry itself, so they receive the result even when the
+  // cache is full or disabled.
+  void publish(const std::string& key, Report report);
+
+  // Leader-side failure: retires the in-flight entry *without* a result,
+  // waking every follower with nullopt so they can retry or re-lead. An
+  // errored leader must never leave followers waiting forever.
+  void abandon(const std::string& key);
+
   // The cached Report under `key`, promoting it to MRU; nullopt on miss.
-  // Hit/miss counters update on every call.
+  // Hit/miss counters update on every call. (Plain lookup: does not
+  // coalesce; the server path uses probe_or_lead.)
   std::optional<Report> get(const std::string& key);
 
   // Inserts (or refreshes) `key`. Evicts LRU entries beyond capacity; a
@@ -96,6 +153,12 @@ class ReportCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+    // Requests that found their cell already being computed and waited
+    // for the leader instead of recomputing (one count per wait).
+    uint64_t coalesced = 0;
+    // Gauge: cells currently claimed by a leader but not yet
+    // published/abandoned.
+    size_t inflight = 0;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -111,6 +174,11 @@ class ReportCache {
   };
   InsertOutcome insert_locked(const std::string& key, Report report);
 
+  // Retires the in-flight entry under `key` (if any), waking every
+  // follower with `result`. Caller holds mutex_.
+  void finish_inflight_locked(const std::string& key,
+                              std::optional<Report> result);
+
   mutable std::mutex mutex_;
   size_t capacity_;
   // Front = most recently used. The index maps key -> list node.
@@ -118,6 +186,10 @@ class ReportCache {
   std::unordered_map<std::string,
                      std::list<std::pair<std::string, Report>>::iterator>
       index_;
+  // Single-flight table: key -> the in-flight computation followers wait
+  // on. Entries live from probe_or_lead() (leader appointment) until
+  // publish()/abandon().
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
   Stats counters_;
 };
 
@@ -138,6 +210,13 @@ struct ServeOptions {
   size_t cache_capacity = 1024;  // ReportCache entries (0 disables)
   int max_clients = 32;     // concurrent TCP sessions; extra accepts wait
   std::string cache_file;   // durable cache path ("" = in-memory only)
+  // Seconds between background cache checkpoints. 0 (the default) keeps
+  // the write-through behaviour: the cache is saved after every request
+  // that inserted cells. > 0 moves saving to a dedicated checkpoint
+  // thread that persists the cache every interval iff it is dirty -
+  // write-heavy workloads then pay one save per interval instead of one
+  // per request. The final shutdown save happens in both modes.
+  int checkpoint_interval = 0;
   RunOptions run;           // default backend for requests that set none
 };
 
@@ -179,10 +258,23 @@ class Server {
   // tests can checkpoint explicitly.
   bool persist_cache();
 
+  // Starts / stops the background checkpoint thread (a no-op unless
+  // both options.cache_file and options.checkpoint_interval are set).
+  // The serve loops bracket their transport loop with these; exposed so
+  // embedders driving handle() directly (and tests) can run the
+  // checkpointer too. stop_checkpointer() joins the thread; the final
+  // shutdown save is the caller's persist_cache(). Both are idempotent.
+  void start_checkpointer();
+  void stop_checkpointer();
+
   [[nodiscard]] bool shutdown_requested() const { return shutdown_; }
   [[nodiscard]] ReportCache::Stats cache_stats() const {
     return cache_.stats();
   }
+  // The shared report cache - exposed so embedders and tests can probe
+  // the single-flight machinery directly (e.g. claim leadership of a
+  // cell before racing clients at it).
+  [[nodiscard]] ReportCache& cache() { return cache_; }
 
  private:
   std::string handle_or_throw(std::string& id_echo, const std::string& line);
@@ -191,8 +283,12 @@ class Server {
   // answering each through handle().
   void run_session(net::Stream& stream);
   // Saves the cache iff it changed since the last save (cheap no-op
-  // otherwise). Called after every handled request on both transports.
+  // otherwise). Called by the checkpoint thread, and - through
+  // persist_after_request(), which defers to the checkpointer when a
+  // checkpoint interval is configured - after every handled request on
+  // both transports.
   void persist_if_dirty();
+  void persist_after_request();
 
   // Executes one batch of cells (a single run/search, or a whole sweep
   // grid) through the cache: probe serially, compute misses in parallel
@@ -234,6 +330,18 @@ class Server {
   // Persistence bookkeeping: last insertion count written to disk.
   std::mutex persist_mutex_;
   uint64_t persisted_insertions_ = 0;
+
+  // Background checkpointer (--checkpoint-interval). checkpoint_mutex_
+  // guards checkpoint_stop_ and the thread handle; checkpoint_wake_
+  // interrupts the interval sleep on stop; the lifecycle mutex
+  // serializes whole start/stop calls against each other (it is held
+  // across the join, which checkpoint_mutex_ cannot be).
+  void checkpoint_loop();
+  std::mutex checkpoint_lifecycle_mutex_;
+  std::mutex checkpoint_mutex_;
+  std::condition_variable checkpoint_wake_;
+  std::thread checkpoint_thread_;
+  bool checkpoint_stop_ = false;
 };
 
 }  // namespace bfpp::api

@@ -1,11 +1,23 @@
 #include "common/serialize.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
+
+#include "common/strings.h"
 
 namespace bfpp::serialize {
 
 bool write_file_atomic(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp";
+  // The temp name is unique per writer (pid + an in-process counter):
+  // two processes - or two threads outside the callers' own locking -
+  // racing on the same target must never interleave into one temp file,
+  // or the rename would publish a torn mix of both.
+  static std::atomic<uint64_t> sequence{0};
+  const std::string tmp =
+      path + str_format(".tmp.%ld.%llu", static_cast<long>(::getpid()),
+                        static_cast<unsigned long long>(++sequence));
   std::FILE* file = std::fopen(tmp.c_str(), "wb");
   if (file == nullptr) return false;
   const bool wrote =

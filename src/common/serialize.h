@@ -11,10 +11,11 @@
 
 namespace bfpp::serialize {
 
-// Writes `content` to `path` by writing `path + ".tmp"` and renaming it
-// into place (atomic on POSIX: readers see the old file or the new one,
-// never a torn mix). Returns false - removing the temp file - on any IO
-// failure; never throws.
+// Writes `content` to `path` by writing a uniquely-named temp file
+// (`path + ".tmp.<pid>.<seq>"`, so concurrent writers never share one)
+// in the same directory and renaming it into place (atomic on POSIX:
+// readers see the old file or the new one, never a torn mix). Returns
+// false - removing the temp file - on any IO failure; never throws.
 bool write_file_atomic(const std::string& path, const std::string& content);
 
 // The whole file as bytes, or nullopt when it cannot be opened or read.

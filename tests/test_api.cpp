@@ -460,14 +460,24 @@ TEST(Cli, MalformedIntegerFlagValuesAreUsageErrors) {
 TEST(Cli, ServeFlagsParse) {
   const CliOptions serve = parse_cli(
       {"serve", "--port", "0", "--cache-size", "16", "--max-clients", "4",
-       "--cache-file", "reports.jsonl"});
+       "--cache-file", "reports.jsonl", "--checkpoint-interval", "30"});
   EXPECT_EQ(serve.port, 0);
   EXPECT_EQ(serve.cache_size, 16);
   EXPECT_EQ(serve.max_clients, 4);
   EXPECT_EQ(serve.cache_file, "reports.jsonl");
+  EXPECT_EQ(serve.checkpoint_interval, 30);
   EXPECT_THROW(parse_cli({"serve", "--max-clients", "0"}), ConfigError);
   EXPECT_THROW(parse_cli({"run", "--max-clients", "4"}), ConfigError);
   EXPECT_THROW(parse_cli({"run", "--cache-file", "f"}), ConfigError);
+  // A checkpoint interval needs somewhere to write, a positive period,
+  // and only makes sense for serve.
+  EXPECT_THROW(parse_cli({"serve", "--checkpoint-interval", "30"}),
+               ConfigError);
+  EXPECT_THROW(parse_cli({"serve", "--cache-file", "f",
+                          "--checkpoint-interval", "0"}),
+               ConfigError);
+  EXPECT_THROW(parse_cli({"run", "--checkpoint-interval", "30"}),
+               ConfigError);
 }
 
 TEST(Cli, PresetAndListForms) {

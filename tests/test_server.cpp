@@ -13,11 +13,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "api/api.h"
 #include "api/cli.h"
 #include "api/server.h"
 #include "common/error.h"
@@ -127,6 +129,106 @@ TEST(ReportCache, CapacityZeroDisablesCaching) {
   cache.put("a", tagged_report("a"));
   EXPECT_FALSE(cache.get("a").has_value());
   EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---- Single-flight coalescing (ReportCache layer) ----
+
+// Spins until `pred` holds (or ~timeout_ms passed); returns pred().
+bool poll_until(const std::function<bool()>& pred, int timeout_ms = 20000) {
+  for (int waited = 0; waited < timeout_ms; waited += 2) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+TEST(ReportCache, SingleFlightLeaderComputesOnceFollowersCoalesce) {
+  ReportCache cache(8);
+  // First prober is appointed leader; the cell is now in flight.
+  ASSERT_TRUE(cache.probe_or_lead("cell").leader);
+  EXPECT_EQ(cache.stats().inflight, 1u);
+
+  constexpr size_t kFollowers = 3;
+  std::vector<std::optional<Report>> got(kFollowers);
+  std::vector<std::thread> followers;
+  for (size_t i = 0; i < kFollowers; ++i) {
+    followers.emplace_back([&cache, &got, i] {
+      ReportCache::Probe probe = cache.probe_or_lead("cell");
+      EXPECT_NE(probe.waiting, nullptr);
+      if (probe.waiting != nullptr) got[i] = cache.wait(probe.waiting);
+    });
+  }
+  // All followers are provably waiting before the leader publishes.
+  ASSERT_TRUE(
+      poll_until([&] { return cache.stats().coalesced == kFollowers; }));
+  cache.publish("cell", tagged_report("computed"));
+  for (std::thread& follower : followers) follower.join();
+  for (const std::optional<Report>& report : got) {
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->scenario, "computed");
+  }
+  const ReportCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);  // only the leader missed
+  EXPECT_EQ(stats.coalesced, kFollowers);
+  EXPECT_EQ(stats.insertions, 1u);  // the cell was computed exactly once
+  EXPECT_EQ(stats.hits, 0u);        // followers are not counted as hits
+  EXPECT_EQ(stats.inflight, 0u);    // the entry retired with the publish
+  // After the flight lands, the cell is a plain LRU hit.
+  EXPECT_EQ(cache.get("cell")->scenario, "computed");
+}
+
+TEST(ReportCache, AbandonedLeaderReleasesFollowerToRelead) {
+  ReportCache cache(8);
+  ASSERT_TRUE(cache.probe_or_lead("cell").leader);
+
+  std::optional<Report> followed = tagged_report("sentinel");
+  bool reled = false;
+  std::thread follower([&] {
+    ReportCache::Probe probe = cache.probe_or_lead("cell");
+    EXPECT_NE(probe.waiting, nullptr);
+    if (probe.waiting == nullptr) return;
+    followed = cache.wait(probe.waiting);
+    if (followed.has_value()) return;
+    // The leader gave up: the follower re-probes, is appointed the new
+    // leader, and computes the cell itself - no permanent wait.
+    ReportCache::Probe again = cache.probe_or_lead("cell");
+    reled = again.leader;
+    if (reled) cache.publish("cell", tagged_report("recomputed"));
+  });
+  ASSERT_TRUE(poll_until([&] { return cache.stats().coalesced == 1u; }));
+  cache.abandon("cell");
+  follower.join();
+
+  EXPECT_FALSE(followed.has_value());  // woken with "no result"
+  EXPECT_TRUE(reled);
+  EXPECT_EQ(cache.get("cell")->scenario, "recomputed");
+  const ReportCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);  // original leader + the re-lead
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(ReportCache, CoalescingServesFollowersEvenWithCachingDisabled) {
+  // Followers are handed the result through the in-flight entry itself,
+  // so single-flight works even at capacity 0 (nothing is ever stored).
+  ReportCache cache(0);
+  ASSERT_TRUE(cache.probe_or_lead("cell").leader);
+  std::optional<Report> followed;
+  std::thread follower([&] {
+    ReportCache::Probe probe = cache.probe_or_lead("cell");
+    EXPECT_NE(probe.waiting, nullptr);
+    if (probe.waiting != nullptr) followed = cache.wait(probe.waiting);
+  });
+  ASSERT_TRUE(poll_until([&] { return cache.stats().coalesced == 1u; }));
+  cache.publish("cell", tagged_report("once"));
+  follower.join();
+  ASSERT_TRUE(followed.has_value());
+  EXPECT_EQ(followed->scenario, "once");
+  const ReportCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.coalesced, 1u);
 }
 
 // ---- Report wire form + cache persistence ----
@@ -896,6 +998,202 @@ TEST(Server, ConcurrentClientsMatchSerialExecutionAndShareOneCache) {
   EXPECT_TRUE(server.shutdown_requested());
 }
 
+// ---- Single-flight coalescing (server + transport level) ----
+
+// The cell (and matching request line) the coalescing tests race on:
+// 6.6B, pp4/tp2/dp8, nmb8, bf, loop 2 on the default sim backend.
+Scenario coalesced_cell() {
+  return ScenarioBuilder()
+      .model("6.6b")
+      .cluster("dgx1-v100-ib")
+      .pp(4)
+      .tp(2)
+      .dp(8)
+      .nmb(8)
+      .schedule("bf")
+      .loop(2)
+      .build();
+}
+
+constexpr const char* kCoalescedRun =
+    R"({"type":"run","model":"6.6b","cluster":"dgx1-v100-ib","pp":4,)"
+    R"("tp":2,"dp":8,"nmb":8,"schedule":"bf","loop":2})";
+
+TEST(Server, ConcurrentClientsRacingAColdCellCoalesceToOneComputation) {
+  std::unique_ptr<net::Listener> listener;
+  try {
+    listener = std::make_unique<net::Listener>(0);
+  } catch (const ConfigError& e) {
+    GTEST_SKIP() << e.what();
+  }
+
+  ServeOptions options;
+  options.max_clients = 8;
+  Server server(options);
+
+  // Claim leadership of the exact cell the clients will request: until
+  // this test publishes, every client is provably concurrent with the
+  // (held) computation, so the coalescing counts below are exact, not
+  // timing-dependent.
+  const std::string key =
+      cache_key(coalesced_cell(), std::nullopt, options.run);
+  ASSERT_TRUE(server.cache().probe_or_lead(key).leader);
+
+  std::thread serve_thread([&] { EXPECT_EQ(server.serve_on(*listener), 0); });
+
+  // What the response must look like, from an unrelated serial server.
+  Server reference;
+  const std::string expected = reference.handle(kCoalescedRun);
+  ASSERT_NE(expected.find("\"found\":true"), std::string::npos);
+
+  constexpr size_t kClients = 4;
+  std::vector<std::string> got(kClients);
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      const int fd = connect_loopback(listener->port());
+      EXPECT_GE(fd, 0);
+      if (fd < 0) return;
+      net::Stream stream(fd);
+      EXPECT_TRUE(stream.write_all(std::string(kCoalescedRun) + "\n"));
+      (void)read_lines(stream, 1, got[i]);
+    });
+  }
+  // All N clients join the in-flight entry (none recomputes)...
+  ASSERT_TRUE(
+      poll_until([&] { return server.cache_stats().coalesced == kClients; }));
+  EXPECT_EQ(server.cache_stats().inflight, 1u);
+  // ...then the leader (this test) computes the cell once and publishes.
+  server.cache().publish(key, run(coalesced_cell(), options.run));
+  for (std::thread& client : clients) client.join();
+
+  // Byte-identical responses for everyone, exactly one insert, N
+  // coalesced waits and zero duplicate computations.
+  for (const std::string& response : got) EXPECT_EQ(response, expected);
+  const ReportCache::Stats stats = server.cache_stats();
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.coalesced, kClients);
+  EXPECT_EQ(stats.misses, 1u);  // the held leadership claim
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.inflight, 0u);
+
+  server.request_shutdown();
+  serve_thread.join();
+}
+
+TEST(Server, InfeasibleCellReleasesFollowersAndCachesTheNegativeOnce) {
+  // Leader-failure semantics, full path: followers parked on a cell
+  // whose leader goes away must not hang - one of them re-leads, the
+  // infeasible result is computed once, published as a negative
+  // (found=false) entry, and every client gets identical bytes.
+  std::unique_ptr<net::Listener> listener;
+  try {
+    listener = std::make_unique<net::Listener>(0);
+  } catch (const ConfigError& e) {
+    GTEST_SKIP() << e.what();
+  }
+
+  const std::string oom_req =
+      R"({"type":"run","model":"52b","cluster":"dgx1-v100-ib","pp":1,)"
+      R"("tp":1,"dp":64,"nmb":1,"schedule":"gpipe"})";
+  const Scenario oom_cell = ScenarioBuilder()
+                                .model("52b")
+                                .cluster("dgx1-v100-ib")
+                                .pp(1)
+                                .tp(1)
+                                .dp(64)
+                                .nmb(1)
+                                .schedule("gpipe")
+                                .build();
+
+  ServeOptions options;
+  options.max_clients = 8;
+  Server server(options);
+  const std::string key = cache_key(oom_cell, std::nullopt, options.run);
+  ASSERT_TRUE(server.cache().probe_or_lead(key).leader);
+
+  std::thread serve_thread([&] { EXPECT_EQ(server.serve_on(*listener), 0); });
+
+  Server reference;
+  const std::string expected = reference.handle(oom_req);
+  ASSERT_NE(expected.find("\"found\":false"), std::string::npos);
+  ASSERT_NE(expected.find("[oom]"), std::string::npos);
+
+  constexpr size_t kClients = 4;
+  std::vector<std::string> got(kClients);
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      const int fd = connect_loopback(listener->port());
+      EXPECT_GE(fd, 0);
+      if (fd < 0) return;
+      net::Stream stream(fd);
+      EXPECT_TRUE(stream.write_all(oom_req + "\n"));
+      (void)read_lines(stream, 1, got[i]);
+    });
+  }
+  ASSERT_TRUE(
+      poll_until([&] { return server.cache_stats().coalesced == kClients; }));
+  // The erroring leader abandons instead of publishing. Exactly one
+  // follower re-leads (probes are serialized on the cache mutex), the
+  // others re-wait or hit - nobody waits forever.
+  server.cache().abandon(key);
+  for (std::thread& client : clients) client.join();
+
+  for (const std::string& response : got) EXPECT_EQ(response, expected);
+  const ReportCache::Stats stats = server.cache_stats();
+  EXPECT_EQ(stats.insertions, 1u);  // the negative result, cached once
+  EXPECT_EQ(stats.misses, 2u);      // the held claim + the one re-lead
+  EXPECT_GE(stats.coalesced, kClients);
+  EXPECT_EQ(stats.inflight, 0u);
+  // The negative entry is now a plain hit for everyone else.
+  EXPECT_EQ(server.handle(oom_req), expected);
+
+  server.request_shutdown();
+  serve_thread.join();
+}
+
+TEST(Server, OverlappingSweepsShareInFlightCells) {
+  // Coalescing is per *cell*, not per request: a sweep whose grid
+  // contains a cell already in flight (here: held by the test, as if an
+  // overlapping sweep were computing it) waits for that one cell while
+  // computing its own, and renders byte-identically to a serial sweep.
+  Server server;
+  RunOptions analytic;
+  analytic.backend = Backend::kAnalytic;
+  const Scenario shared_cell = ScenarioBuilder()
+                                   .model("6.6b")
+                                   .cluster("dgx1-v100-ib")
+                                   .pp(4)
+                                   .tp(2)
+                                   .dp(8)
+                                   .nmb(16)
+                                   .schedule("bf")
+                                   .loop(2)
+                                   .build();
+  const std::string key = cache_key(shared_cell, std::nullopt, analytic);
+  ASSERT_TRUE(server.cache().probe_or_lead(key).leader);
+
+  const std::string sweep_req =
+      R"({"type":"sweep","model":"6.6b","cluster":"dgx1-v100-ib",)"
+      R"("pp":[4],"tp":[2],"dp":[8],"nmb":[8,16],"schedule":["bf"],)"
+      R"("loop":[2],"backend":"analytic"})";
+  std::string got;
+  std::thread sweeper([&] { got = server.handle(sweep_req); });
+  // The sweep computes its nmb=8 cell itself and coalesces on nmb=16.
+  ASSERT_TRUE(poll_until([&] { return server.cache_stats().coalesced == 1u; }));
+  server.cache().publish(key, run(shared_cell, analytic));
+  sweeper.join();
+
+  Server reference;
+  EXPECT_EQ(got, reference.handle(sweep_req));
+  const ReportCache::Stats stats = server.cache_stats();
+  EXPECT_EQ(stats.coalesced, 1u);   // the shared cell was not recomputed
+  EXPECT_EQ(stats.misses, 2u);      // the held claim + the sweep's own cell
+  EXPECT_EQ(stats.insertions, 2u);  // one per distinct cell
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
 TEST(Server, TcpAnswersUnterminatedFinalRequestAndRequestShutdownDrains) {
   std::unique_ptr<net::Listener> listener;
   try {
@@ -963,6 +1261,100 @@ TEST(Server, PersistCacheWithoutACacheFileIsANoOp) {
   Server server;
   (void)server.handle(R"({"type":"ping"})");
   EXPECT_FALSE(server.persist_cache());
+}
+
+// ---- Periodic checkpoints (--checkpoint-interval) ----
+
+TEST(Server, CheckpointerPersistsDirtyCacheWhileHandlersRace) {
+  // The background checkpoint thread must pick up a dirty cache on its
+  // own: handle() never saves (write-through lives in the serve loops,
+  // which are not involved here), so the snapshot appearing on disk
+  // proves the checkpointer wrote it - while racing mutating requests
+  // from several session-like threads (the TSan job runs this test).
+  const std::string path = testing::TempDir() + "bfpp_checkpoint.jsonl";
+  std::remove(path.c_str());
+  ServeOptions options;
+  options.cache_file = path;
+  options.checkpoint_interval = 1;
+  options.run.backend = Backend::kAnalytic;
+
+  {
+    Server server(options);
+    server.start_checkpointer();
+    constexpr int kThreads = 3;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&server, t] {
+        for (int i = 0; i < 4; ++i) {
+          const std::string response = server.handle(str_format(
+              R"({"type":"run","model":"6.6b","cluster":"dgx1-v100-ib",)"
+              R"("pp":4,"tp":2,"dp":8,"nmb":%d,"schedule":"bf","loop":2})",
+              4 * (4 * t + i + 1)));
+          EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    ASSERT_TRUE(poll_until([&] {
+      ReportCache probe(64);
+      return probe.load(path) == 12u;  // every cell checkpointed
+    }));
+    server.stop_checkpointer();
+  }
+
+  // The checkpointed snapshot warm-starts a fresh server: pure hits.
+  Server restarted(options);
+  const std::string again = restarted.handle(
+      R"({"type":"run","model":"6.6b","cluster":"dgx1-v100-ib",)"
+      R"("pp":4,"tp":2,"dp":8,"nmb":4,"schedule":"bf","loop":2})");
+  EXPECT_NE(again.find("\"ok\":true"), std::string::npos);
+  const ReportCache::Stats stats = restarted.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Server, CheckpointIntervalSuppressesWriteThroughUntilShutdown) {
+  // With an interval configured, the serve loops stop saving after every
+  // mutating request - the checkpointer owns periodic saves (its 3600 s
+  // interval never fires here) and the shutdown save still runs.
+  const std::string path =
+      testing::TempDir() + "bfpp_checkpoint_suppress.jsonl";
+  std::remove(path.c_str());
+  ServeOptions options;
+  options.cache_file = path;
+  options.checkpoint_interval = 3600;
+  options.run.backend = Backend::kAnalytic;
+
+  int in_fds[2], out_fds[2];
+  ASSERT_EQ(::pipe(in_fds), 0);
+  ASSERT_EQ(::pipe(out_fds), 0);
+  std::FILE* in = ::fdopen(in_fds[0], "r");
+  std::FILE* out = ::fdopen(out_fds[1], "w");
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+
+  Server server(options);
+  std::thread serving([&] { EXPECT_EQ(server.serve_stdio(in, out), 0); });
+  const std::string request =
+      R"({"type":"run","model":"6.6b","cluster":"dgx1-v100-ib","pp":4,)"
+      R"("tp":2,"dp":8,"nmb":8,"schedule":"bf","loop":2})"
+      "\n";
+  ASSERT_EQ(::write(in_fds[1], request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  net::Stream reader(out_fds[0]);
+  std::string response;
+  ASSERT_TRUE(reader.read_line(response));
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+  // The request inserted a cell, but write-through is off: no snapshot.
+  EXPECT_FALSE(serialize::read_file(path).has_value());
+
+  ::close(in_fds[1]);  // EOF ends the serve loop -> final shutdown save
+  serving.join();
+  EXPECT_TRUE(serialize::read_file(path).has_value());
+  std::fclose(in);
+  std::fclose(out);
+  std::remove(path.c_str());
 }
 
 }  // namespace
