@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "api/api.h"
+#include "api/compare.h"
 #include "api/server.h"
 #include "common/error.h"
 #include "common/strings.h"
@@ -135,6 +136,29 @@ int do_sweep(const CliOptions& options) {
     if (report.found) return 0;
   }
   return 2;  // nothing feasible anywhere in the grid
+}
+
+int do_compare(const CliOptions& options) {
+  const ScenarioGrid grid = compare_grid(options.grid);
+  SweepOptions sweep_options;
+  sweep_options.jobs = options.jobs;
+  sweep_options.run = run_options_from_cli(options);
+  // Compare cells run through api::sweep, so the rows (and the CSV/JSON
+  // forms) are byte-identical for every --jobs value.
+  const std::vector<Report> reports = sweep(grid, sweep_options);
+  if (options.json || options.csv) {
+    emit_reports(reports, options);
+  } else {
+    emit_text(str_format("== schedule-family comparison, grid '%s' ==\n\n",
+                         options.grid.c_str()) +
+                  compare_table(reports).to_string() + "\n" +
+                  compare_legend(),
+              options);
+  }
+  for (const Report& report : reports) {
+    if (report.found) return 0;
+  }
+  return 2;  // nothing feasible anywhere on the grid
 }
 
 // The paper's fixed configurations (Figure 5): the cross-validation set
@@ -285,11 +309,12 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   }
   check_config(options.command == "run" || options.command == "search" ||
                    options.command == "sweep" ||
+                   options.command == "compare" ||
                    options.command == "validate" ||
                    options.command == "serve" ||
                    options.command == "list" || options.command == "help",
                str_format("cli: unknown command '%s' (run, search, sweep, "
-                          "validate, serve, list or help)",
+                          "compare, validate, serve, list or help)",
                           args[0].c_str()));
   const bool sweeping = options.command == "sweep";
 
@@ -379,6 +404,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       } else {
         options.method = value(flag);
       }
+    } else if (flag == "--grid") {
+      check_config(options.command == "compare",
+                   "cli: --grid only applies to 'bfpp compare'");
+      options.grid = value(flag);
     } else if (flag == "--backend") {
       options.backend = value(flag);
     } else if (flag == "--jobs") {
@@ -528,6 +557,17 @@ ScenarioGrid grid_from_cli(const CliOptions& options) {
       base.overlap(!options.no_dp_overlap, !options.no_pp_overlap);
     }
     builder.base(base);
+    // A misspelled family name on the --schedule axis would otherwise
+    // surface only as a found=0 row in *every* cell that uses it (easy
+    // to miss in a wide CSV); reject the whole sweep up front instead,
+    // with the malformed-flag exit code (2).
+    for (const std::string& name : options.schedules) {
+      try {
+        parallel::parse_schedule_kind(name);
+      } catch (const ConfigError& e) {
+        throw UsageError(e.what());
+      }
+    }
     if (!options.schedules.empty()) builder.schedules(options.schedules);
     if (!options.shardings.empty()) builder.shardings(options.shardings);
     if (!options.pps.empty()) builder.pp(options.pps);
@@ -551,6 +591,7 @@ std::string cli_usage() {
       "                [--backend B] [--jobs N] [--json|--csv]\n"
       "  bfpp sweep    [axis flags, comma lists] [--jobs N] [--backend B]\n"
       "                [--json|--csv]\n"
+      "  bfpp compare  [--grid G] [--jobs N] [--backend B] [--json|--csv]\n"
       "  bfpp validate [--jobs N] [--backend B] [--csv]\n"
       "  bfpp serve    [--port N | --stdio] [--cache-size N]\n"
       "                [--cache-file F] [--checkpoint-interval S]\n"
@@ -569,7 +610,8 @@ std::string cli_usage() {
       "  --nmb N             micro-batch count\n"
       "  --batch B           global batch size (derives --nmb, or drives\n"
       "                      the search)\n"
-      "  --schedule S        gpipe | 1f1b | df | bf\n"
+      "  --schedule S        gpipe | 1f1b | df | bf | 1f1b-async |\n"
+      "                      unbalanced | v | 2bp (docs/SCHEDULES.md)\n"
       "  --loop N            stages per device (looped schedules)\n"
       "  --sharding S        none | ps | fs\n"
       "  --megatron          Megatron-LM capability flags (no overlap)\n"
@@ -590,7 +632,20 @@ std::string cli_usage() {
       "  (--schedule/--pp/--tp/--dp/--smb/--nmb/--loop/--sharding)\n"
       "  describe exact configurations. Rows are deterministic and\n"
       "  independent of --jobs; failed cells become found=0 rows with the\n"
-      "  reason in the error column. Exit code 2 when no cell is feasible.\n"
+      "  reason in the error column. Exit code 2 when no cell is feasible\n"
+      "  or a --schedule axis entry is not a known schedule family.\n"
+      "\n"
+      "compare (bfpp compare):\n"
+      "  runs every schedule family of the zoo (docs/SCHEDULES.md) - bf,\n"
+      "  df, 1f1b-async, unbalanced, v-schedule, 2bp - head to head on a\n"
+      "  named grid of paper operating points and prints one row per\n"
+      "  (model, batch) with a column per family (util% / idle% / GB).\n"
+      "  --grid G            fig5-quick (default; 6.6b, CI smoke) |\n"
+      "                      fig5 (both Figure 5 points) |\n"
+      "                      fig6 (52b on Ethernet, bandwidth-bound)\n"
+      "  --json/--csv emit the raw per-cell Reports instead of the table.\n"
+      "  Rows are byte-identical for every --jobs; infeasible cells\n"
+      "  render '-'. Exit code 2 when no cell is feasible.\n"
       "\n"
       "server (bfpp serve):\n"
       "  --port N            TCP port on 127.0.0.1 (default 7070; 0 picks\n"
@@ -648,6 +703,7 @@ std::string cli_usage() {
       "             --batch 16,64,256 --method bf,df --jobs 8 --csv\n"
       "  bfpp sweep --pp 8 --tp 8 --batch 16,32,64 --schedule bf \\\n"
       "             --loop 2,4,8 --csv\n"
+      "  bfpp compare --grid fig5-quick --jobs 8\n"
       "  bfpp validate --jobs 8\n"
       "  bfpp serve --port 7070 --cache-size 4096 \\\n"
       "             --cache-file reports.jsonl --max-clients 64\n"
@@ -670,6 +726,7 @@ int cli_main(int argc, char** argv) {
     if (options.command == "list") return do_list(options);
     if (options.command == "search") return do_search(options);
     if (options.command == "sweep") return do_sweep(options);
+    if (options.command == "compare") return do_compare(options);
     if (options.command == "validate") return do_validate(options);
     if (options.command == "serve") return do_serve(options);
     return do_run(options);

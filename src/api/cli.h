@@ -8,12 +8,14 @@
 //                 --method bf --jobs 8
 //   bfpp sweep    --model 6.6b --cluster dgx1-v100-eth
 //                 --batch 16,64,256 --method bf,df --jobs 8 --csv
+//   bfpp compare  --grid fig5-quick --jobs 8
 //   bfpp validate --jobs 8
 //   bfpp serve    --port 7070 --cache-size 1024
 //   bfpp list     [models|clusters|scenarios|all]
 //
 // `sweep` axis flags take comma-separated lists and grid over the
-// product; `validate` cross-checks the analytic backend against the
+// product; `compare` runs the schedule-zoo head-to-head table
+// (api/compare.h) on a named Figure 5/6 grid; `validate` cross-checks the analytic backend against the
 // simulator on the paper's fixed (Figure 5) configurations and prints a
 // deviation table; `serve` starts the long-lived experiment server of
 // api/server.h (line-delimited JSON over TCP, or stdin/stdout with
@@ -30,7 +32,8 @@
 namespace bfpp::api {
 
 struct CliOptions {
-  // "run", "search", "sweep", "validate", "serve", "list" or "help".
+  // "run", "search", "sweep", "compare", "validate", "serve", "list" or
+  // "help".
   std::string command;
 
   // Scenario selection (run/search).
@@ -46,6 +49,9 @@ struct CliOptions {
 
   // Search.
   std::string method = "bf";  // --method
+
+  // Compare (compare only).
+  std::string grid = "fig5-quick";  // --grid (compare_grid_names)
 
   // Sweep axes (the same flags, comma-separated; sweep command only).
   std::vector<std::string> models, clusters, schedules, shardings, methods;

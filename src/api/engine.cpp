@@ -111,6 +111,12 @@ class AnalyticEngine : public Engine {
         break;
       case ScheduleKind::kGpipe:
       case ScheduleKind::kOneFOneB:
+      case ScheduleKind::kOneFOneBAsync:
+      case ScheduleKind::kUnbalanced:
+      case ScheduleKind::kVSchedule:
+      case ScheduleKind::kTwoBP:
+        // The rival families overlap communication within (at most) a
+        // micro-batch-sized window, like the non-looped baselines.
         theory.window = analytic::TheoryConfig::Window::kMicroBatch;
         break;
     }
@@ -279,6 +285,11 @@ class ThreadedEngine : public Engine {
         case ScheduleKind::kOneFOneB:
           return schedule::grad_accumulation_depth_first(cfg.n_stages(),
                                                          cfg.n_mb);
+        case ScheduleKind::kOneFOneBAsync:
+        case ScheduleKind::kUnbalanced:
+        case ScheduleKind::kVSchedule:
+        case ScheduleKind::kTwoBP:
+          break;  // the zoo generators handle n_pp == 1 directly
       }
     }
     return schedule::make_schedule(cfg.schedule, cfg.n_pp, cfg.n_loop,

@@ -8,6 +8,7 @@
 
 #include "api/api.h"
 #include "api/cli.h"
+#include "api/compare.h"
 #include "api/registry.h"
 #include "api/sweep.h"
 #include "common/error.h"
@@ -320,9 +321,11 @@ std::vector<int> ints_from(const json::Value& v, const char* key) {
   return {v.as_int(key)};
 }
 
-// Everything one run/search/sweep request carries, after validation.
+// Everything one run/search/sweep/compare request carries, after
+// validation.
 struct Request {
-  std::string type;     // run | search | sweep | stats | list | ping | shutdown
+  std::string type;     // run | search | sweep | compare | stats | list |
+                        // ping | shutdown
   std::string id_echo;  // compact JSON to echo back ("" = no id)
   std::string format = "json";  // json | csv
   CliOptions cli;               // scenario / grid / method fields
@@ -384,15 +387,16 @@ Request parse_request(const json::Value& root, const ServeOptions& defaults) {
   const json::Value* type = root.get("type");
   check_config(type != nullptr,
                "serve: a request needs a \"type\" (run, search, sweep, "
-               "stats, list, ping or shutdown)");
+               "compare, stats, list, ping or shutdown)");
   req.type = to_lower(type->as_string("type"));
   const bool scenario_request =
-      req.type == "run" || req.type == "search" || req.type == "sweep";
+      req.type == "run" || req.type == "search" || req.type == "sweep" ||
+      req.type == "compare";
   check_config(scenario_request || req.type == "stats" ||
                    req.type == "list" || req.type == "ping" ||
                    req.type == "shutdown",
                str_format("serve: unknown request type '%s' (run, search, "
-                          "sweep, stats, list, ping or shutdown)",
+                          "sweep, compare, stats, list, ping or shutdown)",
                           req.type.c_str()));
   const bool sweeping = req.type == "sweep";
   req.cli.command = req.type;
@@ -419,6 +423,17 @@ Request parse_request(const json::Value& root, const ServeOptions& defaults) {
     } else if (key == "jobs") {
       req.jobs = v.as_int("jobs");
       check_config(req.jobs >= 0, "serve: \"jobs\" must be >= 0");
+    } else if (key == "grid") {
+      check_config(req.type == "compare",
+                   "serve: \"grid\" applies only to 'compare' requests");
+      req.cli.grid = v.as_string("grid");
+    } else if (req.type == "compare") {
+      // A compare grid is fully named; pinning scenario fields on top of
+      // it would be silently ignored, so reject them.
+      throw ConfigError(str_format(
+          "serve: field \"%s\" is not valid for a 'compare' request "
+          "(format, backend, kernel, jobs or grid)",
+          key.c_str()));
     } else if (key == "preset") {
       req.cli.preset = v.as_string("preset");
     } else if (key == "model") {
@@ -845,8 +860,14 @@ std::string Server::handle_or_throw(std::string& id_echo,
     return response_line(id_echo, join(fields, ","));
   }
 
-  if (req.type == "sweep") {
-    const ScenarioGrid grid = grid_from_cli(req.cli);
+  if (req.type == "sweep" || req.type == "compare") {
+    // A compare request is a named sweep: the grid comes from
+    // compare_grid instead of axis fields, but the cells run through the
+    // same cached, coalesced execute() path, so a warm cache serves a
+    // repeated compare without recomputing any cell.
+    const ScenarioGrid grid = req.type == "compare"
+                                  ? compare_grid(req.cli.grid)
+                                  : grid_from_cli(req.cli);
     std::vector<Cell> cells;
     cells.reserve(grid.size());
     for (const SweepCell& sc : grid.cells()) {
@@ -857,7 +878,7 @@ std::string Server::handle_or_throw(std::string& id_echo,
       cells.push_back(std::move(cell));
     }
     const std::vector<Report> reports = execute(cells, req.run, req.jobs);
-    return rows_response(id_echo, "sweep", reports, req.format,
+    return rows_response(id_echo, req.type.c_str(), reports, req.format,
                          /*single=*/false);
   }
 

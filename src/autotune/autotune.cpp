@@ -44,6 +44,14 @@ const char* to_string(Method method) {
       return "Non-looped";
     case Method::kNoPipeline:
       return "No pipeline";
+    case Method::kOneFOneBAsync:
+      return "1F1B-async";
+    case Method::kUnbalanced:
+      return "Unbalanced";
+    case Method::kVSchedule:
+      return "V-schedule";
+    case Method::kTwoBP:
+      return "2BP";
   }
   return "?";
 }
@@ -66,9 +74,20 @@ Method parse_method(const std::string& text) {
       s == "no_pipeline" || s == "np" || s == "2d") {
     return Method::kNoPipeline;
   }
+  if (s == "1f1b-async" || s == "async" || s == "pipedream") {
+    return Method::kOneFOneBAsync;
+  }
+  if (s == "unbalanced" || s == "bapipe") return Method::kUnbalanced;
+  if (s == "v-schedule" || s == "vschedule" || s == "v") {
+    return Method::kVSchedule;
+  }
+  if (s == "2bp" || s == "twobp" || s == "split-backward") {
+    return Method::kTwoBP;
+  }
   throw ConfigError(str_format(
       "autotune: unknown method '%s' (expected breadth-first/bf, "
-      "depth-first/df, non-looped/nl or no-pipeline/np)",
+      "depth-first/df, non-looped/nl, no-pipeline/np, 1f1b-async, "
+      "unbalanced, v-schedule or 2bp)",
       text.c_str()));
 }
 
@@ -88,7 +107,20 @@ std::vector<ParallelConfig> enumerate_configs(
 
   for (int n_tp = 1; n_tp <= cluster.gpus_per_node; n_tp *= 2) {
     const int max_pp = n_gpus / n_tp;
-    for (int n_pp = 1; n_pp <= std::min(max_pp, spec.n_layers); n_pp *= 2) {
+    // Unbalanced partitioning does not need the layer counts to divide
+    // evenly, so its search covers every divisor N_PP (the non-power-of-
+    // two placements BaPipe unlocks); all other methods keep the paper's
+    // power-of-two grid.
+    std::vector<int> pp_values;
+    const int pp_limit = std::min(max_pp, spec.n_layers);
+    if (method == Method::kUnbalanced) {
+      for (int n_pp = 1; n_pp <= pp_limit; ++n_pp) {
+        if (max_pp % n_pp == 0) pp_values.push_back(n_pp);
+      }
+    } else {
+      for (int n_pp = 1; n_pp <= pp_limit; n_pp *= 2) pp_values.push_back(n_pp);
+    }
+    for (int n_pp : pp_values) {
       const bool pipelined = n_pp > 1;
       if (method == Method::kNoPipeline && pipelined) continue;
       if (method != Method::kNoPipeline && !pipelined) continue;
@@ -149,6 +181,33 @@ std::vector<ParallelConfig> enumerate_configs(
             cfg.n_loop = spec.n_layers;
             push_sharding_variants(out, cfg,
                                    {DpSharding::kNone, DpSharding::kFull});
+            break;
+          }
+          case Method::kOneFOneBAsync: {
+            ParallelConfig cfg = base;
+            cfg.schedule = ScheduleKind::kOneFOneBAsync;
+            push_sharding_variants(out, cfg, {DpSharding::kNone});
+            break;
+          }
+          case Method::kUnbalanced: {
+            ParallelConfig cfg = base;
+            cfg.schedule = ScheduleKind::kUnbalanced;
+            push_sharding_variants(out, cfg, {DpSharding::kNone});
+            break;
+          }
+          case Method::kVSchedule: {
+            if (2 * n_pp > spec.n_layers) break;  // folded pipeline: 2 stages/dev
+            ParallelConfig cfg = base;
+            cfg.schedule = ScheduleKind::kVSchedule;
+            cfg.n_loop = 2;
+            push_sharding_variants(out, cfg, {DpSharding::kNone});
+            break;
+          }
+          case Method::kTwoBP: {
+            ParallelConfig cfg = base;
+            cfg.schedule = ScheduleKind::kTwoBP;
+            push_sharding_variants(out, cfg,
+                                   {DpSharding::kNone, DpSharding::kPartial});
             break;
           }
         }

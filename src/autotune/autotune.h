@@ -12,6 +12,15 @@
 //                  and 1F1B on Megatron-LM (DP_0, no overlap)
 //   kNoPipeline    pure (sharded) data parallelism with breadth-first
 //                  gradient accumulation (Appendix C)
+//
+// Beyond the paper's four, the rival schedule families of the zoo
+// (docs/SCHEDULES.md) are searchable methods too:
+//
+//   kOneFOneBAsync PipeDream async-ordered 1F1B
+//   kUnbalanced    BaPipe unbalanced stages; searches *all* divisor
+//                  N_PP values, not just powers of two
+//   kVSchedule     controllable-memory V-schedule (N_loop = 2)
+//   kTwoBP         2BP split backward (B_x / deferred B_w)
 #pragma once
 
 #include <functional>
@@ -27,17 +36,28 @@
 
 namespace bfpp::autotune {
 
-enum class Method { kBreadthFirst, kDepthFirst, kNonLooped, kNoPipeline };
+enum class Method {
+  kBreadthFirst,
+  kDepthFirst,
+  kNonLooped,
+  kNoPipeline,
+  kOneFOneBAsync,
+  kUnbalanced,
+  kVSchedule,
+  kTwoBP,
+};
 
 const char* to_string(Method method);
 
 // Inverse of to_string. Case-insensitive; also accepts short names
-// ("bf", "df", "nl"/"non-looped", "np"/"no-pipeline"/"2d"). Throws
-// bfpp::ConfigError on unknown input.
+// ("bf", "df", "nl"/"non-looped", "np"/"no-pipeline"/"2d", plus the
+// schedule-family aliases "1f1b-async"/"async", "unbalanced"/"bapipe",
+// "v-schedule"/"v" and "2bp"). Throws bfpp::ConfigError on unknown input.
 Method parse_method(const std::string& text);
 
 // The four methods in the paper's reporting order (Figures 1, 7, 8 and
-// the Appendix E tables).
+// the Appendix E tables). The rival families are not included here; the
+// compare surface (api/compare.h) sweeps them explicitly.
 const std::vector<Method>& all_methods();
 
 struct Candidate {

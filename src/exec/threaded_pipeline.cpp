@@ -93,6 +93,13 @@ PipelineResult ThreadedPipeline::run_batch(const schedule::Schedule& sched,
         } else {
           fwd_boxes[cell(s + 1, m)].put(std::move(x));
         }
+      } else if (op.kind == OpKind::kBackwardWeight) {
+        // Split-backward schedules: the blocks compute weight gradients
+        // together with input gradients during kBackwardInput (the split
+        // is a scheduling construct this executor verifies for ordering,
+        // not a separate numeric kernel), so B_w is a no-op here and the
+        // bitwise gradient cross-check still holds.
+        continue;
       } else {
         Tensor dy;
         if (s == n_stages - 1) {

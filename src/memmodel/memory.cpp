@@ -92,6 +92,9 @@ MemoryEstimate estimate(const model::TransformerSpec& spec,
       ckpt_layers = full;
       break;
     case ScheduleKind::kOneFOneB:
+    case ScheduleKind::kUnbalanced:
+      // Unbalanced runs the 1F1B order; `layers_per_device` (a ceil) is
+      // already the worst-stage bound for the uneven partition.
       ckpt_layers = std::min(
           full, static_cast<double>(2 * cfg.n_pp - 1) * layers_per_device);
       break;
@@ -99,8 +102,34 @@ MemoryEstimate estimate(const model::TransformerSpec& spec,
       ckpt_layers = std::min(full, static_cast<double>(spec.n_layers) +
                                        cfg.n_pp - 1);
       break;
+    case ScheduleKind::kOneFOneBAsync:
+      // PipeDream keeps one extra micro-batch in flight per device.
+      ckpt_layers = std::min(
+          full, static_cast<double>(2 * cfg.n_pp) * layers_per_device);
+      break;
+    case ScheduleKind::kVSchedule:
+      // The controllable-memory point of the V shape: the greedy
+      // generator caps in-flight forwards at ~N_PP cells per device.
+      ckpt_layers =
+          std::min(full, static_cast<double>(cfg.n_pp) * layers_per_device);
+      break;
+    case ScheduleKind::kTwoBP:
+      // Weight gradients are deferred to the tail, so every micro-batch's
+      // checkpoints stay alive until then: breadth-first-like peak.
+      ckpt_layers = full;
+      break;
   }
   est.checkpoint_bytes = ckpt_layers * 2.0 * seq * cfg.s_mb * h / cfg.n_tp;
+
+  // ---- 2BP weight-gradient stash: each deferred B_w additionally needs
+  // its layer's upstream output gradient (an fp16 boundary tensor per
+  // layer per micro-batch) kept alive from B_x until the tail. This is
+  // the memory side of the deferral tradeoff.
+  if (cfg.schedule == ScheduleKind::kTwoBP) {
+    est.checkpoint_bytes +=
+        static_cast<double>(cfg.n_mb) * layers_per_device * 2.0 * seq *
+        cfg.s_mb * h / cfg.n_tp;
+  }
 
   // ---- Pipeline receive buffers: double-buffered input activations and
   // output gradients (fp16 boundary tensors).

@@ -17,6 +17,14 @@ const char* to_string(ScheduleKind kind) {
       return "Depth-first";
     case ScheduleKind::kBreadthFirst:
       return "Breadth-first";
+    case ScheduleKind::kOneFOneBAsync:
+      return "1F1B-async";
+    case ScheduleKind::kUnbalanced:
+      return "Unbalanced";
+    case ScheduleKind::kVSchedule:
+      return "V-schedule";
+    case ScheduleKind::kTwoBP:
+      return "2BP";
   }
   return "?";
 }
@@ -45,9 +53,20 @@ ScheduleKind parse_schedule_kind(const std::string& text) {
       s == "bf") {
     return ScheduleKind::kBreadthFirst;
   }
+  if (s == "1f1b-async" || s == "async" || s == "pipedream") {
+    return ScheduleKind::kOneFOneBAsync;
+  }
+  if (s == "unbalanced" || s == "bapipe") return ScheduleKind::kUnbalanced;
+  if (s == "v-schedule" || s == "vschedule" || s == "v") {
+    return ScheduleKind::kVSchedule;
+  }
+  if (s == "2bp" || s == "twobp" || s == "split-backward") {
+    return ScheduleKind::kTwoBP;
+  }
   throw ConfigError(str_format(
       "parallel: unknown schedule '%s' (expected gpipe, 1f1b, "
-      "depth-first/df or breadth-first/bf)",
+      "depth-first/df, breadth-first/bf, 1f1b-async, unbalanced, "
+      "v-schedule or 2bp)",
       text.c_str()));
 }
 
@@ -151,7 +170,10 @@ void validate(const ParallelConfig& cfg, const model::TransformerSpec& spec,
   check_config(cfg.n_stages() <= spec.n_layers,
                "parallel: more stages than layers");
   if (cfg.schedule == ScheduleKind::kGpipe ||
-      cfg.schedule == ScheduleKind::kOneFOneB) {
+      cfg.schedule == ScheduleKind::kOneFOneB ||
+      cfg.schedule == ScheduleKind::kOneFOneBAsync ||
+      cfg.schedule == ScheduleKind::kUnbalanced ||
+      cfg.schedule == ScheduleKind::kTwoBP) {
     check_config(cfg.n_loop == 1, "parallel: non-looped schedule needs N_loop=1");
   }
   if (cfg.schedule == ScheduleKind::kDepthFirst) {
@@ -159,6 +181,17 @@ void validate(const ParallelConfig& cfg, const model::TransformerSpec& spec,
     // of N_PP (micro-batches run in "sequences" of N_PP).
     check_config(cfg.n_mb % cfg.n_pp == 0,
                  "parallel: depth-first needs N_mb divisible by N_PP");
+  }
+  if (cfg.schedule == ScheduleKind::kVSchedule) {
+    // The V shape folds the pipeline exactly once: device r hosts stages
+    // r (down leg) and 2*N_PP-1-r (up leg), so N_loop is fixed at 2.
+    check_config(cfg.n_loop == 2, "parallel: V-schedule needs N_loop=2");
+  }
+  if (cfg.schedule == ScheduleKind::kTwoBP) {
+    // Deferred weight gradients are modelled without per-use sharded
+    // weight reconstruction; DP_FS would need a second gather for B_w.
+    check_config(cfg.sharding != DpSharding::kFull,
+                 "parallel: 2BP does not support DP_FS sharding");
   }
   if (cfg.n_pp > 1) {
     check_config(cfg.n_mb >= cfg.n_pp,
@@ -177,14 +210,100 @@ StagePlacement::StagePlacement(int n_layers, int n_pp, int n_loop)
                "placement: more stages than layers");
 }
 
+StagePlacement::StagePlacement(int n_layers, int n_pp, int n_loop,
+                               std::vector<int> device_of_stage,
+                               std::vector<int> layers_in_stage)
+    : StagePlacement(n_layers, n_pp, n_loop) {
+  check_config(static_cast<int>(device_of_stage.size()) == n_stages(),
+               "placement: device map size != N_stage");
+  check_config(static_cast<int>(layers_in_stage.size()) == n_stages(),
+               "placement: layer partition size != N_stage");
+  std::vector<int> stages_per_device(static_cast<size_t>(n_pp), 0);
+  for (int d : device_of_stage) {
+    check_config(d >= 0 && d < n_pp, "placement: device index out of range");
+    ++stages_per_device[static_cast<size_t>(d)];
+  }
+  for (int count : stages_per_device) {
+    check_config(count >= 1, "placement: device hosts no stage");
+  }
+  int total = 0;
+  for (int l : layers_in_stage) {
+    check_config(l >= 1, "placement: stage with no layers");
+    total += l;
+  }
+  check_config(total == n_layers, "placement: layer partition != N_layer");
+  device_map_ = std::move(device_of_stage);
+  layers_ = std::move(layers_in_stage);
+  first_layer_.resize(layers_.size());
+  int first = 0;
+  for (size_t s = 0; s < layers_.size(); ++s) {
+    first_layer_[s] = first;
+    first += layers_[s];
+  }
+}
+
+StagePlacement StagePlacement::for_config(int n_layers,
+                                          const ParallelConfig& cfg,
+                                          double tail_extra_layers) {
+  const int n_stages = cfg.n_stages();
+  if (cfg.schedule == ScheduleKind::kVSchedule && cfg.n_pp > 1) {
+    // Fold the pipeline: device r hosts stages r and 2*N_PP-1-r, so the
+    // backward of the up leg lands on the device that just forwarded it.
+    std::vector<int> device(static_cast<size_t>(n_stages));
+    std::vector<int> layers(static_cast<size_t>(n_stages));
+    const int base = n_layers / n_stages;
+    const int remainder = n_layers % n_stages;
+    for (int s = 0; s < n_stages; ++s) {
+      device[static_cast<size_t>(s)] = s < cfg.n_pp ? s : n_stages - 1 - s;
+      layers[static_cast<size_t>(s)] = base + (s < remainder ? 1 : 0);
+    }
+    return StagePlacement(n_layers, cfg.n_pp, cfg.n_loop, std::move(device),
+                          std::move(layers));
+  }
+  if (cfg.schedule == ScheduleKind::kUnbalanced) {
+    // BaPipe-style compute balancing: treat the model as N_layer unit
+    // layers plus `tail_extra_layers` of head work pinned after the last
+    // layer, and cut at equal effective-work boundaries. The last stage
+    // absorbs the head and therefore gets fewer layers. Every stage keeps
+    // at least one layer; cuts are clamped to stay monotone.
+    const double work = static_cast<double>(n_layers) + tail_extra_layers;
+    std::vector<int> cuts(static_cast<size_t>(n_stages) + 1, 0);
+    cuts[static_cast<size_t>(n_stages)] = n_layers;
+    for (int s = 1; s < n_stages; ++s) {
+      const int ideal = static_cast<int>(
+          work * static_cast<double>(s) / static_cast<double>(n_stages) + 0.5);
+      const int lo = cuts[static_cast<size_t>(s) - 1] + 1;
+      const int hi = n_layers - (n_stages - s);
+      cuts[static_cast<size_t>(s)] = std::clamp(ideal, lo, hi);
+    }
+    std::vector<int> device(static_cast<size_t>(n_stages));
+    std::vector<int> layers(static_cast<size_t>(n_stages));
+    for (int s = 0; s < n_stages; ++s) {
+      device[static_cast<size_t>(s)] = s % cfg.n_pp;
+      layers[static_cast<size_t>(s)] =
+          cuts[static_cast<size_t>(s) + 1] - cuts[static_cast<size_t>(s)];
+    }
+    return StagePlacement(n_layers, cfg.n_pp, cfg.n_loop, std::move(device),
+                          std::move(layers));
+  }
+  return StagePlacement(n_layers, cfg.n_pp, cfg.n_loop);
+}
+
 int StagePlacement::device_of_stage(int stage) const {
   check(stage >= 0 && stage < n_stages(), "placement: stage out of range");
+  if (!device_map_.empty()) return device_map_[static_cast<size_t>(stage)];
   return stage % n_pp_;
 }
 
 std::vector<int> StagePlacement::stages_of_device(int device) const {
   check(device >= 0 && device < n_pp_, "placement: device out of range");
   std::vector<int> stages;
+  if (!device_map_.empty()) {
+    for (int s = 0; s < n_stages(); ++s) {
+      if (device_map_[static_cast<size_t>(s)] == device) stages.push_back(s);
+    }
+    return stages;
+  }
   stages.reserve(static_cast<size_t>(n_loop_));
   for (int l = 0; l < n_loop_; ++l) stages.push_back(device + l * n_pp_);
   return stages;
@@ -192,6 +311,7 @@ std::vector<int> StagePlacement::stages_of_device(int device) const {
 
 int StagePlacement::layers_in_stage(int stage) const {
   check(stage >= 0 && stage < n_stages(), "placement: stage out of range");
+  if (!layers_.empty()) return layers_[static_cast<size_t>(stage)];
   const int base = n_layers_ / n_stages();
   const int remainder = n_layers_ % n_stages();
   return base + (stage < remainder ? 1 : 0);
@@ -199,9 +319,18 @@ int StagePlacement::layers_in_stage(int stage) const {
 
 int StagePlacement::first_layer_of_stage(int stage) const {
   check(stage >= 0 && stage < n_stages(), "placement: stage out of range");
+  if (!first_layer_.empty()) return first_layer_[static_cast<size_t>(stage)];
   const int base = n_layers_ / n_stages();
   const int remainder = n_layers_ % n_stages();
   return stage * base + std::min(stage, remainder);
+}
+
+int StagePlacement::max_layers_per_device() const {
+  std::vector<int> per_device(static_cast<size_t>(n_pp_), 0);
+  for (int s = 0; s < n_stages(); ++s) {
+    per_device[static_cast<size_t>(device_of_stage(s))] += layers_in_stage(s);
+  }
+  return *std::max_element(per_device.begin(), per_device.end());
 }
 
 DeviceGrid::DeviceGrid(const ParallelConfig& cfg,

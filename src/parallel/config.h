@@ -20,12 +20,20 @@ namespace bfpp::parallel {
 
 // Pipeline schedule. GPipe and 1F1B are the non-looped baselines
 // (Section 3.2); depth-first is the Megatron-LM interleaved schedule of
-// Narayanan et al.; breadth-first is the paper's contribution.
+// Narayanan et al.; breadth-first is the paper's contribution. The last
+// four are rival families from the related work (see docs/SCHEDULES.md):
+// PipeDream's async-ordered 1F1B, BaPipe's unbalanced stage partitioning,
+// the controllable-memory V-schedule of Qi et al., and 2BP's split
+// backward with deferred weight gradients.
 enum class ScheduleKind {
   kGpipe,
   kOneFOneB,
   kDepthFirst,
   kBreadthFirst,
+  kOneFOneBAsync,
+  kUnbalanced,
+  kVSchedule,
+  kTwoBP,
 };
 
 // Data-parallel sharding (Section 3.1 / ZeRO stages).
@@ -97,13 +105,30 @@ void validate(const ParallelConfig& cfg, const model::TransformerSpec& spec,
 
 // ---- Stage placement (Figure 3) ----
 
-// Placement of N_stage = N_PP * N_loop stages on N_PP devices. Stage s
-// lives on device s % N_PP (the looping placement of Figure 3b; with
-// N_loop == 1 this reduces to the standard placement of Figure 3a) and
-// holds a contiguous chunk of layers.
+// Placement of N_stage = N_PP * N_loop stages on N_PP devices. The
+// default placement puts stage s on device s % N_PP (the looping
+// placement of Figure 3b; with N_loop == 1 this reduces to the standard
+// placement of Figure 3a) and splits layers near-evenly. An explicit
+// placement lifts both assumptions: any stage->device map (V-schedules
+// fold the pipeline so device r hosts stages r and 2*N_PP-1-r) and any
+// uneven layer split (BaPipe-style compute balancing).
 class StagePlacement {
  public:
   StagePlacement(int n_layers, int n_pp, int n_loop);
+  // Explicit placement: `device_of_stage` maps every stage to its device
+  // and `layers_in_stage` gives its (>= 1) layer count, summing to
+  // `n_layers`. Every device must host at least one stage.
+  StagePlacement(int n_layers, int n_pp, int n_loop,
+                 std::vector<int> device_of_stage,
+                 std::vector<int> layers_in_stage);
+
+  // Placement implied by `cfg.schedule`: the looping default for the
+  // paper's schedules, folded (V) or compute-balanced uneven (unbalanced)
+  // for the rival families. `tail_extra_layers` is the cost of the
+  // language-model head in layer-equivalents; the unbalanced partition
+  // gives the last stage correspondingly fewer layers.
+  static StagePlacement for_config(int n_layers, const ParallelConfig& cfg,
+                                   double tail_extra_layers = 0.0);
 
   [[nodiscard]] int n_stages() const { return n_pp_ * n_loop_; }
   [[nodiscard]] int n_pp() const { return n_pp_; }
@@ -114,15 +139,25 @@ class StagePlacement {
   // Stages hosted by device `r`, in execution (loop) order.
   [[nodiscard]] std::vector<int> stages_of_device(int device) const;
   // Number of transformer layers in stage `s` (near-identical split:
-  // remainder layers go to the earliest stages).
+  // remainder layers go to the earliest stages) unless an explicit
+  // partition was given.
   [[nodiscard]] int layers_in_stage(int stage) const;
   // First layer index of stage `s`.
   [[nodiscard]] int first_layer_of_stage(int stage) const;
+  // Largest per-device layer count under this placement (memory bound).
+  [[nodiscard]] int max_layers_per_device() const;
+  // Stage->device map in Schedule form: empty for the looping default.
+  [[nodiscard]] const std::vector<int>& explicit_device_map() const {
+    return device_map_;
+  }
 
  private:
   int n_layers_;
   int n_pp_;
   int n_loop_;
+  std::vector<int> device_map_;   // empty => stage % n_pp
+  std::vector<int> layers_;       // empty => near-even split
+  std::vector<int> first_layer_;  // prefix sums of layers_ (same emptiness)
 };
 
 // ---- Device grid topology ----

@@ -32,9 +32,26 @@ schedule::Schedule effective_schedule(const parallel::ParallelConfig& cfg) {
       case ScheduleKind::kDepthFirst:
       case ScheduleKind::kOneFOneB:
         return schedule::grad_accumulation_depth_first(cfg.n_loop, cfg.n_mb);
+      case ScheduleKind::kOneFOneBAsync:
+      case ScheduleKind::kUnbalanced:
+      case ScheduleKind::kVSchedule:
+      case ScheduleKind::kTwoBP:
+        break;  // the zoo generators handle n_pp == 1 directly
     }
   }
   return schedule::make_schedule(cfg.schedule, cfg.n_pp, cfg.n_loop, cfg.n_mb);
+}
+
+// Placement implied by the schedule family, with the head's cost in
+// layer-equivalents so unbalanced partitions can compensate it.
+parallel::StagePlacement family_placement(const model::TransformerSpec& spec,
+                                          const parallel::ParallelConfig& cfg) {
+  const double layer_work = spec.layer_forward_flops_per_token() +
+                            spec.layer_backward_flops_per_token();
+  const double head_work = spec.head_forward_flops_per_token() +
+                           spec.head_backward_flops_per_token();
+  return parallel::StagePlacement::for_config(spec.n_layers, cfg,
+                                              head_work / layer_work);
 }
 
 // Non-overlapped per-reconstruction cost charged to the compute stream
@@ -53,7 +70,7 @@ PipelineSim::PipelineSim(model::TransformerSpec spec,
       cfg_(cfg),
       cluster_(std::move(cluster)),
       kernel_(kernel),
-      placement_(spec_.n_layers, cfg_.n_pp, cfg_.n_loop) {}
+      placement_(family_placement(spec_, cfg_)) {}
 
 double PipelineSim::stage_flops(int stage, bool forward) const {
   const double tokens = static_cast<double>(cfg_.s_mb) * spec_.seq_len;
@@ -96,6 +113,26 @@ double PipelineSim::backward_op_seconds(int stage) const {
   return stage_flops(stage, /*forward=*/false) /
              (cluster_.gpu.peak_flops * eff) +
          placement_.layers_in_stage(stage) * tp_comm_seconds();
+}
+
+double PipelineSim::backward_input_op_seconds(int stage) const {
+  const double tokens = static_cast<double>(cfg_.s_mb) * spec_.seq_len;
+  const double eff = kernel_.efficiency(
+      tokens, hw::KernelModel::narrow_dim(spec_.hidden_size, cfg_.n_tp));
+  // Recompute (1x forward) + input gradient (1x) out of the fused
+  // backward's 3x forward flops; the recompute repeats the forward
+  // all-reduces, so B_x carries all the TP communication.
+  return (2.0 / 3.0) * stage_flops(stage, /*forward=*/false) /
+             (cluster_.gpu.peak_flops * eff) +
+         placement_.layers_in_stage(stage) * tp_comm_seconds();
+}
+
+double PipelineSim::backward_weight_op_seconds(int stage) const {
+  const double tokens = static_cast<double>(cfg_.s_mb) * spec_.seq_len;
+  const double eff = kernel_.efficiency(
+      tokens, hw::KernelModel::narrow_dim(spec_.hidden_size, cfg_.n_tp));
+  return (1.0 / 3.0) * stage_flops(stage, /*forward=*/false) /
+         (cluster_.gpu.peak_flops * eff);
 }
 
 double PipelineSim::stage_payload_bytes(int stage) const {
@@ -178,8 +215,12 @@ void PipelineSim::build() {
            static_cast<size_t>(mb);
   };
   const size_t n_cells = static_cast<size_t>(n_stages) * n_mb;
+  const bool split = sched.split_backward;
   std::vector<TaskId> fwd_task(n_cells, sim::kInvalidTask);
+  // The upstream-blocking backward: fused B, or B_x when split.
   std::vector<TaskId> bwd_task(n_cells, sim::kInvalidTask);
+  // Deferred weight gradients (split-backward schedules only).
+  std::vector<TaskId> bwd_w_task(split ? n_cells : 0, sim::kInvalidTask);
   std::vector<TaskId> fwd_edge(n_cells, sim::kInvalidTask);  // into stage s
   std::vector<TaskId> bwd_edge(n_cells, sim::kInvalidTask);  // into stage s
   // Rendezvous markers for blocking (non-overlapped) transfers: the wire
@@ -192,6 +233,7 @@ void PipelineSim::build() {
     for (int m = 0; m < n_mb; ++m) {
       fwd_task[idx(s, m)] = graph_.reserve_task();
       bwd_task[idx(s, m)] = graph_.reserve_task();
+      if (split) bwd_w_task[idx(s, m)] = graph_.reserve_task();
       if (s > 0 && placement_.device_of_stage(s - 1) !=
                        placement_.device_of_stage(s)) {
         fwd_edge[idx(s, m)] = graph_.reserve_task();
@@ -205,14 +247,17 @@ void PipelineSim::build() {
     }
   }
 
-  // Last backward op index per (device, stage), for DP_0/DP_PS overlapped
-  // gradient reduction.
+  // Last gradient-producing op index per (device, stage), for DP_0/DP_PS
+  // overlapped gradient reduction. With split backward a stage's
+  // gradients are final only after its last weight-gradient op.
+  const OpKind final_grad_kind =
+      split ? OpKind::kBackwardWeight : OpKind::kBackward;
   std::vector<std::map<int, size_t>> last_bwd_of_stage(
       static_cast<size_t>(n_pp));
   for (int r = 0; r < n_pp; ++r) {
     const auto& ops = sched.device_ops[static_cast<size_t>(r)];
     for (size_t i = 0; i < ops.size(); ++i) {
-      if (ops[i].kind == OpKind::kBackward)
+      if (ops[i].kind == final_grad_kind)
         last_bwd_of_stage[static_cast<size_t>(r)][ops[i].stage] = i;
     }
   }
@@ -288,10 +333,13 @@ void PipelineSim::build() {
           // previous run's compute is done.
           const Run& prev = runs[run_index - 1];
           const Op& prev_last = ops[prev.last];
+          const size_t prev_idx = idx(prev_last.stage, prev_last.micro_batch);
           const TaskId prev_task =
               prev_last.kind == OpKind::kForward
-                  ? fwd_task[idx(prev_last.stage, prev_last.micro_batch)]
-                  : bwd_task[idx(prev_last.stage, prev_last.micro_batch)];
+                  ? fwd_task[prev_idx]
+                  : (prev_last.kind == OpKind::kBackwardWeight
+                         ? bwd_w_task[prev_idx]
+                         : bwd_task[prev_idx]);
           post_gather(run_index + 1, {prev_task});
         }
         deps.push_back(run_gather[run_index]);
@@ -322,6 +370,14 @@ void PipelineSim::build() {
             fwd_task[idx(s, m)], cs, forward_op_seconds(s) + op_stall,
             std::move(deps),
             {str_format("F s%d m%d", s, m), TaskKind::kForward, s, m});
+      } else if (op.kind == OpKind::kBackwardWeight) {
+        // Deferred weight gradient: local work, gated only on its own
+        // B_x (which stashed the output gradient).
+        deps.push_back(bwd_task[idx(s, m)]);
+        graph_.define_task(
+            bwd_w_task[idx(s, m)], cs, backward_weight_op_seconds(s) + op_stall,
+            std::move(deps),
+            {str_format("Bw s%d m%d", s, m), TaskKind::kBackwardWeight, s, m});
       } else {
         deps.push_back(fwd_task[idx(s, m)]);  // stashed boundary activation
         if (s < n_stages - 1) {
@@ -342,16 +398,22 @@ void PipelineSim::build() {
             deps.push_back(edge);
           }
         }
+        const bool fused = op.kind == OpKind::kBackward;
         graph_.define_task(
-            bwd_task[idx(s, m)], cs, backward_op_seconds(s) + op_stall,
+            bwd_task[idx(s, m)], cs,
+            (fused ? backward_op_seconds(s) : backward_input_op_seconds(s)) +
+                op_stall,
             std::move(deps),
-            {str_format("B s%d m%d", s, m), TaskKind::kBackward, s, m});
+            {str_format(fused ? "B s%d m%d" : "Bx s%d m%d", s, m),
+             fused ? TaskKind::kBackward : TaskKind::kBackwardInput, s, m});
       }
 
       // Outgoing cross-device transfer of the op's boundary tensor.
+      const bool backward_edge_op = op.kind == OpKind::kBackward ||
+                                    op.kind == OpKind::kBackwardInput;
       const bool sends_fwd = op.kind == OpKind::kForward && s < n_stages - 1 &&
                              placement_.device_of_stage(s + 1) != r;
-      const bool sends_bwd = op.kind == OpKind::kBackward && s > 0 &&
+      const bool sends_bwd = backward_edge_op && s > 0 &&
                              placement_.device_of_stage(s - 1) != r;
       if (sends_fwd || sends_bwd) {
         const int peer = sends_fwd ? placement_.device_of_stage(s + 1)
@@ -382,19 +444,22 @@ void PipelineSim::build() {
             {str_format("xfer s%d m%d", s, m), TaskKind::kP2P, s, m});
       }
 
-      // Gradient reduction.
-      if (has_dp && op.kind == OpKind::kBackward) {
+      // Gradient reduction, keyed on the op that finalizes a stage's
+      // gradients (the fused backward, or the weight gradient when split).
+      if (has_dp && op.kind == final_grad_kind) {
+        const TaskId grad_task =
+            split ? bwd_w_task[idx(s, m)] : bwd_task[idx(s, m)];
         if (fs) {
           // Reduce-scatter at the end of each backward run.
           const bool run_end = i + 1 == ops.size() ||
                                ops[i + 1].stage != s ||
-                               ops[i + 1].kind != OpKind::kBackward;
+                               ops[i + 1].kind != final_grad_kind;
           if (run_end) {
             reduce_tasks.push_back(graph_.add_task(
                 ds,
                 collectives::reduce_scatter_time(
                     dp_tier, stage_payload_bytes(s), cfg_.n_dp),
-                {bwd_task[idx(s, m)]},
+                {grad_task},
                 {str_format("G s%d", s), TaskKind::kGradReduce, s, -1}));
           }
         } else if (cfg_.overlap_dp) {
@@ -407,7 +472,7 @@ void PipelineSim::build() {
                     : collectives::reduce_scatter_time(dp_tier, payload,
                                                        cfg_.n_dp);
             reduce_tasks.push_back(graph_.add_task(
-                ds, dur, {bwd_task[idx(s, m)]},
+                ds, dur, {grad_task},
                 {str_format("G s%d", s), TaskKind::kGradReduce, s, -1}));
           }
         }

@@ -83,6 +83,12 @@ class PipelineSim {
   // the non-overlapped tensor-parallel communication).
   [[nodiscard]] double forward_op_seconds(int stage) const;
   [[nodiscard]] double backward_op_seconds(int stage) const;
+  // Split-backward (2BP) components. B_x is the recompute plus input
+  // gradient (2/3 of the fused backward flops, all of its TP comm); B_w
+  // is the weight gradient (the remaining 1/3, no extra comm). Together
+  // they cost the same flops as the fused backward.
+  [[nodiscard]] double backward_input_op_seconds(int stage) const;
+  [[nodiscard]] double backward_weight_op_seconds(int stage) const;
   // Per-GPU payload bytes of one stage's gradients / weights.
   [[nodiscard]] double stage_payload_bytes(int stage) const;
   // Bytes of the boundary activation a pipeline transfer moves.

@@ -17,18 +17,60 @@ void check_shape(int n_pp, int n_loop, int n_mb) {
   check_config(n_mb >= 1, "schedule: n_mb must be >= 1");
 }
 
-Schedule make_empty(int n_pp, int n_loop, int n_mb) {
+Schedule make_empty(int n_pp, int n_loop, int n_mb, int passes = 2) {
   Schedule s;
   s.n_pp = n_pp;
   s.n_loop = n_loop;
   s.n_mb = n_mb;
+  s.split_backward = passes == 3;
   s.device_ops.resize(static_cast<size_t>(n_pp));
   for (auto& ops : s.device_ops)
-    ops.reserve(static_cast<size_t>(2 * n_loop * n_mb));
+    ops.reserve(static_cast<size_t>(passes * n_loop * n_mb));
   return s;
 }
 
 }  // namespace
+
+const std::vector<FamilyInfo>& all_families() {
+  using parallel::ScheduleKind;
+  static const std::vector<FamilyInfo> kFamilies = {
+      {Family::kGpipe, ScheduleKind::kGpipe, "GPipe",
+       "Huang et al. 2019, GPipe"},
+      {Family::kOneFOneB, ScheduleKind::kOneFOneB, "1F1B",
+       "Narayanan et al. 2021, PipeDream-Flush / Megatron-LM"},
+      {Family::kDepthFirst, ScheduleKind::kDepthFirst, "Depth-first",
+       "Narayanan et al. 2021, Megatron-LM interleaved"},
+      {Family::kBreadthFirst, ScheduleKind::kBreadthFirst, "Breadth-first",
+       "Lamy-Poirier 2023, Breadth-First Pipeline Parallelism"},
+      {Family::kOneFOneBAsync, ScheduleKind::kOneFOneBAsync, "1F1B-async",
+       "Harlap et al. 2018, PipeDream"},
+      {Family::kUnbalanced, ScheduleKind::kUnbalanced, "Unbalanced",
+       "Kim et al. 2020, BaPipe"},
+      {Family::kVSchedule, ScheduleKind::kVSchedule, "V-schedule",
+       "Qi et al. 2024, controllable-memory pipelines"},
+      {Family::kTwoBP, ScheduleKind::kTwoBP, "2BP",
+       "Rae et al. 2024, 2BP split backward"},
+  };
+  return kFamilies;
+}
+
+const FamilyInfo& family_info(Family family) {
+  for (const FamilyInfo& info : all_families()) {
+    if (info.family == family) return info;
+  }
+  throw Error("family_info: unknown family");
+}
+
+Family family_of(parallel::ScheduleKind kind) {
+  for (const FamilyInfo& info : all_families()) {
+    if (info.kind == kind) return info.family;
+  }
+  throw Error("family_of: unknown schedule kind");
+}
+
+Family parse_family(const std::string& text) {
+  return family_of(parallel::parse_schedule_kind(text));
+}
 
 Schedule breadth_first(int n_pp, int n_loop, int n_mb) {
   check_shape(n_pp, n_loop, n_mb);
@@ -157,6 +199,142 @@ Schedule one_f_one_b(int n_pp, int n_mb) {
   return s;
 }
 
+Schedule one_f_one_b_async(int n_pp, int n_mb) {
+  check_shape(n_pp, 1, n_mb);
+  Schedule s = make_empty(n_pp, 1, n_mb);
+  for (int r = 0; r < n_pp; ++r) {
+    auto& ops = s.device_ops[static_cast<size_t>(r)];
+    // PipeDream keeps one more micro-batch in flight than 1F1B: the last
+    // device warms up with one forward instead of none.
+    const int warmup = std::min(n_mb, n_pp - r);
+    for (int m = 0; m < warmup; ++m) ops.push_back({OpKind::kForward, r, m});
+    for (int f = warmup; f < n_mb; ++f) {
+      ops.push_back({OpKind::kForward, r, f});
+      ops.push_back({OpKind::kBackward, r, f - warmup});
+    }
+    for (int m = n_mb - warmup; m < n_mb; ++m)
+      ops.push_back({OpKind::kBackward, r, m});
+  }
+  return s;
+}
+
+Schedule unbalanced(int n_pp, int n_mb) {
+  Schedule s = one_f_one_b(n_pp, n_mb);
+  // The explicit (identity) map is what downstream consumers key on to
+  // drop the looping-ownership assumption; the uneven layer partition
+  // itself comes from StagePlacement::for_config.
+  s.stage_device.resize(static_cast<size_t>(n_pp));
+  for (int st = 0; st < n_pp; ++st)
+    s.stage_device[static_cast<size_t>(st)] = st;
+  return s;
+}
+
+Schedule v_schedule(int n_pp, int n_mb, int in_flight_budget) {
+  check_shape(n_pp, 2, n_mb);
+  const int n_stages = 2 * n_pp;
+  Schedule s = make_empty(n_pp, 2, n_mb);
+  s.stage_device.resize(static_cast<size_t>(n_stages));
+  for (int st = 0; st < n_stages; ++st) {
+    s.stage_device[static_cast<size_t>(st)] =
+        st < n_pp ? st : n_stages - 1 - st;
+  }
+  const int budget = in_flight_budget > 0 ? in_flight_budget : n_pp;
+
+  // Deterministic greedy emission: round-robin over devices, each round a
+  // device emits at most one op whose dependencies are already emitted.
+  // Any emitted order whose ops were ready at emission time is executable
+  // under blocking in-order execution, so the result cannot deadlock.
+  std::vector<std::vector<bool>> fwd(
+      static_cast<size_t>(n_stages),
+      std::vector<bool>(static_cast<size_t>(n_mb), false));
+  std::vector<std::vector<bool>> bwd = fwd;
+  std::vector<int> in_flight(static_cast<size_t>(n_pp), 0);
+  auto fwd_ready = [&](int st, int m) {
+    return !fwd[static_cast<size_t>(st)][static_cast<size_t>(m)] &&
+           (st == 0 ||
+            fwd[static_cast<size_t>(st) - 1][static_cast<size_t>(m)]);
+  };
+  auto bwd_ready = [&](int st, int m) {
+    return !bwd[static_cast<size_t>(st)][static_cast<size_t>(m)] &&
+           fwd[static_cast<size_t>(st)][static_cast<size_t>(m)] &&
+           (st == n_stages - 1 ||
+            bwd[static_cast<size_t>(st) + 1][static_cast<size_t>(m)]);
+  };
+
+  int remaining = 2 * n_stages * n_mb;
+  while (remaining > 0) {
+    bool progress = false;
+    for (int r = 0; r < n_pp; ++r) {
+      const int down = r;               // down-leg stage of device r
+      const int up = n_stages - 1 - r;  // up-leg stage of device r
+      // First ready forward, earliest micro-batch first, down leg before
+      // up leg; first ready backward, earliest micro-batch, up leg first.
+      Op fwd_op{}, bwd_op{};
+      bool has_fwd = false, has_bwd = false;
+      for (int m = 0; m < n_mb && !has_fwd; ++m) {
+        for (int st : {down, up}) {
+          if (fwd_ready(st, m)) {
+            fwd_op = {OpKind::kForward, st, m};
+            has_fwd = true;
+            break;
+          }
+        }
+      }
+      for (int m = 0; m < n_mb && !has_bwd; ++m) {
+        for (int st : {up, down}) {
+          if (bwd_ready(st, m)) {
+            bwd_op = {OpKind::kBackward, st, m};
+            has_bwd = true;
+            break;
+          }
+        }
+      }
+      // Prefer backward once the in-flight budget is reached (the
+      // controllable-memory knob); fall back to forward to keep global
+      // progress whenever no backward is ready.
+      const bool take_bwd =
+          has_bwd && (in_flight[static_cast<size_t>(r)] >= budget || !has_fwd);
+      if (take_bwd) {
+        s.device_ops[static_cast<size_t>(r)].push_back(bwd_op);
+        bwd[static_cast<size_t>(bwd_op.stage)]
+           [static_cast<size_t>(bwd_op.micro_batch)] = true;
+        --in_flight[static_cast<size_t>(r)];
+      } else if (has_fwd) {
+        s.device_ops[static_cast<size_t>(r)].push_back(fwd_op);
+        fwd[static_cast<size_t>(fwd_op.stage)]
+           [static_cast<size_t>(fwd_op.micro_batch)] = true;
+        ++in_flight[static_cast<size_t>(r)];
+      } else {
+        continue;
+      }
+      --remaining;
+      progress = true;
+    }
+    check(progress, "v_schedule: greedy emission stalled");
+  }
+  return s;
+}
+
+Schedule two_bp(int n_pp, int n_mb) {
+  check_shape(n_pp, 1, n_mb);
+  Schedule s = make_empty(n_pp, 1, n_mb, /*passes=*/3);
+  for (int r = 0; r < n_pp; ++r) {
+    auto& ops = s.device_ops[static_cast<size_t>(r)];
+    const int warmup = std::min(n_mb, n_pp - r - 1);
+    for (int m = 0; m < warmup; ++m) ops.push_back({OpKind::kForward, r, m});
+    for (int f = warmup; f < n_mb; ++f) {
+      ops.push_back({OpKind::kForward, r, f});
+      ops.push_back({OpKind::kBackwardInput, r, f - warmup});
+    }
+    for (int m = n_mb - warmup; m < n_mb; ++m)
+      ops.push_back({OpKind::kBackwardInput, r, m});
+    // Weight gradients deferred to the tail: they block nobody upstream.
+    for (int m = 0; m < n_mb; ++m)
+      ops.push_back({OpKind::kBackwardWeight, r, m});
+  }
+  return s;
+}
+
 Schedule grad_accumulation_depth_first(int n_stages, int n_mb) {
   check_shape(1, n_stages, n_mb);
   Schedule s = make_empty(1, n_stages, n_mb);
@@ -187,6 +365,18 @@ Schedule make_schedule(parallel::ScheduleKind kind, int n_pp, int n_loop,
       return depth_first(n_pp, n_loop, n_mb);
     case parallel::ScheduleKind::kBreadthFirst:
       return breadth_first(n_pp, n_loop, n_mb);
+    case parallel::ScheduleKind::kOneFOneBAsync:
+      check_config(n_loop == 1, "1F1B-async requires n_loop == 1");
+      return one_f_one_b_async(n_pp, n_mb);
+    case parallel::ScheduleKind::kUnbalanced:
+      check_config(n_loop == 1, "Unbalanced requires n_loop == 1");
+      return unbalanced(n_pp, n_mb);
+    case parallel::ScheduleKind::kVSchedule:
+      check_config(n_loop == 2, "V-schedule requires n_loop == 2");
+      return v_schedule(n_pp, n_mb);
+    case parallel::ScheduleKind::kTwoBP:
+      check_config(n_loop == 1, "2BP requires n_loop == 1");
+      return two_bp(n_pp, n_mb);
   }
   throw Error("make_schedule: unknown schedule kind");
 }
@@ -196,37 +386,68 @@ void validate(const Schedule& s) {
         "schedule: device count mismatch");
   const int n_stages = s.n_stages();
 
-  // 1. Completeness and ownership.
+  // 1. Placement: the stage->device map must assign every stage to a
+  // valid device and leave no device idle (a stage gap on one device
+  // means another hosts too much; an empty device is a hole in the
+  // pipeline either way).
+  if (!s.stage_device.empty()) {
+    check(static_cast<int>(s.stage_device.size()) == n_stages,
+          "schedule: stage-device map size mismatch");
+    for (int d : s.stage_device) {
+      check(d >= 0 && d < s.n_pp,
+            str_format("schedule: stage mapped to invalid device %d", d));
+    }
+  }
+  std::vector<int> owned(static_cast<size_t>(s.n_pp), 0);
+  for (int st = 0; st < n_stages; ++st) ++owned[static_cast<size_t>(s.device_of(st))];
+  for (int r = 0; r < s.n_pp; ++r) {
+    check(owned[static_cast<size_t>(r)] >= 1,
+          str_format("schedule: device %d hosts no stage (stage gap)", r));
+  }
+
+  // 2. Completeness and ownership.
   for (int r = 0; r < s.n_pp; ++r) {
     std::set<std::tuple<int, int, int>> seen;
     for (const Op& op : s.device_ops[static_cast<size_t>(r)]) {
       check(op.stage >= 0 && op.stage < n_stages,
             str_format("schedule: stage %d out of range", op.stage));
-      check(op.stage % s.n_pp == r,
+      check(s.device_of(op.stage) == r,
             str_format("schedule: stage %d does not belong to device %d",
                        op.stage, r));
       check(op.micro_batch >= 0 && op.micro_batch < s.n_mb,
             "schedule: micro-batch out of range");
+      if (s.split_backward) {
+        check(op.kind != OpKind::kBackward,
+              "schedule: fused backward in a split-backward schedule");
+      } else {
+        check(op.kind != OpKind::kBackwardInput &&
+                  op.kind != OpKind::kBackwardWeight,
+              "schedule: split backward op in a fused-backward schedule");
+      }
       const bool inserted =
           seen.insert({static_cast<int>(op.kind), op.stage, op.micro_batch})
               .second;
       check(inserted, str_format("schedule: duplicate op (stage %d, mb %d)",
                                  op.stage, op.micro_batch));
     }
-    check(static_cast<int>(seen.size()) == 2 * s.n_loop * s.n_mb,
+    const int expected = s.passes() * owned[static_cast<size_t>(r)] * s.n_mb;
+    check(static_cast<int>(seen.size()) == expected,
           str_format("schedule: device %d has %zu ops, expected %d", r,
-                     seen.size(), 2 * s.n_loop * s.n_mb));
+                     seen.size(), expected));
   }
 
-  // 2 & 3. Executability under blocking in-order execution. This also
+  // 3. Executability under blocking in-order execution. This also
   // subsumes local ordering (a B before its own F would deadlock).
   std::vector<size_t> next(static_cast<size_t>(s.n_pp), 0);
-  std::vector<std::vector<bool>> fwd_done(
-      static_cast<size_t>(n_stages),
-      std::vector<bool>(static_cast<size_t>(s.n_mb), false));
-  std::vector<std::vector<bool>> bwd_done(
-      static_cast<size_t>(n_stages),
-      std::vector<bool>(static_cast<size_t>(s.n_mb), false));
+  const auto make_grid = [&] {
+    return std::vector<std::vector<bool>>(
+        static_cast<size_t>(n_stages),
+        std::vector<bool>(static_cast<size_t>(s.n_mb), false));
+  };
+  auto fwd_done = make_grid();
+  // Completion of the upstream-blocking backward: kBackward when fused,
+  // kBackwardInput when split.
+  auto bwd_done = make_grid();
 
   bool progress = true;
   while (progress) {
@@ -237,15 +458,32 @@ void validate(const Schedule& s) {
         const Op& op = ops[next[static_cast<size_t>(r)]];
         const auto st = static_cast<size_t>(op.stage);
         const auto mb = static_cast<size_t>(op.micro_batch);
-        bool ready;
-        if (op.kind == OpKind::kForward) {
-          ready = op.stage == 0 || fwd_done[st - 1][mb];
-        } else {
-          ready = fwd_done[st][mb] &&
-                  (op.stage == n_stages - 1 || bwd_done[st + 1][mb]);
+        bool ready = false;
+        switch (op.kind) {
+          case OpKind::kForward:
+            ready = op.stage == 0 || fwd_done[st - 1][mb];
+            break;
+          case OpKind::kBackward:
+          case OpKind::kBackwardInput:
+            ready = fwd_done[st][mb] &&
+                    (op.stage == n_stages - 1 || bwd_done[st + 1][mb]);
+            break;
+          case OpKind::kBackwardWeight:
+            ready = bwd_done[st][mb];
+            break;
         }
         if (!ready) break;
-        (op.kind == OpKind::kForward ? fwd_done : bwd_done)[st][mb] = true;
+        switch (op.kind) {
+          case OpKind::kForward:
+            fwd_done[st][mb] = true;
+            break;
+          case OpKind::kBackward:
+          case OpKind::kBackwardInput:
+            bwd_done[st][mb] = true;
+            break;
+          case OpKind::kBackwardWeight:
+            break;  // nothing downstream waits on a weight gradient
+        }
         ++next[static_cast<size_t>(r)];
         progress = true;
       }

@@ -2,15 +2,29 @@
 //
 // A Schedule is, for each pipeline device, the exact order in which that
 // device runs its compute work: Forward(stage, micro_batch) and
-// Backward(stage, micro_batch) operations. Stages are placed with the
-// looping placement of Figure 3b (stage s on device s mod N_PP), so with
-// N_loop == 1 the generators below reduce to the classic non-looped
-// schedules:
+// Backward(stage, micro_batch) operations. By default stages are placed
+// with the looping placement of Figure 3b (stage s on device s mod N_PP),
+// so with N_loop == 1 the generators below reduce to the classic
+// non-looped schedules:
 //
 //   breadth_first(n_pp, 1, n_mb)  == GPipe          (Figure 4a)
 //   depth_first(n_pp, 1, n_mb)    == 1F1B           (Figure 4b)
 //   depth_first(n_pp, L, n_mb)    == Megatron-LM interleaved (Figure 4c)
 //   breadth_first(n_pp, L, n_mb)  == the paper's contribution (Figure 4d)
+//
+// Beyond the paper's generators, this module is a registry of rival
+// schedule *families* from the related work (docs/SCHEDULES.md):
+//
+//   one_f_one_b_async(n_pp, n_mb)  PipeDream-style async-ordered 1F1B
+//   unbalanced(n_pp, n_mb)         BaPipe-style uneven stage partitioning
+//   v_schedule(n_pp, n_mb)         controllable-memory V-shape (Qi et al.)
+//   two_bp(n_pp, n_mb)             2BP split backward (B_x now, B_w later)
+//
+// Two generalisations support them: a Schedule may carry an explicit
+// stage->device map (lifting the looping assumption; V-schedules fold the
+// pipeline), and the backward op may be split into kBackwardInput (input
+// gradient, on the critical path) and kBackwardWeight (weight gradient,
+// deferrable).
 //
 // The order is *static*: devices execute their list strictly in order,
 // blocking when an operation's inputs have not arrived yet. Whether the
@@ -20,13 +34,17 @@
 // validate() below and proven on real data by the threaded executor.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "parallel/config.h"
 
 namespace bfpp::schedule {
 
-enum class OpKind { kForward, kBackward };
+// kBackward is the fused backward pass. Split-backward schedules (2BP)
+// use kBackwardInput/kBackwardWeight instead: the input gradient must
+// flow upstream immediately while the weight gradient can be deferred.
+enum class OpKind { kForward, kBackward, kBackwardInput, kBackwardWeight };
 
 struct Op {
   OpKind kind = OpKind::kForward;
@@ -42,13 +60,61 @@ struct Schedule {
   int n_mb = 1;
   // device_ops[r] is the ordered compute work of pipeline rank r.
   std::vector<std::vector<Op>> device_ops;
+  // Explicit stage->device map; empty means the looping placement
+  // (stage s on device s mod n_pp).
+  std::vector<int> stage_device;
+  // True when backward work is expressed as kBackwardInput +
+  // kBackwardWeight pairs instead of fused kBackward ops.
+  bool split_backward = false;
 
   [[nodiscard]] int n_stages() const { return n_pp * n_loop; }
-  // Compute operations across all devices (2 passes per stage and mb).
-  [[nodiscard]] int total_ops() const { return 2 * n_stages() * n_mb; }
-  // Compute operations per device.
-  [[nodiscard]] int ops_per_device() const { return 2 * n_loop * n_mb; }
+  // Compute passes per (stage, micro-batch): F+B, or F+B_x+B_w.
+  [[nodiscard]] int passes() const { return split_backward ? 3 : 2; }
+  // Compute operations across all devices.
+  [[nodiscard]] int total_ops() const { return passes() * n_stages() * n_mb; }
+  // Compute operations per device (devices host n_loop stages each).
+  [[nodiscard]] int ops_per_device() const { return passes() * n_loop * n_mb; }
+  // Device hosting stage `s` under this schedule's placement.
+  [[nodiscard]] int device_of(int stage) const {
+    return stage_device.empty() ? stage % n_pp
+                                : stage_device[static_cast<size_t>(stage)];
+  }
 };
+
+// ---- Schedule-family registry ----
+
+// Named schedule families known to the zoo; 1:1 with
+// parallel::ScheduleKind. The first four are the paper's own kinds, the
+// last four rival families from the related work.
+enum class Family {
+  kGpipe,
+  kOneFOneB,
+  kDepthFirst,
+  kBreadthFirst,
+  kOneFOneBAsync,
+  kUnbalanced,
+  kVSchedule,
+  kTwoBP,
+};
+
+struct FamilyInfo {
+  Family family;
+  parallel::ScheduleKind kind;
+  const char* name;      // canonical single-token name (describe()/CLI/wire)
+  const char* citation;  // the paper defining the family
+};
+
+// All families in registry order (the paper's kinds first).
+const std::vector<FamilyInfo>& all_families();
+const FamilyInfo& family_info(Family family);
+// Family owning a parallel::ScheduleKind.
+Family family_of(parallel::ScheduleKind kind);
+// Parses a family name; accepts the same aliases as
+// parallel::parse_schedule_kind. Throws bfpp::ConfigError on unknown
+// input, listing the accepted names.
+Family parse_family(const std::string& text);
+
+// ---- Generators ----
 
 // The paper's breadth-first schedule (Section 4.1): stages run in loop
 // order; within a stage, *all* micro-batches run back to back. Forward
@@ -77,6 +143,38 @@ Schedule hybrid(int n_pp, int n_loop, int n_mb, int seq_len);
 Schedule gpipe(int n_pp, int n_mb);
 Schedule one_f_one_b(int n_pp, int n_mb);
 
+// PipeDream-style 1F1B with the *async* warmup: device r keeps
+// min(n_mb, n_pp - r) micro-batches in flight (one more than 1F1B's
+// n_pp - r - 1), the ordering PipeDream uses so a backward is always
+// available without waiting for the freshest forward. Same dependency
+// structure, different steady-state order: one extra activation alive
+// per device buys a head start on the cooldown.
+Schedule one_f_one_b_async(int n_pp, int n_mb);
+
+// BaPipe-style unbalanced pipeline: 1F1B execution order with an
+// explicit identity stage->device map. The family's defining feature -
+// the uneven, compute-balanced layer->stage partition that compensates
+// the language-model head - lives in StagePlacement::for_config; the
+// identity map here lifts the looping-ownership assumption in
+// validate() and downstream consumers. Works for any n_pp >= 1,
+// including non-powers-of-two.
+Schedule unbalanced(int n_pp, int n_mb);
+
+// Controllable-memory V-schedule (Qi et al. 2024 shape): the pipeline is
+// folded so device r hosts stages r and 2*n_pp-1-r, and ops are emitted
+// by a deterministic greedy pass that only schedules ready work
+// (deadlock-free by construction), preferring backward once a device has
+// `in_flight_budget` forward activations alive (default n_pp). Lower
+// budgets trade bubble for memory. Always n_loop == 2.
+Schedule v_schedule(int n_pp, int n_mb, int in_flight_budget = 0);
+
+// 2BP split backward: 1F1B-shaped order where each backward is split
+// into kBackwardInput (runs in the 1F1B slot, unblocks the upstream
+// device sooner) and kBackwardWeight (deferred to the device's tail).
+// Lower bubble than 1F1B at the cost of keeping every micro-batch's
+// weight-gradient inputs alive until the tail.
+Schedule two_bp(int n_pp, int n_mb);
+
 // Appendix C / Figure 9: single-device gradient-accumulation orders.
 // Depth-first: each micro-batch runs its full forward+backward before the
 // next starts. Breadth-first: layer-major, all micro-batches per stage.
@@ -88,12 +186,16 @@ Schedule make_schedule(parallel::ScheduleKind kind, int n_pp, int n_loop,
                        int n_mb);
 
 // Structural validation:
-//  1. completeness - each device runs exactly its stages' forward and
-//     backward for every micro-batch, once;
-//  2. local ordering - Backward(s, m) after Forward(s, m);
+//  1. placement - the stage->device map (when present) covers every
+//     device and assigns every stage; ops live on their owning device
+//     (no stage gaps);
+//  2. completeness - each device runs exactly its stages' passes for
+//     every micro-batch, once (F+B, or F+B_x+B_w when split), with no
+//     duplicates and no fused/split kind mixing;
 //  3. executability - under blocking in-order execution with the pipeline
-//     data dependencies (F(s,m) needs F(s-1,m); B(s,m) needs B(s+1,m) and
-//     F(s,m)), the schedule completes without deadlock.
+//     data dependencies (F(s,m) needs F(s-1,m); B(s,m)/B_x(s,m) needs
+//     B(s+1,m)/B_x(s+1,m) and F(s,m); B_w(s,m) needs B_x(s,m)), the
+//     schedule completes without deadlock.
 // Throws bfpp::Error with a diagnostic on violation.
 void validate(const Schedule& schedule);
 

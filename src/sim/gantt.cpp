@@ -17,9 +17,12 @@ char cell_char(const TaskMeta& meta) {
                                           ? meta.micro_batch % 10
                                           : 0));
     case TaskKind::kBackward:
+    case TaskKind::kBackwardInput:
       return static_cast<char>('a' + (meta.micro_batch >= 0
                                           ? meta.micro_batch % 26
                                           : 0));
+    case TaskKind::kBackwardWeight:
+      return '+';
     case TaskKind::kGradReduce:
       return 'G';
     case TaskKind::kWeightGather:
@@ -72,8 +75,8 @@ std::string render_gantt(const TaskGraph& graph, const SimResult& result,
                     format_time(makespan).c_str());
   if (options.show_legend) {
     out +=
-        "legend: 0-9 forward(mb)  a-z backward(mb)  G grad-reduce  "
-        "W weight-gather  S optimizer  > p2p  . idle\n";
+        "legend: 0-9 forward(mb)  a-z backward(mb)  + weight-grad  "
+        "G grad-reduce  W weight-gather  S optimizer  > p2p  . idle\n";
   }
   return out;
 }

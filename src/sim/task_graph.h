@@ -36,6 +36,8 @@ enum class TaskKind {
   kGeneric = 0,
   kForward,
   kBackward,
+  kBackwardInput,   // split backward: recompute + input gradient (2BP B_x)
+  kBackwardWeight,  // split backward: deferred weight gradient (2BP B_w)
   kGradReduce,     // data-parallel gradient reduction (G in Fig. 4)
   kWeightGather,   // DP_FS weight reconstruction (W in Fig. 9)
   kOptimizerStep,  // S in Fig. 4

@@ -102,6 +102,50 @@ TEST(Memory, CheckpointCapsForDepthCappedSchedules) {
   EXPECT_NEAR(df_ckpt / bf_ckpt, 71.0 / 512.0, 1e-9);
 }
 
+TEST(Memory, ZooCheckpointCapsOrderTheFamilies) {
+  // At large N_mb the per-family in-flight caps separate: V-schedules
+  // (N_PP micro-batches alive) < 1F1B (2*N_PP-1) < 1F1B-async (2*N_PP)
+  // < breadth-first (all N_mb).
+  const auto spec = model::model_52b();
+  auto base = base_config(1, 8, 8);
+  base.n_mb = 64;
+
+  auto fb = base;
+  fb.schedule = ScheduleKind::kOneFOneB;
+  auto async = base;
+  async.schedule = ScheduleKind::kOneFOneBAsync;
+  auto v = base;
+  v.schedule = ScheduleKind::kVSchedule;
+  v.n_loop = 2;
+  const double bf_ckpt = estimate(spec, base).checkpoint_bytes;
+  const double fb_ckpt = estimate(spec, fb).checkpoint_bytes;
+  const double async_ckpt = estimate(spec, async).checkpoint_bytes;
+  const double v_ckpt = estimate(spec, v).checkpoint_bytes;
+  EXPECT_LT(v_ckpt, fb_ckpt);
+  EXPECT_LT(fb_ckpt, async_ckpt);
+  EXPECT_LT(async_ckpt, bf_ckpt);
+  EXPECT_NEAR(async_ckpt / fb_ckpt, 16.0 / 15.0, 1e-9);  // 2*8 vs 2*8-1
+}
+
+TEST(Memory, TwoBPPaysForTheDeferredWeightGradients) {
+  // The other side of 2BP's bubble win: every micro-batch's boundary
+  // gradient stays alive until the tail B_w, so memory grows with N_mb
+  // beyond the matching async-1F1B footprint.
+  const auto spec = model::model_52b();
+  auto async = base_config(1, 8, 8);
+  async.n_mb = 64;
+  async.schedule = ScheduleKind::kOneFOneBAsync;
+  auto two_bp = async;
+  two_bp.schedule = ScheduleKind::kTwoBP;
+  EXPECT_GT(estimate(spec, two_bp).total(), estimate(spec, async).total());
+  // The stash term scales with N_mb.
+  auto two_bp_small = two_bp;
+  two_bp_small.n_mb = 8;
+  const double growth = estimate(spec, two_bp).checkpoint_bytes -
+                        estimate(spec, two_bp_small).checkpoint_bytes;
+  EXPECT_GT(growth, 0.0);
+}
+
 TEST(Memory, ShardingReducesState) {
   const auto spec = model::model_52b();
   auto dp0 = base_config(4, 8, 2);

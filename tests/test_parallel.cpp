@@ -149,6 +149,59 @@ TEST(Placement, RejectsMoreStagesThanLayers) {
   EXPECT_THROW(StagePlacement(4, 4, 2), ConfigError);
 }
 
+TEST(Placement, UnbalancedCutsCompensateTheHead) {
+  // BaPipe-style partition: with one layer-equivalent of head work on the
+  // tail stage, the last stage gets fewer layers than an even split.
+  ParallelConfig cfg;
+  cfg.n_pp = 4;
+  cfg.n_mb = 4;
+  cfg.schedule = ScheduleKind::kUnbalanced;
+  const StagePlacement p = StagePlacement::for_config(16, cfg, 2.0);
+  int total = 0;
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(p.device_of_stage(s), s);  // identity map
+    EXPECT_GE(p.layers_in_stage(s), 1);
+    total += p.layers_in_stage(s);
+  }
+  EXPECT_EQ(total, 16);
+  EXPECT_LT(p.layers_in_stage(3), 4);  // tail lighter than the even split
+  // Contiguous first-layer prefix sums.
+  EXPECT_EQ(p.first_layer_of_stage(0), 0);
+  for (int s = 1; s < 4; ++s) {
+    EXPECT_EQ(p.first_layer_of_stage(s),
+              p.first_layer_of_stage(s - 1) + p.layers_in_stage(s - 1));
+  }
+}
+
+TEST(Placement, UnbalancedSupportsNonPowerOfTwoPipelines) {
+  ParallelConfig cfg;
+  cfg.n_pp = 3;
+  cfg.n_mb = 3;
+  cfg.schedule = ScheduleKind::kUnbalanced;
+  const StagePlacement p = StagePlacement::for_config(10, cfg, 0.0);
+  int total = 0;
+  for (int s = 0; s < 3; ++s) total += p.layers_in_stage(s);
+  EXPECT_EQ(total, 10);
+  EXPECT_EQ(p.max_layers_per_device(), 4);  // 10 over 3: 3,3,4 or 4,3,3
+}
+
+TEST(Placement, VScheduleFoldsStagesOntoDevices) {
+  // Device r hosts stages r and 2*n_pp-1-r: the fold keeps both
+  // directions of the V on the same device.
+  ParallelConfig cfg;
+  cfg.n_pp = 4;
+  cfg.n_loop = 2;
+  cfg.n_mb = 4;
+  cfg.schedule = ScheduleKind::kVSchedule;
+  const StagePlacement p = StagePlacement::for_config(16, cfg, 0.0);
+  EXPECT_EQ(p.n_stages(), 8);
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(p.device_of_stage(s), s < 4 ? s : 7 - s);
+  }
+  EXPECT_EQ(p.stages_of_device(0), (std::vector<int>{0, 7}));
+  EXPECT_EQ(p.stages_of_device(3), (std::vector<int>{3, 4}));
+}
+
 TEST(Grid, TensorGroupsInsideNode) {
   ParallelConfig cfg;
   cfg.n_tp = 8;
@@ -204,7 +257,9 @@ TEST(Grid, PureDataParallelStaysDense) {
 TEST(Parse, ScheduleKindRoundTripsEveryValue) {
   for (ScheduleKind kind :
        {ScheduleKind::kGpipe, ScheduleKind::kOneFOneB,
-        ScheduleKind::kDepthFirst, ScheduleKind::kBreadthFirst}) {
+        ScheduleKind::kDepthFirst, ScheduleKind::kBreadthFirst,
+        ScheduleKind::kOneFOneBAsync, ScheduleKind::kUnbalanced,
+        ScheduleKind::kVSchedule, ScheduleKind::kTwoBP}) {
     EXPECT_EQ(parse_schedule_kind(to_string(kind)), kind);
   }
 }
@@ -217,6 +272,14 @@ TEST(Parse, ScheduleKindShortNamesAndCase) {
   EXPECT_EQ(parse_schedule_kind("GPipe"), ScheduleKind::kGpipe);
   EXPECT_EQ(parse_schedule_kind("1F1B"), ScheduleKind::kOneFOneB);
   EXPECT_EQ(parse_schedule_kind("breadth_first"), ScheduleKind::kBreadthFirst);
+  // The schedule-zoo families and their related-work aliases.
+  EXPECT_EQ(parse_schedule_kind("1f1b-async"), ScheduleKind::kOneFOneBAsync);
+  EXPECT_EQ(parse_schedule_kind("PipeDream"), ScheduleKind::kOneFOneBAsync);
+  EXPECT_EQ(parse_schedule_kind("bapipe"), ScheduleKind::kUnbalanced);
+  EXPECT_EQ(parse_schedule_kind("v"), ScheduleKind::kVSchedule);
+  EXPECT_EQ(parse_schedule_kind("V-Schedule"), ScheduleKind::kVSchedule);
+  EXPECT_EQ(parse_schedule_kind("2bp"), ScheduleKind::kTwoBP);
+  EXPECT_EQ(parse_schedule_kind("split-backward"), ScheduleKind::kTwoBP);
 }
 
 TEST(Parse, ScheduleKindRejectsUnknown) {

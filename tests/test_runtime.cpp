@@ -298,6 +298,71 @@ TEST(Runtime, TimelineAccessorsWork) {
   EXPECT_GT(sim.graph().task_count(), 0);
 }
 
+// ---- Schedule zoo: the rival families through the simulator ----
+
+ParallelConfig zoo_config(ScheduleKind kind) {
+  ParallelConfig cfg;
+  cfg.n_pp = 4;
+  cfg.n_tp = 2;
+  cfg.n_dp = 8;
+  cfg.s_mb = 1;
+  cfg.n_mb = 8;
+  cfg.n_loop = kind == ScheduleKind::kVSchedule ? 2 : 1;
+  cfg.schedule = kind;
+  return cfg;
+}
+
+TEST(Zoo, AllFamiliesSimulateCleanly) {
+  const auto spec = model::model_6_6b();
+  for (ScheduleKind kind :
+       {ScheduleKind::kOneFOneBAsync, ScheduleKind::kUnbalanced,
+        ScheduleKind::kVSchedule, ScheduleKind::kTwoBP}) {
+    const auto r = simulate_batch(spec, zoo_config(kind), cluster());
+    EXPECT_GT(r.utilization, 0.05) << parallel::to_string(kind);
+    EXPECT_LT(r.utilization, 0.7) << parallel::to_string(kind);
+  }
+}
+
+TEST(Zoo, SplitBackwardConservesWork) {
+  // 2BP's B_x + B_w must cost exactly the fused backward: the split
+  // moves work later, it does not create or destroy any.
+  PipelineSim sim(model::model_6_6b(), zoo_config(ScheduleKind::kTwoBP),
+                  cluster());
+  const double b = sim.backward_op_seconds(0);
+  const double bx = sim.backward_input_op_seconds(0);
+  const double bw = sim.backward_weight_op_seconds(0);
+  EXPECT_GT(bx, bw);  // B_x carries the recompute and all TP comm
+  EXPECT_GT(bw, 0.0);
+  EXPECT_NEAR(bx + bw, b, 1e-9 * b);
+}
+
+TEST(Zoo, TwoBPShrinksTheBubbleAgainstAsync1F1B) {
+  // The deferred weight gradient fills the cooldown: same dependency
+  // structure as 1F1B-async, smaller bubble (the memory cost of the
+  // tradeoff is asserted in the memory-model tests).
+  const auto spec = model::model_6_6b();
+  const auto async_r =
+      simulate_batch(spec, zoo_config(ScheduleKind::kOneFOneBAsync), cluster());
+  const auto two_bp_r =
+      simulate_batch(spec, zoo_config(ScheduleKind::kTwoBP), cluster());
+  EXPECT_LT(two_bp_r.compute_idle_fraction, async_r.compute_idle_fraction);
+  EXPECT_GT(two_bp_r.utilization, async_r.utilization);
+}
+
+TEST(Zoo, UnbalancedRunsNonPowerOfTwoPipelines) {
+  // 3 nodes, N_PP = 3: a placement the power-of-two families cannot use.
+  ParallelConfig cfg;
+  cfg.n_pp = 3;
+  cfg.n_tp = 8;
+  cfg.n_dp = 1;
+  cfg.s_mb = 1;
+  cfg.n_mb = 6;
+  cfg.schedule = ScheduleKind::kUnbalanced;
+  const auto r =
+      simulate_batch(model::model_6_6b(), cfg, hw::dgx1_v100_infiniband(3));
+  EXPECT_GT(r.utilization, 0.05);
+}
+
 // ---- Parameterized sweep: every schedule/sharding combo must simulate
 // without deadlock and produce a positive utilization.
 class RuntimeSweep

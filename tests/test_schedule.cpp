@@ -291,3 +291,181 @@ INSTANTIATE_TEST_SUITE_P(
 
 }  // namespace
 }  // namespace bfpp::schedule
+
+// Separate suite: the rival schedule families of the zoo.
+namespace bfpp::schedule {
+namespace {
+
+using parallel::ScheduleKind;
+
+TEST(Async, WarmupKeepsOneMoreInFlightThan1F1B) {
+  // PipeDream ordering: device r warms up with min(n_mb, n_pp - r)
+  // forwards (1F1B uses n_pp - r - 1) before alternating.
+  const Schedule s = one_f_one_b_async(4, 8);
+  const auto& ops = s.device_ops[0];
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ops[static_cast<size_t>(i)].kind,
+                                        OpKind::kForward);
+  EXPECT_EQ(ops[4].kind, OpKind::kForward);
+  EXPECT_EQ(ops[5].kind, OpKind::kBackward);
+  EXPECT_EQ(ops[5].micro_batch, 0);
+  // Last device: warmup of one (1F1B uses zero), so two forwards run
+  // before the first backward retires micro-batch 0.
+  const auto& last = s.device_ops[3];
+  EXPECT_EQ(last[0].kind, OpKind::kForward);
+  EXPECT_EQ(last[1].kind, OpKind::kForward);
+  EXPECT_EQ(last[2].kind, OpKind::kBackward);
+  EXPECT_EQ(last[2].micro_batch, 0);
+}
+
+TEST(Unbalanced, CarriesAnExplicitIdentityMap) {
+  const Schedule s = unbalanced(3, 5);  // non-power-of-two pipeline
+  ASSERT_EQ(s.stage_device.size(), 3u);
+  for (int stage = 0; stage < 3; ++stage) EXPECT_EQ(s.device_of(stage), stage);
+  // Same execution order as 1F1B; the family differs in placement only.
+  EXPECT_EQ(s.device_ops, one_f_one_b(3, 5).device_ops);
+  EXPECT_NO_THROW(validate(s));
+}
+
+TEST(VSchedule, FoldsThePipeline) {
+  const Schedule s = v_schedule(4, 8);
+  EXPECT_EQ(s.n_loop, 2);
+  EXPECT_EQ(s.n_stages(), 8);
+  ASSERT_EQ(s.stage_device.size(), 8u);
+  for (int stage = 0; stage < 8; ++stage) {
+    EXPECT_EQ(s.device_of(stage), stage < 4 ? stage : 7 - stage);
+  }
+  EXPECT_NO_THROW(validate(s));
+}
+
+TEST(VSchedule, TighterBudgetStaysValid) {
+  // in_flight_budget trades bubble for memory but never correctness.
+  for (int budget = 1; budget <= 8; ++budget) {
+    EXPECT_NO_THROW(validate(v_schedule(4, 8, budget))) << "budget=" << budget;
+  }
+}
+
+TEST(TwoBP, SplitsBackwardAndDefersWeightGradients) {
+  const Schedule s = two_bp(4, 8);
+  EXPECT_TRUE(s.split_backward);
+  EXPECT_EQ(s.passes(), 3);
+  for (const auto& ops : s.device_ops) {
+    ASSERT_EQ(ops.size(), 24u);  // 8 F + 8 B_x + 8 B_w
+    // Every B_w sits in the device tail, after all F and B_x work.
+    for (size_t i = 0; i < 16; ++i) EXPECT_NE(ops[i].kind,
+                                              OpKind::kBackwardWeight);
+    for (size_t i = 16; i < 24; ++i) EXPECT_EQ(ops[i].kind,
+                                               OpKind::kBackwardWeight);
+  }
+  EXPECT_NO_THROW(validate(s));
+}
+
+TEST(MakeSchedule, DispatchesZooKinds) {
+  EXPECT_NO_THROW(make_schedule(ScheduleKind::kOneFOneBAsync, 4, 1, 8));
+  EXPECT_NO_THROW(make_schedule(ScheduleKind::kUnbalanced, 4, 1, 8));
+  EXPECT_NO_THROW(make_schedule(ScheduleKind::kVSchedule, 4, 2, 8));
+  EXPECT_NO_THROW(make_schedule(ScheduleKind::kTwoBP, 4, 1, 8));
+  // Loop-count constraints: the non-looped families reject n_loop > 1,
+  // V-schedules require exactly 2.
+  EXPECT_THROW(make_schedule(ScheduleKind::kOneFOneBAsync, 4, 2, 8),
+               ConfigError);
+  EXPECT_THROW(make_schedule(ScheduleKind::kTwoBP, 4, 2, 8), ConfigError);
+  EXPECT_THROW(make_schedule(ScheduleKind::kVSchedule, 4, 1, 8), ConfigError);
+}
+
+TEST(Family, RegistryRoundTrips) {
+  ASSERT_EQ(all_families().size(), 8u);
+  for (const FamilyInfo& info : all_families()) {
+    EXPECT_EQ(family_info(info.family).kind, info.kind);
+    EXPECT_EQ(family_of(info.kind), info.family);
+    EXPECT_EQ(parse_family(info.name), info.family);
+    EXPECT_FALSE(std::string(info.citation).empty());
+  }
+  EXPECT_EQ(parse_family("bapipe"), Family::kUnbalanced);
+  EXPECT_EQ(parse_family("pipedream"), Family::kOneFOneBAsync);
+  EXPECT_THROW(parse_family("zigzag"), ConfigError);
+}
+
+TEST(ValidateZoo, CatchesStageGapInTheMap) {
+  Schedule s = unbalanced(2, 2);
+  s.stage_device = {0, 0};  // device 1 hosts nothing
+  // Re-home the ops so ownership is consistent with the broken map; the
+  // gap itself must still be rejected.
+  s.device_ops[0].insert(s.device_ops[0].end(), s.device_ops[1].begin(),
+                         s.device_ops[1].end());
+  s.device_ops[1].clear();
+  EXPECT_THROW(validate(s), Error);
+}
+
+TEST(ValidateZoo, CatchesMapOutOfRange) {
+  Schedule s = unbalanced(2, 2);
+  s.stage_device[1] = 5;
+  EXPECT_THROW(validate(s), Error);
+}
+
+TEST(ValidateZoo, CatchesFusedSplitMixing) {
+  Schedule s = two_bp(2, 2);
+  for (auto& ops : s.device_ops) {
+    for (Op& op : ops) {
+      if (op.kind == OpKind::kBackwardInput) op.kind = OpKind::kBackward;
+    }
+  }
+  EXPECT_THROW(validate(s), Error);
+}
+
+TEST(ValidateZoo, CatchesWeightGradBeforeInputGrad) {
+  Schedule s = two_bp(1, 1);  // single device: F, B_x, B_w
+  std::swap(s.device_ops[0][1], s.device_ops[0][2]);
+  EXPECT_THROW(validate(s), Error);
+}
+
+TEST(ValidateZoo, CatchesDeadlockUnderExplicitMap) {
+  // Fold a 2-device pipeline (stages 0,1,2,3; device 0 hosts 0 and 3)
+  // but order device 0's stage-3 forward before its stage-0 forward:
+  // nothing can ever run.
+  Schedule s;
+  s.n_pp = 2;
+  s.n_loop = 2;
+  s.n_mb = 1;
+  s.stage_device = {0, 1, 1, 0};
+  s.device_ops = {{{OpKind::kForward, 3, 0},
+                   {OpKind::kForward, 0, 0},
+                   {OpKind::kBackward, 3, 0},
+                   {OpKind::kBackward, 0, 0}},
+                  {{OpKind::kForward, 1, 0},
+                   {OpKind::kForward, 2, 0},
+                   {OpKind::kBackward, 2, 0},
+                   {OpKind::kBackward, 1, 0}}};
+  EXPECT_THROW(validate(s), Error);
+}
+
+TEST(ZooOpCounts, SplitBackwardCountsThreePasses) {
+  const Schedule s = two_bp(4, 8);
+  int total = 0;
+  for (const auto& ops : s.device_ops) total += static_cast<int>(ops.size());
+  EXPECT_EQ(total, s.total_ops());
+  EXPECT_EQ(static_cast<int>(s.device_ops[0].size()), s.ops_per_device());
+}
+
+// Property sweep: every zoo generator stays complete and deadlock-free
+// across the edge grids (n_mb < n_pp, single device, odd counts).
+class ZooSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ZooSweep, AllFamiliesValid) {
+  const auto [n_pp, n_mb] = GetParam();
+  EXPECT_NO_THROW(validate(one_f_one_b_async(n_pp, n_mb)));
+  EXPECT_NO_THROW(validate(unbalanced(n_pp, n_mb)));
+  EXPECT_NO_THROW(validate(v_schedule(n_pp, n_mb)));
+  EXPECT_NO_THROW(validate(two_bp(n_pp, n_mb)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZooSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8, 16),         // n_pp
+                       ::testing::Values(1, 2, 3, 4, 8, 9, 16, 32)),  // n_mb
+    [](const auto& info) {
+      return "pp" + std::to_string(std::get<0>(info.param)) + "_mb" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace bfpp::schedule

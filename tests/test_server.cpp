@@ -633,6 +633,36 @@ TEST(Server, SweepStreamsRowsAndServesRepeatsFromTheCache) {
   EXPECT_NE(stats.find("\"hits\":2,\"misses\":2"), std::string::npos);
 }
 
+TEST(Server, CompareRequestRunsTheNamedGridAndCaches) {
+  Server server;
+  const std::string req =
+      R"({"id":1,"type":"compare","grid":"fig5-quick","backend":"analytic"})";
+  const std::string first = server.handle(req);
+  EXPECT_EQ(first.rfind("{\"id\":1,\"ok\":true,\"type\":\"compare\","
+                        "\"rows\":12,",
+                        0),
+            0u);
+  // One row per (batch, family) cell, labelled like the CLI table.
+  EXPECT_NE(first.find("\"scenario\":\"6.6b/b64/bf\""), std::string::npos);
+  EXPECT_NE(first.find("\"scenario\":\"6.6b/b128/2bp\""), std::string::npos);
+  // A warm cache serves the identical bytes without recomputing.
+  const std::string second = server.handle(req);
+  EXPECT_EQ(first, second);
+  const std::string stats = server.handle(R"({"type":"stats"})");
+  EXPECT_NE(stats.find("\"hits\":12,\"misses\":12"), std::string::npos);
+
+  // Unknown grids and stray scenario fields are protocol errors.
+  EXPECT_NE(server.handle(R"({"type":"compare","grid":"fig7"})")
+                .find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(server.handle(R"({"type":"compare","pp":8})")
+                .find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(server.handle(R"({"type":"run","grid":"fig5"})")
+                .find("\"ok\":false"),
+            std::string::npos);
+}
+
 TEST(Server, RunRequestHitsACellComputedByASweep) {
   // The cache key excludes the label, so the same physical cell is
   // shared between a sweep and a later run request (relabelled).

@@ -13,6 +13,7 @@
 
 #include "api/api.h"
 #include "api/cli.h"
+#include "api/compare.h"
 #include "api/engine.h"
 #include "api/sweep.h"
 #include "common/error.h"
@@ -353,7 +354,59 @@ TEST(Sweep, RunCellsAreDeterministicAcrossJobCountsOnTheSimulator) {
   EXPECT_EQ(to_csv(sweep(grid, serial)), to_csv(sweep(grid, wide)));
 }
 
-// ---- CLI: sweep / validate / --output ----
+// ---- Compare: the schedule-zoo head-to-head surface ----
+
+TEST(Compare, GridIsRowMajorPointBatchFamily) {
+  const ScenarioGrid grid = compare_grid("fig5-quick");
+  ASSERT_EQ(grid.size(), 12u);  // 1 point x 2 batches x 6 families
+  EXPECT_EQ(grid.cells()[0].label, "6.6b/b64/bf");
+  EXPECT_EQ(grid.cells()[5].label, "6.6b/b64/2bp");
+  EXPECT_EQ(grid.cells()[6].label, "6.6b/b128/bf");
+  for (const SweepCell& cell : grid.cells()) {
+    EXPECT_FALSE(cell.method.has_value());  // run cells, never searches
+  }
+  EXPECT_THROW(compare_grid("fig7"), ConfigError);
+  EXPECT_EQ(compare_grid_names().size(), 3u);
+}
+
+TEST(Compare, EveryFamilyProducesAFeasibleRowOnTheQuickGrid) {
+  const std::vector<Report> reports = sweep(compare_grid("fig5-quick"), {});
+  ASSERT_EQ(reports.size(), 12u);
+  for (const Report& report : reports) {
+    EXPECT_TRUE(report.found) << report.scenario << ": " << report.error;
+  }
+  // The 2BP tradeoff is visible in the rows themselves: against
+  // 1f1b-async on the same point, less idle, more memory.
+  const Report& async_row = reports[2];
+  const Report& two_bp_row = reports[5];
+  ASSERT_EQ(async_row.scenario, "6.6b/b64/1f1b-async");
+  ASSERT_EQ(two_bp_row.scenario, "6.6b/b64/2bp");
+  EXPECT_LT(two_bp_row.result.compute_idle_fraction,
+            async_row.result.compute_idle_fraction);
+  EXPECT_GT(two_bp_row.memory.total(), async_row.memory.total());
+}
+
+TEST(Compare, CsvIsByteIdenticalAcrossJobCounts) {
+  const ScenarioGrid grid = compare_grid("fig5-quick");
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions wide;
+  wide.jobs = 8;
+  EXPECT_EQ(to_csv(sweep(grid, serial)), to_csv(sweep(grid, wide)));
+}
+
+TEST(Compare, TableHasOneColumnPerFamily) {
+  const std::string text =
+      compare_table(sweep(compare_grid("fig5-quick"), {})).to_string();
+  for (const char* family :
+       {"bf", "df", "1f1b-async", "unbalanced", "v", "2bp"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
+  EXPECT_NE(text.find("6.6b/b64"), std::string::npos);
+  EXPECT_NE(text.find("6.6b/b128"), std::string::npos);
+}
+
+// ---- CLI: sweep / compare / validate / --output ----
 
 TEST(Cli, ParsesSweepAxisLists) {
   const CliOptions options =
@@ -397,9 +450,30 @@ TEST(Cli, RejectsBadSweepAndBackendFlags) {
 TEST(Cli, UsageMentionsTheNewCommands) {
   const std::string usage = cli_usage();
   for (const char* needle :
-       {"sweep", "validate", "--backend", "--jobs", "--output"}) {
+       {"sweep", "compare", "validate", "--backend", "--jobs", "--output",
+        "--grid", "fig5-quick", "1f1b-async", "2bp"}) {
     EXPECT_NE(usage.find(needle), std::string::npos) << needle;
   }
+}
+
+TEST(Cli, CompareCommandParsesItsGrid) {
+  const CliOptions options = parse_cli({"compare", "--grid", "fig6"});
+  EXPECT_EQ(options.command, "compare");
+  EXPECT_EQ(options.grid, "fig6");
+  EXPECT_EQ(parse_cli({"compare"}).grid, "fig5-quick");  // default
+  // --grid is compare-only.
+  EXPECT_THROW(parse_cli({"run", "--grid", "fig5"}), ConfigError);
+}
+
+TEST(Cli, SweepRejectsUnknownScheduleFamilyEagerly) {
+  // A misspelled --schedule axis entry must fail the whole sweep with a
+  // UsageError (exit 2), not quietly become found=0 rows.
+  EXPECT_THROW(grid_from_cli(parse_cli({"sweep", "--pp", "4", "--schedule",
+                                        "bf,zigzag"})),
+               UsageError);
+  // Known zoo families pass straight through.
+  EXPECT_NO_THROW(grid_from_cli(
+      parse_cli({"sweep", "--pp", "4", "--schedule", "bf,1f1b-async,2bp"})));
 }
 
 TEST(Cli, OutputFlagWritesTheReportToAFile) {
