@@ -3,7 +3,6 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
-#include <cstring>
 #include <utility>
 
 #include "api/api.h"
@@ -41,7 +40,7 @@ ReportCache::ReportCache(size_t capacity) : capacity_(capacity) {
 }
 
 std::optional<Report> ReportCache::get(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++counters_.misses;
@@ -53,7 +52,7 @@ std::optional<Report> ReportCache::get(const std::string& key) {
 }
 
 ReportCache::Probe ReportCache::probe_or_lead(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   Probe probe;
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -76,8 +75,10 @@ ReportCache::Probe ReportCache::probe_or_lead(const std::string& key) {
 
 std::optional<Report> ReportCache::wait(
     const std::shared_ptr<InFlight>& entry) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  entry->ready.wait(lock, [&] { return entry->done; });
+  const LockGuard lock(mutex_);
+  // Plain while-loop, not a predicate lambda: `done` is guarded by
+  // mutex_, and the analysis must see the read under the held lock.
+  while (!entry->done) entry->ready.wait(mutex_);
   return entry->result;
 }
 
@@ -85,7 +86,7 @@ void ReportCache::finish_inflight_locked(const std::string& key,
                                          std::optional<Report> result) {
   const auto it = inflight_.find(key);
   if (it == inflight_.end()) return;
-  const std::shared_ptr<InFlight> entry = it->second;
+  const std::shared_ptr<InFlight> entry = std::move(it->second);
   inflight_.erase(it);
   entry->result = std::move(result);
   entry->done = true;
@@ -93,7 +94,7 @@ void ReportCache::finish_inflight_locked(const std::string& key,
 }
 
 void ReportCache::publish(const std::string& key, Report report) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   if (capacity_ > 0) {
     const InsertOutcome outcome = insert_locked(key, report);
     if (outcome.inserted) ++counters_.insertions;
@@ -106,13 +107,13 @@ void ReportCache::publish(const std::string& key, Report report) {
 }
 
 void ReportCache::abandon(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   finish_inflight_locked(key, std::nullopt);
 }
 
 void ReportCache::put(const std::string& key, Report report) {
   if (capacity_ == 0) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   const InsertOutcome outcome = insert_locked(key, std::move(report));
   if (outcome.inserted) ++counters_.insertions;
   counters_.evictions += outcome.evicted;
@@ -144,7 +145,7 @@ bool ReportCache::save(const std::string& path) const {
   // through it would stall every concurrent session's get/put.
   std::vector<std::pair<std::string, Report>> entries;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     // LRU first, MRU last: load() re-inserts in file order and ends up
     // with the same recency order this cache has now.
     entries.assign(lru_.rbegin(), lru_.rend());
@@ -157,7 +158,7 @@ bool ReportCache::save(const std::string& path) const {
   }
   if (!serialize::write_file_atomic(path, out)) {
     std::fprintf(stderr, "bfpp serve: cannot persist cache to '%s': %s\n",
-                 path.c_str(), std::strerror(errno));
+                 path.c_str(), errno_string(errno).c_str());
     return false;
   }
   return true;
@@ -191,7 +192,7 @@ size_t ReportCache::load(const std::string& path) {
       check_config(key != nullptr && report != nullptr,
                    "entry needs \"key\" and \"report\"");
       Report parsed = Report::from_wire(*report);
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       insert_locked(key->as_string("key"), std::move(parsed));
       ++loaded;
     } catch (const std::exception& e) {
@@ -205,7 +206,7 @@ size_t ReportCache::load(const std::string& path) {
 }
 
 ReportCache::Stats ReportCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   Stats out = counters_;
   out.entries = lru_.size();
   out.inflight = inflight_.size();
@@ -213,7 +214,7 @@ ReportCache::Stats ReportCache::stats() const {
 }
 
 void ReportCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const LockGuard lock(mutex_);
   lru_.clear();
   index_.clear();
   counters_.entries = 0;
@@ -579,17 +580,23 @@ Server::~Server() { stop_checkpointer(); }
 
 void Server::checkpoint_loop() {
   const auto interval = std::chrono::seconds(options_.checkpoint_interval);
-  std::unique_lock<std::mutex> lock(checkpoint_mutex_);
+  checkpoint_mutex_.lock();
   while (!checkpoint_stop_) {
-    // Wakes early only on stop; a spurious wake just re-sleeps.
-    if (checkpoint_wake_.wait_for(lock, interval,
-                                  [&] { return checkpoint_stop_; })) {
-      break;
+    // Sleep one full interval, waking early only on stop; a spurious
+    // wake re-sleeps until the deadline.
+    const auto deadline = std::chrono::steady_clock::now() + interval;
+    while (!checkpoint_stop_ &&
+           std::chrono::steady_clock::now() < deadline) {
+      checkpoint_wake_.wait_until(checkpoint_mutex_, deadline);
     }
-    lock.unlock();
+    if (checkpoint_stop_) break;
+    // The save happens off the checkpoint mutex so a concurrent
+    // stop_checkpointer() is never blocked behind disk IO.
+    checkpoint_mutex_.unlock();
     persist_if_dirty();
-    lock.lock();
+    checkpoint_mutex_.lock();
   }
+  checkpoint_mutex_.unlock();
 }
 
 void Server::start_checkpointer() {
@@ -599,8 +606,8 @@ void Server::start_checkpointer() {
   // The lifecycle mutex serializes start against a concurrent stop: a
   // start landing mid-stop must wait for the old thread to be joined,
   // not resurrect the stop flag under it (which would strand the join).
-  const std::lock_guard<std::mutex> lifecycle(checkpoint_lifecycle_mutex_);
-  const std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+  const LockGuard lifecycle(checkpoint_lifecycle_mutex_);
+  const LockGuard lock(checkpoint_mutex_);
   if (checkpoint_thread_.joinable()) return;  // already running
   checkpoint_stop_ = false;
   checkpoint_thread_ = std::thread([this] { checkpoint_loop(); });
@@ -609,10 +616,10 @@ void Server::start_checkpointer() {
 void Server::stop_checkpointer() {
   // Held across the join; checkpoint_loop never takes this mutex, so
   // the exiting thread can still reacquire checkpoint_mutex_ to leave.
-  const std::lock_guard<std::mutex> lifecycle(checkpoint_lifecycle_mutex_);
+  const LockGuard lifecycle(checkpoint_lifecycle_mutex_);
   std::thread thread;
   {
-    const std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    const LockGuard lock(checkpoint_mutex_);
     if (!checkpoint_thread_.joinable()) return;
     checkpoint_stop_ = true;
     thread = std::move(checkpoint_thread_);
@@ -628,14 +635,14 @@ Server::Session::~Session() = default;
 
 void Server::request_shutdown() {
   shutdown_ = true;
-  const std::lock_guard<std::mutex> lock(session_mutex_);
+  const LockGuard lock(session_mutex_);
   if (listener_ != nullptr) listener_->wake();
   session_done_.notify_all();
 }
 
 bool Server::persist_cache() {
   if (options_.cache_file.empty()) return false;
-  const std::lock_guard<std::mutex> lock(persist_mutex_);
+  const LockGuard lock(persist_mutex_);
   // Snapshot the insertion count *before* saving: an insertion racing
   // with the save stays marked dirty and triggers the next checkpoint.
   const uint64_t insertions = cache_.stats().insertions;
@@ -646,7 +653,7 @@ bool Server::persist_cache() {
 
 void Server::persist_if_dirty() {
   if (options_.cache_file.empty()) return;
-  const std::lock_guard<std::mutex> lock(persist_mutex_);
+  const LockGuard lock(persist_mutex_);
   const uint64_t insertions = cache_.stats().insertions;
   if (insertions == persisted_insertions_) return;
   if (cache_.save(options_.cache_file)) persisted_insertions_ = insertions;
@@ -951,7 +958,7 @@ void Server::reap_finished_sessions_locked() {
 
 int Server::serve_on(net::Listener& listener) {
   {
-    const std::lock_guard<std::mutex> lock(session_mutex_);
+    const LockGuard lock(session_mutex_);
     listener_ = &listener;
     if (shutdown_) listener.wake();  // requested before the loop started
   }
@@ -961,11 +968,13 @@ int Server::serve_on(net::Listener& listener) {
     {
       // Respect --max-clients: wait for a session slot (or shutdown)
       // before accepting. Excess connections queue in the kernel
-      // backlog, they are never dropped mid-session.
-      std::unique_lock<std::mutex> lock(session_mutex_);
-      session_done_.wait(lock, [&] {
-        return shutdown_.load() || active_sessions_ < options_.max_clients;
-      });
+      // backlog, they are never dropped mid-session. (While-loop, not a
+      // predicate lambda: active_sessions_ is guarded by session_mutex_
+      // and the read must be visible to the analysis under the lock.)
+      const LockGuard lock(session_mutex_);
+      while (!shutdown_.load() && active_sessions_ >= options_.max_clients) {
+        session_done_.wait(session_mutex_);
+      }
       if (shutdown_) break;
       reap_finished_sessions_locked();
     }
@@ -977,7 +986,8 @@ int Server::serve_on(net::Listener& listener) {
       std::fprintf(stderr,
                    "bfpp serve: accept() failed on 127.0.0.1:%d: %s "
                    "(errno %d); shutting down\n",
-                   listener.port(), std::strerror(listener.last_error()),
+                   listener.port(),
+                   errno_string(listener.last_error()).c_str(),
                    listener.last_error());
       exit_code = 1;
       break;
@@ -985,13 +995,13 @@ int Server::serve_on(net::Listener& listener) {
     // A client that stops reading its responses must not be able to
     // block a session writer (and the shutdown join) forever.
     client->set_send_timeout(kSendTimeoutSeconds);
-    const std::lock_guard<std::mutex> lock(session_mutex_);
+    const LockGuard lock(session_mutex_);
     auto session = std::make_unique<Session>(std::move(*client));
     Session* raw = session.get();
     try {
       raw->thread = std::thread([this, raw] {
         run_session(*raw->stream);
-        const std::lock_guard<std::mutex> done_lock(session_mutex_);
+        const LockGuard done_lock(session_mutex_);
         --active_sessions_;
         raw->done = true;
         session_done_.notify_all();
@@ -1011,7 +1021,7 @@ int Server::serve_on(net::Listener& listener) {
   // Drain: wake sessions blocked on idle clients (half-close their read
   // side; in-flight responses still go out), then join every session.
   {
-    const std::lock_guard<std::mutex> lock(session_mutex_);
+    const LockGuard lock(session_mutex_);
     for (const std::unique_ptr<Session>& session : sessions_) {
       session->stream->shutdown_read();
     }
@@ -1019,7 +1029,7 @@ int Server::serve_on(net::Listener& listener) {
   for (;;) {
     std::unique_ptr<Session> session;
     {
-      const std::lock_guard<std::mutex> lock(session_mutex_);
+      const LockGuard lock(session_mutex_);
       if (sessions_.empty()) break;
       session = std::move(sessions_.front());
       sessions_.pop_front();
@@ -1027,7 +1037,7 @@ int Server::serve_on(net::Listener& listener) {
     if (session->thread.joinable()) session->thread.join();
   }
   {
-    const std::lock_guard<std::mutex> lock(session_mutex_);
+    const LockGuard lock(session_mutex_);
     listener_ = nullptr;
   }
   stop_checkpointer();

@@ -34,12 +34,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -50,6 +48,8 @@
 #include "api/report.h"
 #include "api/scenario.h"
 #include "autotune/autotune.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace bfpp::net {
 class Listener;
@@ -78,9 +78,13 @@ class ReportCache {
 
   // One in-flight (claimed but not yet published) computation. Followers
   // hold a shared_ptr so a publish/abandon racing with the last waiter
-  // can never free the entry out from under it.
+  // can never free the entry out from under it. `done` and `result` are
+  // guarded by the owning cache's mutex_ (a nested struct cannot name an
+  // outer instance member in BFPP_GUARDED_BY, so the rule lives here):
+  // the leader writes them in finish_inflight_locked, followers read
+  // them inside wait() with the cache mutex held.
   struct InFlight {
-    std::condition_variable ready;
+    CondVar ready;
     bool done = false;             // publish() or abandon() happened
     std::optional<Report> result;  // set by publish(); nullopt = abandoned
   };
@@ -167,30 +171,36 @@ class ReportCache {
  private:
   // The one insert/promote/evict LRU body, shared by put() (which turns
   // the outcome into counter updates) and load() (which deliberately
-  // leaves the counters alone). Caller holds mutex_.
+  // leaves the counters alone).
   struct InsertOutcome {
     bool inserted = false;  // false: an existing key was refreshed
     uint64_t evicted = 0;
   };
-  InsertOutcome insert_locked(const std::string& key, Report report);
+  InsertOutcome insert_locked(const std::string& key, Report report)
+      BFPP_REQUIRES(mutex_);
 
   // Retires the in-flight entry under `key` (if any), waking every
-  // follower with `result`. Caller holds mutex_.
+  // follower with `result`.
   void finish_inflight_locked(const std::string& key,
-                              std::optional<Report> result);
+                              std::optional<Report> result)
+      BFPP_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  size_t capacity_;
+  // mutex_ guards every piece of cache state below: the LRU list + its
+  // index, the single-flight table, the counters, and (transitively) the
+  // done/result fields of every InFlight entry.
+  mutable Mutex mutex_;
+  const size_t capacity_;  // immutable after construction
   // Front = most recently used. The index maps key -> list node.
-  std::list<std::pair<std::string, Report>> lru_;
+  std::list<std::pair<std::string, Report>> lru_ BFPP_GUARDED_BY(mutex_);
   std::unordered_map<std::string,
                      std::list<std::pair<std::string, Report>>::iterator>
-      index_;
+      index_ BFPP_GUARDED_BY(mutex_);
   // Single-flight table: key -> the in-flight computation followers wait
   // on. Entries live from probe_or_lead() (leader appointment) until
   // publish()/abandon().
-  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
-  Stats counters_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_
+      BFPP_GUARDED_BY(mutex_);
+  Stats counters_ BFPP_GUARDED_BY(mutex_);
 };
 
 // The canonical cache identity of one executed cell: model, cluster
@@ -250,7 +260,7 @@ class Server {
 
   // Initiates an orderly shutdown from any thread: wakes the accept
   // loop, which then drains in-flight sessions and persists the cache.
-  void request_shutdown();
+  void request_shutdown() BFPP_EXCLUDES(session_mutex_);
 
   // Persists the cache to options.cache_file now (no-op returning false
   // when no cache file is configured). serve loops call this after
@@ -264,8 +274,10 @@ class Server {
   // embedders driving handle() directly (and tests) can run the
   // checkpointer too. stop_checkpointer() joins the thread; the final
   // shutdown save is the caller's persist_cache(). Both are idempotent.
-  void start_checkpointer();
-  void stop_checkpointer();
+  void start_checkpointer()
+      BFPP_EXCLUDES(checkpoint_lifecycle_mutex_, checkpoint_mutex_);
+  void stop_checkpointer()
+      BFPP_EXCLUDES(checkpoint_lifecycle_mutex_, checkpoint_mutex_);
 
   [[nodiscard]] bool shutdown_requested() const { return shutdown_; }
   [[nodiscard]] ReportCache::Stats cache_stats() const {
@@ -287,8 +299,8 @@ class Server {
   // persist_after_request(), which defers to the checkpointer when a
   // checkpoint interval is configured - after every handled request on
   // both transports.
-  void persist_if_dirty();
-  void persist_after_request();
+  void persist_if_dirty() BFPP_EXCLUDES(persist_mutex_);
+  void persist_after_request() BFPP_EXCLUDES(persist_mutex_);
 
   // Executes one batch of cells (a single run/search, or a whole sweep
   // grid) through the cache: probe serially, compute misses in parallel
@@ -311,7 +323,10 @@ class Server {
 
   // Accept-loop / session bookkeeping (serve_on only). session_mutex_
   // guards sessions_, active_sessions_ and listener_; session_done_
-  // signals a freed --max-clients slot or shutdown.
+  // signals a freed --max-clients slot or shutdown. `done` is guarded by
+  // the owning Server's session_mutex_ (nested structs cannot name an
+  // outer instance member in BFPP_GUARDED_BY): the session thread sets
+  // it under that lock, the reaper reads it under the same lock.
   struct Session {
     explicit Session(net::Stream&& s);
     ~Session();
@@ -319,29 +334,38 @@ class Server {
     std::thread thread;
     bool done = false;
   };
-  void reap_finished_sessions_locked();
+  void reap_finished_sessions_locked() BFPP_REQUIRES(session_mutex_);
 
-  std::mutex session_mutex_;
-  std::condition_variable session_done_;
-  std::list<std::unique_ptr<Session>> sessions_;
-  int active_sessions_ = 0;
-  net::Listener* listener_ = nullptr;  // non-null while serve_on runs
+  // session_mutex_ guards the session registry: the list of live
+  // sessions, the active count the --max-clients admission loop waits
+  // on, and the listener pointer request_shutdown() wakes through.
+  Mutex session_mutex_;
+  CondVar session_done_;  // a freed session slot, or shutdown
+  std::list<std::unique_ptr<Session>> sessions_
+      BFPP_GUARDED_BY(session_mutex_);
+  int active_sessions_ BFPP_GUARDED_BY(session_mutex_) = 0;
+  net::Listener* listener_ BFPP_GUARDED_BY(session_mutex_) =
+      nullptr;  // non-null while serve_on runs
 
-  // Persistence bookkeeping: last insertion count written to disk.
-  std::mutex persist_mutex_;
-  uint64_t persisted_insertions_ = 0;
+  // Persistence bookkeeping: persist_mutex_ serializes whole
+  // snapshot-then-save sequences (so two savers cannot interleave their
+  // dirty checks) and guards the last insertion count written to disk.
+  // Lock order: persist_mutex_ is taken *before* the cache mutex (save()
+  // locks it internally); never the other way around.
+  Mutex persist_mutex_;
+  uint64_t persisted_insertions_ BFPP_GUARDED_BY(persist_mutex_) = 0;
 
   // Background checkpointer (--checkpoint-interval). checkpoint_mutex_
   // guards checkpoint_stop_ and the thread handle; checkpoint_wake_
   // interrupts the interval sleep on stop; the lifecycle mutex
   // serializes whole start/stop calls against each other (it is held
   // across the join, which checkpoint_mutex_ cannot be).
-  void checkpoint_loop();
-  std::mutex checkpoint_lifecycle_mutex_;
-  std::mutex checkpoint_mutex_;
-  std::condition_variable checkpoint_wake_;
-  std::thread checkpoint_thread_;
-  bool checkpoint_stop_ = false;
+  void checkpoint_loop() BFPP_EXCLUDES(checkpoint_mutex_);
+  Mutex checkpoint_lifecycle_mutex_;
+  Mutex checkpoint_mutex_;
+  CondVar checkpoint_wake_;
+  std::thread checkpoint_thread_ BFPP_GUARDED_BY(checkpoint_mutex_);
+  bool checkpoint_stop_ BFPP_GUARDED_BY(checkpoint_mutex_) = false;
 };
 
 }  // namespace bfpp::api

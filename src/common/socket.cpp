@@ -11,7 +11,6 @@
 #include <algorithm>
 #include <cerrno>
 #include <csignal>
-#include <cstring>
 #include <utility>
 
 #include "common/error.h"
@@ -116,7 +115,7 @@ bool read_stdio_line(std::FILE* in, std::string& line) {
 Listener::Listener(int port, int backlog) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   check_config(fd_ >= 0, str_format("socket: cannot create socket: %s",
-                                    std::strerror(errno)));
+                                    errno_string(errno).c_str()));
   const int one = 1;
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
@@ -127,7 +126,7 @@ Listener::Listener(int port, int backlog) {
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
           0 ||
       ::listen(fd_, std::max(backlog, 16)) < 0 || ::pipe(wake_fds_) < 0) {
-    const std::string why = std::strerror(errno);
+    const std::string why = errno_string(errno);
     ::close(fd_);
     fd_ = -1;
     throw ConfigError(str_format("socket: cannot listen on 127.0.0.1:%d: %s",

@@ -93,10 +93,17 @@ class Listener {
   [[nodiscard]] int last_error() const { return last_error_; }
 
  private:
+  // Deliberately mutex-free (nothing here to BFPP_GUARDED_BY, see
+  // common/thread_annotations.h): fd_, port_ and wake_fds_ are immutable
+  // after the constructor; cross-thread wake() is one atomic store plus
+  // a write() to the self-pipe (both async-signal-safe, no lock to rank
+  // against session/cache mutexes); last_error_ is only ever touched by
+  // the single accept()ing thread. The static analysis therefore has no
+  // lock discipline to check here - TSan covers the wake() handshake.
   int fd_ = -1;
   int port_ = 0;
   int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written
-  std::atomic<bool> woken_{false};
+  std::atomic<bool> woken_{false};  // makes wake() idempotent + sticky
   int last_error_ = 0;  // written only by the accept()ing thread
 };
 

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <limits>
+#include <system_error>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <locale.h>
@@ -170,6 +171,10 @@ std::string format_number(double x, int digits) {
     if (!s.empty() && s.back() == '.') s.pop_back();
   }
   return s;
+}
+
+std::string errno_string(int err) {
+  return std::generic_category().message(err);
 }
 
 }  // namespace bfpp

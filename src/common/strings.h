@@ -86,4 +86,10 @@ std::string format_time(double seconds);
 // zeros ("42.77", "8", "0.5").
 std::string format_number(double x, int digits = 2);
 
+// The strerror message for `err`, via the thread-safe
+// std::generic_category().message() (std::strerror shares one static
+// buffer across threads - flagged by clang-tidy concurrency-mt-unsafe -
+// and the server formats errno messages from concurrent sessions).
+std::string errno_string(int err);
+
 }  // namespace bfpp

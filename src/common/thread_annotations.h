@@ -1,0 +1,79 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// These macros turn the repo's locking rules - "counters_ is guarded by
+// mutex_", "insert_locked() must be called with the cache mutex held" -
+// from comments into declarations the compiler checks. Under clang with
+// -Wthread-safety (the CI clang leg builds with it and -Werror), reading
+// a BFPP_GUARDED_BY field without holding its mutex, or calling a
+// BFPP_REQUIRES function without the named lock, is a *compile error*;
+// under gcc (or any compiler without the capability attributes) every
+// macro expands to nothing and the code is unchanged. TSan remains the
+// dynamic backstop for what the static analysis cannot see (lock-free
+// code, cross-object protocols); the two gates are complementary.
+//
+// Conventions (enforced for new concurrency code, see
+// docs/CONCURRENCY.md):
+//  * every field touched by more than one thread is either std::atomic
+//    or BFPP_GUARDED_BY(some mutex);
+//  * lock with bfpp::Mutex / bfpp::LockGuard / bfpp::CondVar
+//    (common/mutex.h) - raw std::mutex defeats the analysis;
+//  * helpers that assume a lock is already held take BFPP_REQUIRES(mu)
+//    and get a `_locked` name suffix;
+//  * condition-variable predicates are plain while-loops around
+//    CondVar::wait, never lambdas (the analysis treats a lambda as a
+//    separate function that holds no locks).
+//
+// The attribute names follow the "capability" spelling documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define BFPP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef BFPP_THREAD_ANNOTATION
+#define BFPP_THREAD_ANNOTATION(x)  // not clang: annotations compile away
+#endif
+
+// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define BFPP_CAPABILITY(x) BFPP_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII type whose constructor acquires and destructor
+// releases a capability (bfpp::LockGuard).
+#define BFPP_SCOPED_CAPABILITY BFPP_THREAD_ANNOTATION(scoped_lockable)
+
+// Field annotation: reads and writes require holding `x`.
+#define BFPP_GUARDED_BY(x) BFPP_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer field annotation: the *pointee* is protected by `x`.
+#define BFPP_PT_GUARDED_BY(x) BFPP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function acquires / releases the capability (lock() / unlock()).
+#define BFPP_ACQUIRE(...) \
+  BFPP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BFPP_RELEASE(...) \
+  BFPP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BFPP_TRY_ACQUIRE(...) \
+  BFPP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Caller must already hold the capability (the `_locked` helpers).
+#define BFPP_REQUIRES(...) \
+  BFPP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (functions that lock it
+// themselves; catches self-deadlock at compile time).
+#define BFPP_EXCLUDES(...) BFPP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Asserts the capability is held without acquiring it (for code reached
+// only under a lock the analysis cannot follow).
+#define BFPP_ASSERT_CAPABILITY(x) \
+  BFPP_THREAD_ANNOTATION(assert_capability(x))
+
+// Function returns a reference to the named capability.
+#define BFPP_RETURN_CAPABILITY(x) BFPP_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Use only with a
+// comment explaining why the locking is correct.
+#define BFPP_NO_THREAD_SAFETY_ANALYSIS \
+  BFPP_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <memory>
 
+#include "common/mutex.h"
+
 namespace bfpp {
 
 namespace {
@@ -14,16 +16,18 @@ namespace {
 // driver that never got scheduled wakes up after the loop is done,
 // finds no index to claim, and exits).
 struct ForLoop {
+  // n and fn are set once before the loop is published to any driver.
   int n = 0;
   const std::function<void(int)>* fn = nullptr;
   std::atomic<int> next_index{0};
   std::atomic<int> completed{0};
-  std::mutex mutex;
-  std::condition_variable done;
+  // mutex guards the error slot; done signals the last completion.
+  Mutex mutex;
+  CondVar done;
   // Lowest-index exception, so the rethrown error does not depend on
   // thread interleaving.
-  int error_index = -1;
-  std::exception_ptr error;
+  int error_index BFPP_GUARDED_BY(mutex) = -1;
+  std::exception_ptr error BFPP_GUARDED_BY(mutex);
 
   // Claims indices until the counter runs dry. Every claimed index is
   // counted as completed even when fn throws, so the caller's wait
@@ -35,14 +39,14 @@ struct ForLoop {
       try {
         (*fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
+        const LockGuard lock(mutex);
         if (error_index < 0 || i < error_index) {
           error_index = i;
           error = std::current_exception();
         }
       }
       if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-        std::lock_guard<std::mutex> lock(mutex);
+        const LockGuard lock(mutex);
         done.notify_all();
       }
     }
@@ -61,7 +65,7 @@ ThreadPool::ThreadPool(int n_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -82,9 +86,9 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping
+      const LockGuard lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_available_.wait(mutex_);
+      if (queue_.empty()) return;  // stopping, and no work left to flush
       task = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -95,7 +99,7 @@ void ThreadPool::worker_loop() {
 bool ThreadPool::run_one_task() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -119,7 +123,7 @@ void ThreadPool::parallel_for(int n, int jobs,
 
   // width - 1 drivers on the pool; the caller is the width-th.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     for (int d = 0; d < width - 1; ++d) {
       queue_.emplace_back([loop] { loop->drain(); });
     }
@@ -132,13 +136,20 @@ void ThreadPool::parallel_for(int n, int jobs,
   // while waiting so nested parallel_for calls cannot deadlock.
   while (loop->completed.load(std::memory_order_acquire) < n) {
     if (run_one_task()) continue;
-    std::unique_lock<std::mutex> lock(loop->mutex);
-    loop->done.wait_for(lock, std::chrono::milliseconds(1), [&] {
-      return loop->completed.load(std::memory_order_acquire) >= n;
-    });
+    const LockGuard lock(loop->mutex);
+    if (loop->completed.load(std::memory_order_acquire) < n) {
+      loop->done.wait_for(loop->mutex, std::chrono::milliseconds(1));
+    }
   }
 
-  if (loop->error) std::rethrow_exception(loop->error);
+  // The drain above completed-fences every worker's error store, but the
+  // slot itself is guarded: snapshot it under the loop mutex.
+  std::exception_ptr error;
+  {
+    const LockGuard lock(loop->mutex);
+    error = loop->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace bfpp

@@ -24,12 +24,13 @@
 // slots serially afterwards.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace bfpp {
 
@@ -61,16 +62,20 @@ class ThreadPool {
   void parallel_for(int n, int jobs, const std::function<void(int)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop() BFPP_EXCLUDES(mutex_);
   // Pops and runs one pending task; returns false when the queue is
-  // empty. Used by waiting callers to steal work.
-  bool run_one_task();
+  // empty. Used by waiting callers to steal work. The task itself runs
+  // after the queue lock is dropped.
+  bool run_one_task() BFPP_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_;  // started in the ctor, joined in
+                                      // the dtor; immutable in between
+  // mutex_ guards the run queue and the stop flag; work_available_
+  // signals a newly queued task (or shutdown) to sleeping workers.
+  Mutex mutex_;
+  CondVar work_available_;
+  std::deque<std::function<void()>> queue_ BFPP_GUARDED_BY(mutex_);
+  bool stopping_ BFPP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace bfpp

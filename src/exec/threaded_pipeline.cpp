@@ -1,11 +1,11 @@
 #include "exec/threaded_pipeline.h"
 
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <thread>
 
 #include "common/error.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace bfpp::exec {
 
@@ -19,7 +19,7 @@ class Mailbox {
  public:
   void put(Tensor value) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const LockGuard lock(mutex_);
       check(!value_.has_value(), "mailbox: double put");
       value_ = std::move(value);
     }
@@ -27,17 +27,17 @@ class Mailbox {
   }
 
   Tensor take() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return value_.has_value(); });
+    const LockGuard lock(mutex_);
+    while (!value_.has_value()) cv_.wait(mutex_);
     Tensor out = std::move(*value_);
     value_.reset();
     return out;
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::optional<Tensor> value_;
+  Mutex mutex_;
+  CondVar cv_;
+  std::optional<Tensor> value_ BFPP_GUARDED_BY(mutex_);
 };
 
 }  // namespace

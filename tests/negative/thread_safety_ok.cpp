@@ -1,0 +1,36 @@
+// Control half of the thread-safety negative-compile gate (see the
+// BFPP_THREAD_SAFETY block in CMakeLists.txt). This TU locks correctly
+// and MUST compile under `clang++ -Wthread-safety -Werror`; its twin,
+// thread_safety_violation.cpp, differs only by dropping the LockGuard
+// and MUST NOT. Keep the two files in lockstep: the gate is only
+// meaningful while the violation is the control minus one lock.
+//
+// Not part of any test binary - CMake's tests glob matches
+// tests/test_*.cpp and deliberately skips this directory.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  bfpp::Mutex mu;
+  int value BFPP_GUARDED_BY(mu) = 0;
+
+  void increment() BFPP_EXCLUDES(mu) {
+    const bfpp::LockGuard lock(mu);
+    ++value;
+  }
+
+  int read() BFPP_EXCLUDES(mu) {
+    const bfpp::LockGuard lock(mu);
+    return value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.read() == 1 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// Violation half of the thread-safety negative-compile gate (see the
+// BFPP_THREAD_SAFETY block in CMakeLists.txt): identical to
+// thread_safety_ok.cpp except increment() touches the guarded field
+// WITHOUT taking the lock. Under `clang++ -Wthread-safety -Werror` this
+// TU must FAIL to compile ("writing variable 'value' requires holding
+// mutex 'mu'"); if it ever compiles, the analysis is off and CMake
+// aborts the configure.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  bfpp::Mutex mu;
+  int value BFPP_GUARDED_BY(mu) = 0;
+
+  void increment() BFPP_EXCLUDES(mu) {
+    ++value;  // BAD: guarded write without holding mu.
+  }
+
+  int read() BFPP_EXCLUDES(mu) {
+    const bfpp::LockGuard lock(mu);
+    return value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.read() == 1 ? 0 : 1;
+}

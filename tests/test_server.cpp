@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -229,6 +230,110 @@ TEST(ReportCache, CoalescingServesFollowersEvenWithCachingDisabled) {
   EXPECT_EQ(stats.entries, 0u);
   EXPECT_EQ(stats.insertions, 0u);
   EXPECT_EQ(stats.coalesced, 1u);
+}
+
+TEST(ReportCache, AbandonWithManyFollowersMidWaitReleadsExactlyOnce) {
+  // The abandon edge case at fan-out: several followers are provably
+  // blocked inside wait() when the leader gives up. Every follower must
+  // wake with nullopt, and the ensuing re-probe stampede must appoint
+  // exactly one new leader - the rest coalesce onto the re-lead's
+  // in-flight entry (or hit the cache if they probe after its publish).
+  ReportCache cache(8);
+  ASSERT_TRUE(cache.probe_or_lead("cell").leader);
+
+  constexpr size_t kFollowers = 4;
+  std::atomic<int> releads{0};
+  std::atomic<int> woken_empty{0};
+  std::vector<std::optional<Report>> got(kFollowers);
+  std::vector<std::thread> followers;
+  for (size_t i = 0; i < kFollowers; ++i) {
+    followers.emplace_back([&cache, &releads, &woken_empty, &got, i] {
+      ReportCache::Probe probe = cache.probe_or_lead("cell");
+      ASSERT_NE(probe.waiting, nullptr);
+      std::optional<Report> result = cache.wait(probe.waiting);
+      if (!result.has_value()) woken_empty.fetch_add(1);
+      // Server retry loop: re-probe until the cell resolves, computing
+      // it ourselves if appointed the post-abandon leader.
+      while (!result.has_value()) {
+        ReportCache::Probe again = cache.probe_or_lead("cell");
+        if (again.leader) {
+          releads.fetch_add(1);
+          cache.publish("cell", tagged_report("recomputed"));
+          result = tagged_report("recomputed");
+        } else if (again.waiting != nullptr) {
+          result = cache.wait(again.waiting);
+        } else {
+          result = again.report;
+        }
+      }
+      got[i] = std::move(result);
+    });
+  }
+  // All followers are blocked in wait() before the leader abandons.
+  ASSERT_TRUE(
+      poll_until([&] { return cache.stats().coalesced == kFollowers; }));
+  cache.abandon("cell");
+  for (std::thread& follower : followers) follower.join();
+
+  EXPECT_EQ(woken_empty.load(), static_cast<int>(kFollowers));
+  EXPECT_EQ(releads.load(), 1);  // exactly one follower re-led
+  for (const std::optional<Report>& report : got) {
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->scenario, "recomputed");
+  }
+  const ReportCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);  // abandoned leader + the one re-lead
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(cache.get("cell")->scenario, "recomputed");
+}
+
+TEST(ReportCache, SaveRacesSingleFlightAtCapacityZero) {
+  // save() walks the LRU under the cache mutex while probe_or_lead /
+  // publish / wait mutate the single-flight table on other threads. At
+  // --cache-size 0 nothing is ever stored, so every round is a fresh
+  // leader appointment racing the snapshot loop - the regression
+  // surface for iterator invalidation or a snapshot taken mid-flight.
+  // (TSan CI runs this test; locally it is a liveness + stats check.)
+  ReportCache cache(0);
+  const std::string path = testing::TempDir() + "/race_cache.jsonl";
+  std::atomic<bool> stop{false};
+  std::thread saver([&] {
+    while (!stop.load()) EXPECT_TRUE(cache.save(path));
+  });
+
+  constexpr uint64_t kRounds = 100;
+  for (uint64_t round = 0; round < kRounds; ++round) {
+    const std::string key = "cell-" + std::to_string(round);
+    ASSERT_TRUE(cache.probe_or_lead(key).leader);
+    std::optional<Report> followed;
+    std::thread follower([&cache, &followed, &key] {
+      ReportCache::Probe probe = cache.probe_or_lead(key);
+      ASSERT_NE(probe.waiting, nullptr);
+      followed = cache.wait(probe.waiting);
+    });
+    // The follower is provably mid-wait before the leader publishes.
+    ASSERT_TRUE(
+        poll_until([&] { return cache.stats().coalesced == round + 1; }));
+    cache.publish(key, tagged_report(key));
+    follower.join();
+    ASSERT_TRUE(followed.has_value());
+    EXPECT_EQ(followed->scenario, key);
+  }
+  stop.store(true);
+  saver.join();
+
+  const ReportCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);     // capacity 0: nothing ever stored
+  EXPECT_EQ(stats.insertions, 0u);  // publish() is a no-op insert
+  EXPECT_EQ(stats.misses, kRounds);
+  EXPECT_EQ(stats.coalesced, kRounds);
+  EXPECT_EQ(stats.inflight, 0u);  // every flight retired
+  // The concurrent snapshots were all of an empty cache, and the final
+  // file is a loadable (empty) snapshot, not torn output.
+  ReportCache reloaded(8);
+  EXPECT_EQ(reloaded.load(path), 0u);
+  std::remove(path.c_str());
 }
 
 // ---- Report wire form + cache persistence ----
