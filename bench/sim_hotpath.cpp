@@ -1,0 +1,251 @@
+// Simulator hot-path latency: what one sweep cell costs to evaluate,
+// before and after the arena/SoA rework, and what the SimCache buys on
+// the cells a sweep actually meets.
+//
+// The workload is the fig5-quick shape (6.6B, pp4/tp2/dp8 on DGX-1
+// V100 InfiniBand) across the full schedule zoo and two micro-batch
+// counts. Five passes, each timed per cell:
+//
+//   legacy cold    the frozen pre-rework simulator, full rebuild
+//   arena cold     the arena/SoA simulator, no cache
+//   memoized       exact repeat on a shared SimCache (cost table and
+//                  skeleton both hit: clone + re-time + run)
+//   nmb neighbor   a never-seen cell differing only in N_mb (the
+//                  memoized cost table is reused; new skeleton)
+//   smb neighbor   a never-seen cell differing only in S_mb (the
+//                  memoized skeleton is cloned and re-timed through its
+//                  CostRefs; new cost table)
+//
+// The neighbor rows are the honest "cold cell in a sweep" numbers: the
+// cell itself was never simulated, but a sibling on the same grid was.
+// Byte-identity of every path is pinned by tests/test_sim_diff.cpp; this
+// bench only reports time.
+//
+// Usage: sim_hotpath [repeats] [--json FILE]
+//        (default 20; --json writes the machine-readable artifact CI
+//        archives as BENCH_sim.json and gates on)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/serialize.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+#include "runtime/legacy_pipeline_sim.h"
+#include "runtime/pipeline_sim.h"
+
+using namespace bfpp;
+
+namespace {
+
+struct Cell {
+  parallel::ParallelConfig cfg;
+  std::string label;
+};
+
+// The fig5-quick operating point across the schedule zoo.
+std::vector<Cell> fig5_quick_cells() {
+  struct Family {
+    const char* label;
+    parallel::ScheduleKind kind;
+    int n_loop;
+  };
+  const Family kFamilies[] = {
+      {"bf", parallel::ScheduleKind::kBreadthFirst, 4},
+      {"df", parallel::ScheduleKind::kDepthFirst, 4},
+      {"gpipe", parallel::ScheduleKind::kGpipe, 1},
+      {"1f1b", parallel::ScheduleKind::kOneFOneB, 1},
+      {"1f1b-async", parallel::ScheduleKind::kOneFOneBAsync, 1},
+      {"unbalanced", parallel::ScheduleKind::kUnbalanced, 1},
+      {"v", parallel::ScheduleKind::kVSchedule, 2},
+      {"2bp", parallel::ScheduleKind::kTwoBP, 1},
+  };
+  std::vector<Cell> cells;
+  for (const Family& family : kFamilies) {
+    for (const int n_mb : {8, 16}) {
+      Cell cell;
+      cell.cfg.n_pp = 4;
+      cell.cfg.n_tp = 2;
+      cell.cfg.n_dp = 8;
+      cell.cfg.s_mb = 1;
+      cell.cfg.n_mb = n_mb;
+      cell.cfg.n_loop = family.n_loop;
+      cell.cfg.schedule = family.kind;
+      cell.label = str_format("%s/nmb%d", family.label, n_mb);
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+// Mean per-cell wall time of `body(cell)` over `repeats` sweeps of the
+// cell list. Cells that throw (structurally infeasible on this point)
+// are skipped identically in every pass.
+struct PassTime {
+  double us_per_cell = 0.0;
+  int cells = 0;
+};
+
+PassTime time_pass(const std::vector<Cell>& cells, int repeats,
+                   const std::function<void(const Cell&)>& body) {
+  PassTime out;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    out.cells = 0;
+    for (const Cell& cell : cells) {
+      try {
+        body(cell);
+        ++out.cells;
+      } catch (const Error&) {
+        // skipped: same cells skip in every pass
+      }
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.us_per_cell =
+      out.cells > 0 ? 1e6 * seconds / (repeats * out.cells) : 0.0;
+  return out;
+}
+
+struct Row {
+  std::string pass;
+  PassTime time;
+};
+
+std::string to_json(const std::vector<Row>& rows, int repeats,
+                    double cold_speedup, double neighbor_speedup,
+                    double memoized_speedup) {
+  std::string out = str_format(
+      "{\"bench\":\"sim_hotpath\",\"workload\":\"fig5-quick\","
+      "\"repeats\":%d,\"results\":[",
+      repeats);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out += str_format("%s{\"pass\":\"%s\",\"us_per_cell\":%.2f,\"cells\":%d}",
+                      i == 0 ? "" : ",", rows[i].pass.c_str(),
+                      rows[i].time.us_per_cell, rows[i].time.cells);
+  }
+  out += str_format(
+      "],\"cold_speedup\":%.2f,\"cold_neighbor_speedup\":%.2f,"
+      "\"memoized_speedup\":%.2f}\n",
+      cold_speedup, neighbor_speedup, memoized_speedup);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeats = 20;
+  std::string json_path;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (positional == 0) {
+      repeats = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      repeats = 0;
+      break;
+    }
+  }
+  if (repeats <= 0) {
+    std::fprintf(stderr, "usage: sim_hotpath [repeats] [--json FILE]\n");
+    return 1;
+  }
+
+  const model::TransformerSpec spec = model::model_6_6b();
+  const hw::ClusterSpec cluster = hw::dgx1_v100_infiniband();
+  const std::vector<Cell> cells = fig5_quick_cells();
+
+  // Neighbor cell lists: never simulated in the warm-up pass, but each
+  // shares either the cost-table key (same S_mb, kernel) or the
+  // skeleton key (same schedule topology) with a warmed cell.
+  std::vector<Cell> nmb_neighbors = cells;
+  for (Cell& cell : nmb_neighbors) cell.cfg.n_mb *= 2;
+  std::vector<Cell> smb_neighbors = cells;
+  for (Cell& cell : smb_neighbors) cell.cfg.s_mb = 2;
+
+  auto run_legacy = [&](const Cell& cell) {
+    runtime::legacy::PipelineSim sim(spec, cell.cfg, cluster);
+    (void)sim.run();
+  };
+  auto run_arena = [&](std::shared_ptr<runtime::SimCache> cache) {
+    return [&spec, &cluster, cache](const Cell& cell) {
+      runtime::PipelineSim sim(spec, cell.cfg, cluster, {}, cache);
+      (void)sim.run();
+    };
+  };
+
+  std::printf(
+      "== simulator hot path: fig5-quick zoo, %zu cells, %d repeats ==\n\n",
+      cells.size(), repeats);
+
+  std::vector<Row> rows;
+  rows.push_back({"legacy_cold", time_pass(cells, repeats, run_legacy)});
+  rows.push_back({"arena_cold", time_pass(cells, repeats, run_arena(nullptr))});
+
+  // One shared cache, warmed once by the base cells; the three cached
+  // passes then hit it the way sweep neighbors do.
+  auto cache = std::make_shared<runtime::SimCache>();
+  (void)time_pass(cells, 1, run_arena(cache));  // warm-up (not reported)
+  rows.push_back({"memoized_repeat", time_pass(cells, repeats,
+                                               run_arena(cache))});
+  rows.push_back(
+      {"nmb_neighbor", time_pass(nmb_neighbors, repeats, run_arena(cache))});
+  rows.push_back(
+      {"smb_neighbor", time_pass(smb_neighbors, repeats, run_arena(cache))});
+
+  const double legacy_us = rows[0].time.us_per_cell;
+  const double arena_us = rows[1].time.us_per_cell;
+  const double memo_us = rows[2].time.us_per_cell;
+  // The sweep-neighbor number compares against the legacy cost of the
+  // same neighbor cells (nmb neighbors are the larger graphs, so scale
+  // the legacy baseline by re-timing it on them).
+  const PassTime legacy_nmb = time_pass(nmb_neighbors, repeats, run_legacy);
+  const double neighbor_us = rows[3].time.us_per_cell;
+  const double cold_speedup = arena_us > 0.0 ? legacy_us / arena_us : 0.0;
+  const double neighbor_speedup =
+      neighbor_us > 0.0 ? legacy_nmb.us_per_cell / neighbor_us : 0.0;
+  const double memoized_speedup = memo_us > 0.0 ? legacy_us / memo_us : 0.0;
+
+  Table table({"Pass", "us/cell", "Cells", "vs legacy cold"});
+  for (const Row& row : rows) {
+    const double base =
+        row.pass == "nmb_neighbor" ? legacy_nmb.us_per_cell : legacy_us;
+    table.add_row({row.pass, str_format("%.1f", row.time.us_per_cell),
+                   str_format("%d", row.time.cells),
+                   str_format("%.1fx", row.time.us_per_cell > 0.0
+                                           ? base / row.time.us_per_cell
+                                           : 0.0)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nlegacy cold = pre-rework simulator, full rebuild per cell; arena\n"
+      "cold = arena/SoA rebuild, no cache; memoized = exact repeat on a\n"
+      "shared SimCache; nmb/smb neighbor = never-seen cells reusing the\n"
+      "memoized cost table / skeleton the way sweep siblings do. Equality\n"
+      "of every path's output is pinned by tests/test_sim_diff.cpp.\n");
+
+  if (!json_path.empty()) {
+    if (!serialize::write_file_atomic(
+            json_path, to_json(rows, repeats, cold_speedup, neighbor_speedup,
+                               memoized_speedup))) {
+      std::fprintf(stderr, "sim_hotpath: cannot write '%s'\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,16 +1,17 @@
-#include "runtime/pipeline_sim.h"
+// FROZEN legacy implementation - see legacy_pipeline_sim.h. Kept
+// verbatim (modulo the namespace and graph type) as the differential
+// reference for the arena/SoA rework; do not modify.
+#include "runtime/legacy_pipeline_sim.h"
 
 #include <algorithm>
 #include <map>
-#include <span>
-#include <utility>
 
 #include "collectives/collectives.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "memmodel/memory.h"
 
-namespace bfpp::runtime {
+namespace bfpp::runtime::legacy {
 
 namespace {
 
@@ -20,7 +21,7 @@ using schedule::Op;
 using schedule::OpKind;
 using sim::TaskId;
 using sim::TaskKind;
-using sim::TaskMeta;
+using sim::legacy::TaskMeta;
 
 // Builds the effective compute schedule. With a single pipeline device
 // the schedule kinds degenerate to the gradient-accumulation orders of
@@ -63,33 +64,16 @@ parallel::StagePlacement family_placement(const model::TransformerSpec& spec,
 // proportionally to the gathered payload at an effective 100 GB/s.
 constexpr double kFsReconstructStallBw = 100e9;
 
-// Effective data-parallel collective tier. When several DP-group
-// members share a node, NCCL's hierarchical rings aggregate them over
-// NVLink before crossing the inter-node fabric, multiplying the
-// effective per-GPU inter-node bandwidth (capped by NVLink itself).
-hw::NetTier effective_dp_tier(const parallel::DeviceGrid& grid,
-                              const hw::ClusterSpec& cluster) {
-  hw::NetTier dp_tier = cluster.tier_for_group_extent(grid.dp_group_extent());
-  if (grid.dp_group_extent() > cluster.gpus_per_node) {
-    dp_tier.allreduce_bw =
-        std::min(cluster.intra_node.allreduce_bw,
-                 cluster.inter_node.allreduce_bw * grid.dp_members_per_node());
-  }
-  return dp_tier;
-}
-
 }  // namespace
 
 PipelineSim::PipelineSim(model::TransformerSpec spec,
                          parallel::ParallelConfig cfg, hw::ClusterSpec cluster,
-                         hw::KernelModel kernel,
-                         std::shared_ptr<SimCache> cache)
+                         hw::KernelModel kernel)
     : spec_(std::move(spec)),
       cfg_(cfg),
       cluster_(std::move(cluster)),
       kernel_(kernel),
-      placement_(family_placement(spec_, cfg_)),
-      cache_(std::move(cache)) {}
+      placement_(family_placement(spec_, cfg_)) {}
 
 double PipelineSim::stage_flops(int stage, bool forward) const {
   const double tokens = static_cast<double>(cfg_.s_mb) * spec_.seq_len;
@@ -178,120 +162,39 @@ std::vector<sim::StreamId> PipelineSim::display_streams() const {
   return out;
 }
 
-OpCostTable PipelineSim::build_cost_table() const {
-  // One kernel-model / collective evaluation per stage or device; every
-  // graph task duration is a lookup into this table. The expressions are
-  // byte-for-byte the ones the legacy per-op path evaluated inline.
-  const parallel::DeviceGrid grid(cfg_, cluster_);
-  const hw::NetTier dp_tier = effective_dp_tier(grid, cluster_);
-  const int n_stages = placement_.n_stages();
-  const auto n = static_cast<size_t>(n_stages);
+void PipelineSim::build() {
+  parallel::validate(cfg_, spec_, cluster_);
+  memmodel::check_fits(spec_, cfg_, cluster_);
+  check_config(cfg_.overlap_dp || cfg_.sharding != DpSharding::kFull,
+               "DP_FS requires an implementation with DP overlap");
 
-  OpCostTable t;
-  t.forward.resize(n);
-  t.backward.resize(n);
-  t.backward_input.resize(n);
-  t.backward_weight.resize(n);
-  t.gather.resize(n);
-  t.reduce_scatter.resize(n);
-  t.all_reduce.resize(n);
-  t.fs_stall.resize(n);
-  for (int s = 0; s < n_stages; ++s) {
-    const auto i = static_cast<size_t>(s);
-    const double payload = stage_payload_bytes(s);
-    t.forward[i] = forward_op_seconds(s);
-    t.backward[i] = backward_op_seconds(s);
-    t.backward_input[i] = backward_input_op_seconds(s);
-    t.backward_weight[i] = backward_weight_op_seconds(s);
-    t.gather[i] = collectives::all_gather_time(dp_tier, payload, cfg_.n_dp);
-    t.reduce_scatter[i] =
-        collectives::reduce_scatter_time(dp_tier, payload, cfg_.n_dp);
-    t.all_reduce[i] =
-        collectives::all_reduce_time(dp_tier, payload, cfg_.n_dp);
-    t.fs_stall[i] = payload / kFsReconstructStallBw;
-  }
-
-  t.fused_reduce.resize(static_cast<size_t>(cfg_.n_pp));
-  t.optimizer.resize(static_cast<size_t>(cfg_.n_pp));
-  t.regather.resize(static_cast<size_t>(cfg_.n_pp));
-  const double update_share =
-      cfg_.sharding == DpSharding::kNone ? 1.0 : 1.0 / cfg_.n_dp;
-  for (int r = 0; r < cfg_.n_pp; ++r) {
-    double device_payload = 0.0;
-    for (int stage : placement_.stages_of_device(r))
-      device_payload += stage_payload_bytes(stage);
-    const auto i = static_cast<size_t>(r);
-    t.fused_reduce[i] =
-        collectives::all_reduce_time(dp_tier, device_payload, cfg_.n_dp);
-    const double params_dev =
-        device_payload / collectives::kGradPayloadBytesPerParam;
-    t.optimizer[i] =
-        20.0 * params_dev * update_share / cluster_.gpu.hbm_bw;
-    t.regather[i] =
-        collectives::all_gather_time(dp_tier, device_payload, cfg_.n_dp);
-  }
-
-  const double boundary = boundary_bytes();
-  t.xfer_intra = cluster_.intra_node.sync_overhead +
-                 collectives::p2p_time(cluster_.intra_node, boundary);
-  t.xfer_inter = cluster_.inter_node.sync_overhead +
-                 collectives::p2p_time(cluster_.inter_node, boundary);
-  t.blocking_intra = cluster_.intra_node.blocking_p2p_overhead;
-  t.blocking_inter = cluster_.inter_node.blocking_p2p_overhead;
-  return t;
-}
-
-SimSkeleton PipelineSim::build_skeleton() const {
   const schedule::Schedule sched = effective_schedule(cfg_);
   schedule::validate(sched);
 
   const parallel::DeviceGrid grid(cfg_, cluster_);
+  // Effective data-parallel collective tier. When several DP-group
+  // members share a node, NCCL's hierarchical rings aggregate them over
+  // NVLink before crossing the inter-node fabric, multiplying the
+  // effective per-GPU inter-node bandwidth (capped by NVLink itself).
+  hw::NetTier dp_tier = cluster_.tier_for_group_extent(grid.dp_group_extent());
+  if (grid.dp_group_extent() > cluster_.gpus_per_node) {
+    dp_tier.allreduce_bw =
+        std::min(cluster_.intra_node.allreduce_bw,
+                 cluster_.inter_node.allreduce_bw * grid.dp_members_per_node());
+  }
   const int n_pp = cfg_.n_pp;
   const int n_stages = placement_.n_stages();
   const int n_mb = cfg_.n_mb;
   const bool fs = cfg_.sharding == DpSharding::kFull;
   const bool has_dp = cfg_.n_dp > 1;
 
-  SimSkeleton sk;
-  sim::TaskGraph& graph = sk.graph;
-  const OpCostTable& table = *table_;
-
-  // Pre-size the arenas from the schedule's emission bounds so graph
-  // construction performs no growth reallocation.
-  const int task_bound = schedule::arena_task_bound(sched);
-  graph.reserve(task_bound, schedule::arena_dep_bound(sched));
-
-  std::vector<CostRef>& refs = sk.cost_refs;
-  refs.reserve(static_cast<size_t>(task_bound));
-  auto set_ref = [&refs](TaskId id, CostRef ref) {
-    if (static_cast<size_t>(id) >= refs.size()) {
-      refs.resize(static_cast<size_t>(id) + 1);
-    }
-    refs[static_cast<size_t>(id)] = ref;
-  };
-  // All task definitions flow through these two helpers so every task's
-  // duration comes from resolve(ref, table) and its ref is recorded for
-  // the incremental re-timing path.
-  auto def = [&](TaskId id, sim::StreamId st, CostRef ref,
-                 std::span<const TaskId> deps, TaskMeta meta) {
-    graph.define_task(id, st, resolve(ref, table), deps, meta);
-    set_ref(id, ref);
-  };
-  auto add = [&](sim::StreamId st, CostRef ref, std::span<const TaskId> deps,
-                 TaskMeta meta) {
-    const TaskId id = graph.add_task(st, resolve(ref, table), deps, meta);
-    set_ref(id, ref);
-    return id;
-  };
-  using Class = CostRef::Class;
-  constexpr std::span<const TaskId> kNoDeps;
-  auto one = [](const TaskId& t) { return std::span<const TaskId>(&t, 1); };
-
   // ---- Streams.
+  compute_streams_.clear();
+  dp_streams_.clear();
   for (int r = 0; r < n_pp; ++r) {
-    sk.compute_streams.push_back(
-        graph.add_stream(str_format("gpu%d.compute", r)));
-    sk.dp_streams.push_back(graph.add_stream(str_format("gpu%d.dp", r)));
+    compute_streams_.push_back(
+        graph_.add_stream(str_format("gpu%d.compute", r)));
+    dp_streams_.push_back(graph_.add_stream(str_format("gpu%d.dp", r)));
   }
   // Directed pipeline links, created on demand (forward and backward
   // traffic between the same device pair shares the physical link).
@@ -300,12 +203,13 @@ SimSkeleton PipelineSim::build_skeleton() const {
     auto it = links.find({from, to});
     if (it != links.end()) return it->second;
     const sim::StreamId s =
-        graph.add_stream(str_format("link.%d->%d", from, to));
+        graph_.add_stream(str_format("link.%d->%d", from, to));
     links.emplace(std::pair{from, to}, s);
     return s;
   };
-  auto link_intra = [&](int from, int to) {
-    return grid.pp_link_intra_node(from, to);
+  auto link_tier = [&](int from, int to) -> const hw::NetTier& {
+    return grid.pp_link_intra_node(from, to) ? cluster_.intra_node
+                                             : cluster_.inter_node;
   };
 
   // ---- Pass A: reserve compute tasks and cross-device edge transfers.
@@ -313,35 +217,35 @@ SimSkeleton PipelineSim::build_skeleton() const {
     return static_cast<size_t>(stage) * static_cast<size_t>(n_mb) +
            static_cast<size_t>(mb);
   };
-  const size_t cells = static_cast<size_t>(n_stages) * n_mb;
+  const size_t n_cells = static_cast<size_t>(n_stages) * n_mb;
   const bool split = sched.split_backward;
-  std::vector<TaskId> fwd_task(cells, sim::kInvalidTask);
+  std::vector<TaskId> fwd_task(n_cells, sim::kInvalidTask);
   // The upstream-blocking backward: fused B, or B_x when split.
-  std::vector<TaskId> bwd_task(cells, sim::kInvalidTask);
+  std::vector<TaskId> bwd_task(n_cells, sim::kInvalidTask);
   // Deferred weight gradients (split-backward schedules only).
-  std::vector<TaskId> bwd_w_task(split ? cells : 0, sim::kInvalidTask);
-  std::vector<TaskId> fwd_edge(cells, sim::kInvalidTask);  // into stage s
-  std::vector<TaskId> bwd_edge(cells, sim::kInvalidTask);  // into stage s
+  std::vector<TaskId> bwd_w_task(split ? n_cells : 0, sim::kInvalidTask);
+  std::vector<TaskId> fwd_edge(n_cells, sim::kInvalidTask);  // into stage s
+  std::vector<TaskId> bwd_edge(n_cells, sim::kInvalidTask);  // into stage s
   // Rendezvous markers for blocking (non-overlapped) transfers: the wire
   // transfer cannot start before the receiver posts its matching receive,
   // which is how Megatron-LM-style blocking communication lets delays
   // cascade around the pipeline ring (Section 5.2).
-  std::vector<TaskId> fwd_post(cells, sim::kInvalidTask);
-  std::vector<TaskId> bwd_post(cells, sim::kInvalidTask);
+  std::vector<TaskId> fwd_post(n_cells, sim::kInvalidTask);
+  std::vector<TaskId> bwd_post(n_cells, sim::kInvalidTask);
   for (int s = 0; s < n_stages; ++s) {
     for (int m = 0; m < n_mb; ++m) {
-      fwd_task[idx(s, m)] = graph.reserve_task();
-      bwd_task[idx(s, m)] = graph.reserve_task();
-      if (split) bwd_w_task[idx(s, m)] = graph.reserve_task();
+      fwd_task[idx(s, m)] = graph_.reserve_task();
+      bwd_task[idx(s, m)] = graph_.reserve_task();
+      if (split) bwd_w_task[idx(s, m)] = graph_.reserve_task();
       if (s > 0 && placement_.device_of_stage(s - 1) !=
                        placement_.device_of_stage(s)) {
-        fwd_edge[idx(s, m)] = graph.reserve_task();
-        if (!cfg_.overlap_pp) fwd_post[idx(s, m)] = graph.reserve_task();
+        fwd_edge[idx(s, m)] = graph_.reserve_task();
+        if (!cfg_.overlap_pp) fwd_post[idx(s, m)] = graph_.reserve_task();
       }
       if (s < n_stages - 1 && placement_.device_of_stage(s + 1) !=
                                   placement_.device_of_stage(s)) {
-        bwd_edge[idx(s, m)] = graph.reserve_task();
-        if (!cfg_.overlap_pp) bwd_post[idx(s, m)] = graph.reserve_task();
+        bwd_edge[idx(s, m)] = graph_.reserve_task();
+        if (!cfg_.overlap_pp) bwd_post[idx(s, m)] = graph_.reserve_task();
       }
     }
   }
@@ -387,9 +291,12 @@ SimSkeleton PipelineSim::build_skeleton() const {
   // ---- Pass B: define tasks device by device, in schedule order.
   for (int r = 0; r < n_pp; ++r) {
     const auto& ops = sched.device_ops[static_cast<size_t>(r)];
-    const sim::StreamId cs = sk.compute_streams[static_cast<size_t>(r)];
-    const sim::StreamId ds = sk.dp_streams[static_cast<size_t>(r)];
+    const sim::StreamId cs = compute_streams_[static_cast<size_t>(r)];
+    const sim::StreamId ds = dp_streams_[static_cast<size_t>(r)];
     std::vector<TaskId> reduce_tasks;
+    double device_payload = 0.0;
+    for (int stage : placement_.stages_of_device(r))
+      device_payload += stage_payload_bytes(stage);
 
     const auto& runs = device_runs[static_cast<size_t>(r)];
     // DP_FS weight gathers, one per run. Double-buffered prefetch: the
@@ -399,27 +306,31 @@ SimSkeleton PipelineSim::build_skeleton() const {
     // the reduce from head-of-line-blocking the next reconstruction.
     std::vector<TaskId> run_gather(runs.size(), sim::kInvalidTask);
     size_t run_index = 0;  // run containing the current op
-    auto post_gather = [&](size_t j, std::span<const TaskId> gather_deps) {
+    auto post_gather = [&](size_t j, std::vector<TaskId> gather_deps) {
       if (j >= runs.size()) return;
-      run_gather[j] =
-          add(ds, {Class::kGather, runs[j].stage, false}, gather_deps,
-              {"W", TaskKind::kWeightGather, runs[j].stage, -1});
+      run_gather[j] = graph_.add_task(
+          ds,
+          collectives::all_gather_time(dp_tier,
+                                       stage_payload_bytes(runs[j].stage),
+                                       cfg_.n_dp),
+          std::move(gather_deps),
+          {str_format("W s%d", runs[j].stage), TaskKind::kWeightGather,
+           runs[j].stage, -1});
     };
 
-    std::vector<TaskId> deps;  // scratch, reused across ops
     for (size_t i = 0; i < ops.size(); ++i) {
       const Op& op = ops[i];
       const int s = op.stage;
       const int m = op.micro_batch;
-      deps.clear();
+      std::vector<TaskId> deps;
 
       if (run_index < runs.size() && i > runs[run_index].last) ++run_index;
-      bool op_stall = false;  // FS reconstruction stall (run-first ops)
+      double op_stall = 0.0;  // FS reconstruction stall (run-first ops)
       if (fs && has_dp && i == runs[run_index].first) {
-        op_stall = true;
+        op_stall = stage_payload_bytes(s) / kFsReconstructStallBw;
         if (run_index == 0) {
-          post_gather(0, kNoDeps);
-          post_gather(1, kNoDeps);
+          post_gather(0, {});
+          post_gather(1, {});
         } else {
           // Prefetch the next run's weights; buffer frees when the
           // previous run's compute is done.
@@ -432,7 +343,7 @@ SimSkeleton PipelineSim::build_skeleton() const {
                   : (prev_last.kind == OpKind::kBackwardWeight
                          ? bwd_w_task[prev_idx]
                          : bwd_task[prev_idx]);
-          post_gather(run_index + 1, one(prev_task));
+          post_gather(run_index + 1, {prev_task});
         }
         deps.push_back(run_gather[run_index]);
       }
@@ -447,25 +358,29 @@ SimSkeleton PipelineSim::build_skeleton() const {
               // Blocking receive: post the receive (rendezvous marker),
               // then wait inline for the transfer plus the sync cost.
               const int from = placement_.device_of_stage(s - 1);
-              def(fwd_post[idx(s, m)], cs, {Class::kZero, -1, false}, kNoDeps,
-                  {"post f", TaskKind::kP2P, s, m});
-              add(cs,
-                  {link_intra(from, r) ? Class::kBlockingIntra
-                                       : Class::kBlockingInter,
-                   -1, false},
-                  one(edge), {"recv f", TaskKind::kP2P, s, m});
+              graph_.define_task(fwd_post[idx(s, m)], cs, 0.0, {},
+                                 {str_format("post f s%d m%d", s, m),
+                                  TaskKind::kP2P, s, m});
+              graph_.add_task(cs, link_tier(from, r).blocking_p2p_overhead,
+                              {edge},
+                              {str_format("recv f s%d m%d", s, m),
+                               TaskKind::kP2P, s, m});
             }
             deps.push_back(edge);
           }
         }
-        def(fwd_task[idx(s, m)], cs, {Class::kForward, s, op_stall}, deps,
-            {"F", TaskKind::kForward, s, m});
+        graph_.define_task(
+            fwd_task[idx(s, m)], cs, forward_op_seconds(s) + op_stall,
+            std::move(deps),
+            {str_format("F s%d m%d", s, m), TaskKind::kForward, s, m});
       } else if (op.kind == OpKind::kBackwardWeight) {
         // Deferred weight gradient: local work, gated only on its own
         // B_x (which stashed the output gradient).
         deps.push_back(bwd_task[idx(s, m)]);
-        def(bwd_w_task[idx(s, m)], cs, {Class::kBackwardWeight, s, op_stall},
-            deps, {"Bw", TaskKind::kBackwardWeight, s, m});
+        graph_.define_task(
+            bwd_w_task[idx(s, m)], cs, backward_weight_op_seconds(s) + op_stall,
+            std::move(deps),
+            {str_format("Bw s%d m%d", s, m), TaskKind::kBackwardWeight, s, m});
       } else {
         deps.push_back(fwd_task[idx(s, m)]);  // stashed boundary activation
         if (s < n_stages - 1) {
@@ -475,22 +390,24 @@ SimSkeleton PipelineSim::build_skeleton() const {
             const TaskId edge = bwd_edge[idx(s, m)];
             if (!cfg_.overlap_pp) {
               const int from = placement_.device_of_stage(s + 1);
-              def(bwd_post[idx(s, m)], cs, {Class::kZero, -1, false}, kNoDeps,
-                  {"post b", TaskKind::kP2P, s, m});
-              add(cs,
-                  {link_intra(from, r) ? Class::kBlockingIntra
-                                       : Class::kBlockingInter,
-                   -1, false},
-                  one(edge), {"recv b", TaskKind::kP2P, s, m});
+              graph_.define_task(bwd_post[idx(s, m)], cs, 0.0, {},
+                                 {str_format("post b s%d m%d", s, m),
+                                  TaskKind::kP2P, s, m});
+              graph_.add_task(cs, link_tier(from, r).blocking_p2p_overhead,
+                              {edge},
+                              {str_format("recv b s%d m%d", s, m),
+                               TaskKind::kP2P, s, m});
             }
             deps.push_back(edge);
           }
         }
         const bool fused = op.kind == OpKind::kBackward;
-        def(bwd_task[idx(s, m)], cs,
-            {fused ? Class::kBackward : Class::kBackwardInput, s, op_stall},
-            deps,
-            {fused ? "B" : "Bx",
+        graph_.define_task(
+            bwd_task[idx(s, m)], cs,
+            (fused ? backward_op_seconds(s) : backward_input_op_seconds(s)) +
+                op_stall,
+            std::move(deps),
+            {str_format(fused ? "B s%d m%d" : "Bx s%d m%d", s, m),
              fused ? TaskKind::kBackward : TaskKind::kBackwardInput, s, m});
       }
 
@@ -506,30 +423,28 @@ SimSkeleton PipelineSim::build_skeleton() const {
                                    : placement_.device_of_stage(s - 1);
         const TaskId edge =
             sends_fwd ? fwd_edge[idx(s + 1, m)] : bwd_edge[idx(s - 1, m)];
-        const bool intra = link_intra(r, peer);
-        TaskId edge_deps_buf[2];
-        size_t edge_dep_count = 0;
+        const hw::NetTier& tier = link_tier(r, peer);
+        std::vector<TaskId> edge_deps;
         if (cfg_.overlap_pp) {
-          edge_deps_buf[edge_dep_count++] = op.kind == OpKind::kForward
-                                                ? fwd_task[idx(s, m)]
-                                                : bwd_task[idx(s, m)];
+          edge_deps.push_back(op.kind == OpKind::kForward
+                                  ? fwd_task[idx(s, m)]
+                                  : bwd_task[idx(s, m)]);
         } else {
           // Blocking send: a launch on the compute stream (the batched
           // isend), and a rendezvous on the receiver's matching post.
-          const TaskId launch =
-              add(cs,
-                  {intra ? Class::kBlockingIntra : Class::kBlockingInter, -1,
-                   false},
-                  kNoDeps, {"send", TaskKind::kP2P, s, m});
-          edge_deps_buf[edge_dep_count++] = launch;
-          edge_deps_buf[edge_dep_count++] = sends_fwd
-                                                ? fwd_post[idx(s + 1, m)]
-                                                : bwd_post[idx(s - 1, m)];
+          const TaskId launch = graph_.add_task(
+              cs, tier.blocking_p2p_overhead, {},
+              {str_format("send s%d m%d", s, m), TaskKind::kP2P, s, m});
+          edge_deps.push_back(launch);
+          const TaskId post = sends_fwd ? fwd_post[idx(s + 1, m)]
+                                        : bwd_post[idx(s - 1, m)];
+          edge_deps.push_back(post);
         }
-        def(edge, link_stream(r, peer),
-            {intra ? Class::kXferIntra : Class::kXferInter, -1, false},
-            std::span<const TaskId>(edge_deps_buf, edge_dep_count),
-            {"xfer", TaskKind::kP2P, s, m});
+        graph_.define_task(
+            edge, link_stream(r, peer),
+            tier.sync_overhead + collectives::p2p_time(tier, boundary_bytes()),
+            std::move(edge_deps),
+            {str_format("xfer s%d m%d", s, m), TaskKind::kP2P, s, m});
       }
 
       // Gradient reduction, keyed on the op that finalizes a stage's
@@ -543,20 +458,25 @@ SimSkeleton PipelineSim::build_skeleton() const {
                                ops[i + 1].stage != s ||
                                ops[i + 1].kind != final_grad_kind;
           if (run_end) {
-            reduce_tasks.push_back(
-                add(ds, {Class::kReduceScatter, s, false}, one(grad_task),
-                    {"G", TaskKind::kGradReduce, s, -1}));
+            reduce_tasks.push_back(graph_.add_task(
+                ds,
+                collectives::reduce_scatter_time(
+                    dp_tier, stage_payload_bytes(s), cfg_.n_dp),
+                {grad_task},
+                {str_format("G s%d", s), TaskKind::kGradReduce, s, -1}));
           }
         } else if (cfg_.overlap_dp) {
           // One reduction per stage, as soon as its gradients are final.
           if (last_bwd_of_stage[static_cast<size_t>(r)].at(s) == i) {
-            reduce_tasks.push_back(
-                add(ds,
-                    {cfg_.sharding == DpSharding::kNone
-                         ? Class::kAllReduce
-                         : Class::kReduceScatter,
-                     s, false},
-                    one(grad_task), {"G", TaskKind::kGradReduce, s, -1}));
+            const double payload = stage_payload_bytes(s);
+            const double dur =
+                cfg_.sharding == DpSharding::kNone
+                    ? collectives::all_reduce_time(dp_tier, payload, cfg_.n_dp)
+                    : collectives::reduce_scatter_time(dp_tier, payload,
+                                                       cfg_.n_dp);
+            reduce_tasks.push_back(graph_.add_task(
+                ds, dur, {grad_task},
+                {str_format("G s%d", s), TaskKind::kGradReduce, s, -1}));
           }
         }
       }
@@ -565,59 +485,30 @@ SimSkeleton PipelineSim::build_skeleton() const {
     // Megatron-LM behaviour: a single fused, blocking gradient reduction
     // after all compute (Figure 4a/4b).
     if (has_dp && !cfg_.overlap_dp) {
-      add(cs, {Class::kFusedReduce, r, false}, kNoDeps,
-          {"G fused", TaskKind::kGradReduce, -1, -1});
+      graph_.add_task(
+          cs,
+          collectives::all_reduce_time(dp_tier, device_payload, cfg_.n_dp),
+          {}, {"G fused", TaskKind::kGradReduce, -1, -1});
     }
 
     // Optimizer step (memory-bound; ~20 bytes of state traffic per
     // locally updated parameter).
-    const TaskId opt = add(cs, {Class::kOptimizer, r, false}, reduce_tasks,
-                           {"S", TaskKind::kOptimizerStep, -1, -1});
+    const double params_dev =
+        device_payload / collectives::kGradPayloadBytesPerParam;
+    const double update_share =
+        cfg_.sharding == DpSharding::kNone ? 1.0 : 1.0 / cfg_.n_dp;
+    const TaskId opt = graph_.add_task(
+        cs, 20.0 * params_dev * update_share / cluster_.gpu.hbm_bw,
+        reduce_tasks, {"S", TaskKind::kOptimizerStep, -1, -1});
 
     // DP_PS: re-gather the updated weights (overlaps the next batch in
     // steady state; charged here, see header).
     if (has_dp && cfg_.sharding == DpSharding::kPartial) {
-      add(cfg_.overlap_dp ? ds : cs, {Class::kRegather, r, false}, one(opt),
-          {"W regather", TaskKind::kWeightGather, -1, -1});
+      graph_.add_task(
+          cfg_.overlap_dp ? ds : cs,
+          collectives::all_gather_time(dp_tier, device_payload, cfg_.n_dp),
+          {opt}, {"W regather", TaskKind::kWeightGather, -1, -1});
     }
-  }
-
-  refs.resize(static_cast<size_t>(graph.task_count()));
-  return sk;
-}
-
-void PipelineSim::build() {
-  parallel::validate(cfg_, spec_, cluster_);
-  memmodel::check_fits(spec_, cfg_, cluster_);
-  check_config(cfg_.overlap_dp || cfg_.sharding != DpSharding::kFull,
-               "DP_FS requires an implementation with DP overlap");
-
-  if (cache_ != nullptr) {
-    table_ = cache_->costs(op_cost_key(spec_, cfg_, cluster_, kernel_),
-                           [this] { return build_cost_table(); });
-    const std::shared_ptr<const SimSkeleton> skel =
-        cache_->skeleton(sim_topology_key(spec_, cfg_, cluster_),
-                         [this] { return build_skeleton(); });
-    // Incremental re-simulation: clone the cached topology and re-time
-    // it through each task's recorded CostRef. When the skeleton was
-    // built for this exact operating point the refill reproduces the
-    // same durations; when it came from an S_mb/kernel neighbor the
-    // refill is what adapts it - either way the result is identical to
-    // a from-scratch build.
-    graph_ = skel->graph;
-    compute_streams_ = skel->compute_streams;
-    dp_streams_ = skel->dp_streams;
-    const int n = graph_.task_count();
-    for (int t = 0; t < n; ++t) {
-      graph_.set_duration(
-          t, resolve(skel->cost_refs[static_cast<size_t>(t)], *table_));
-    }
-  } else {
-    table_ = std::make_shared<const OpCostTable>(build_cost_table());
-    SimSkeleton sk = build_skeleton();
-    graph_ = std::move(sk.graph);
-    compute_streams_ = std::move(sk.compute_streams);
-    dp_streams_ = std::move(sk.dp_streams);
   }
 
   built_ = true;
@@ -625,7 +516,7 @@ void PipelineSim::build() {
 
 RunResult PipelineSim::run() {
   if (!built_) build();
-  result_ = std::make_unique<sim::SimResult>(sim::run(graph_));
+  result_ = std::make_unique<sim::SimResult>(sim::legacy::run(graph_));
 
   RunResult out;
   out.batch_time = result_->makespan();
@@ -643,11 +534,4 @@ RunResult PipelineSim::run() {
   return out;
 }
 
-RunResult simulate_batch(const model::TransformerSpec& spec,
-                         const parallel::ParallelConfig& cfg,
-                         const hw::ClusterSpec& cluster) {
-  PipelineSim sim(spec, cfg, cluster);
-  return sim.run();
-}
-
-}  // namespace bfpp::runtime
+}  // namespace bfpp::runtime::legacy

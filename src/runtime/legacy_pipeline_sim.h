@@ -1,0 +1,73 @@
+// FROZEN legacy pipeline simulation (pre-PR-8 implementation).
+//
+// The graph-building hot path exactly as it shipped before the arena/SoA
+// rework: per-op kernel-model and collective evaluations (no cost
+// table), eagerly str_format-ed task labels, per-task dependency vectors
+// on sim::legacy::TaskGraph, and no cross-cell memoization. The
+// modelling rules are documented in runtime/pipeline_sim.h; this copy
+// preserves their original encoding byte for byte.
+//
+// Consumers: tests/test_sim_diff.cpp (Report/gantt byte-identity against
+// the arena path) and bench/sim_hotpath.cpp (the cold-cell baseline).
+// Test/bench-only; scheduled for deletion one release after PR 8.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "hw/kernel_model.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+#include "runtime/pipeline_sim.h"
+#include "schedule/schedule.h"
+#include "sim/legacy_task_graph.h"
+
+namespace bfpp::runtime::legacy {
+
+// Simulates one training batch through the frozen pre-rework path.
+// Produces the same runtime::RunResult type as runtime::PipelineSim so
+// Reports built from either are directly comparable.
+class PipelineSim {
+ public:
+  PipelineSim(model::TransformerSpec spec, parallel::ParallelConfig cfg,
+              hw::ClusterSpec cluster, hw::KernelModel kernel = {});
+
+  RunResult run();
+
+  [[nodiscard]] const sim::legacy::TaskGraph& graph() const { return graph_; }
+  [[nodiscard]] const sim::SimResult& result() const;
+  [[nodiscard]] const std::vector<sim::StreamId>& compute_streams() const {
+    return compute_streams_;
+  }
+  [[nodiscard]] const std::vector<sim::StreamId>& dp_streams() const {
+    return dp_streams_;
+  }
+  [[nodiscard]] std::vector<sim::StreamId> display_streams() const;
+
+  [[nodiscard]] double forward_op_seconds(int stage) const;
+  [[nodiscard]] double backward_op_seconds(int stage) const;
+  [[nodiscard]] double backward_input_op_seconds(int stage) const;
+  [[nodiscard]] double backward_weight_op_seconds(int stage) const;
+  [[nodiscard]] double stage_payload_bytes(int stage) const;
+  [[nodiscard]] double boundary_bytes() const;
+
+ private:
+  void build();
+  [[nodiscard]] double stage_flops(int stage, bool forward) const;
+  [[nodiscard]] double tp_comm_seconds() const;
+
+  model::TransformerSpec spec_;
+  parallel::ParallelConfig cfg_;
+  hw::ClusterSpec cluster_;
+  hw::KernelModel kernel_;
+  parallel::StagePlacement placement_;
+
+  sim::legacy::TaskGraph graph_;
+  std::unique_ptr<sim::SimResult> result_;
+  std::vector<sim::StreamId> compute_streams_;
+  std::vector<sim::StreamId> dp_streams_;
+  bool built_ = false;
+};
+
+}  // namespace bfpp::runtime::legacy

@@ -32,6 +32,18 @@
 //  * Tensor-parallel all-reduces that cannot be overlapped (two in the
 //    forward pass, two in the recompute; Appendix A.3.3) are folded into
 //    the compute-op durations.
+//
+// Hot path: every task duration is a lookup into an OpCostTable
+// (runtime/sim_cache.h) evaluated once per stage/device instead of once
+// per op, the graph is emitted into sim::TaskGraph's flat arenas with
+// static label tags, and when a SimCache is attached (api sweeps share
+// one per engine) both the cost table and the graph topology are reused
+// across cells: cells sharing a model x cluster pair skip the cost
+// evaluation, and cells differing only in batch/micro-batch split clone
+// a cached skeleton and re-time it instead of rebuilding. All of this is
+// semantics-preserving - simulated times are bit-identical to the frozen
+// pre-rework implementation in runtime/legacy_pipeline_sim.h, which
+// tests/test_sim_diff.cpp asserts byte-for-byte at the Report level.
 #pragma once
 
 #include <memory>
@@ -41,6 +53,7 @@
 #include "hw/kernel_model.h"
 #include "model/transformer.h"
 #include "parallel/config.h"
+#include "runtime/sim_cache.h"
 #include "schedule/schedule.h"
 #include "sim/task_graph.h"
 
@@ -59,8 +72,12 @@ struct RunResult {
 // result so benches can render Figure 4/9 style timelines.
 class PipelineSim {
  public:
+  // `cache`, when non-null, memoizes op-cost tables and graph topology
+  // across PipelineSim instances (thread-safe; see runtime/sim_cache.h).
+  // Results are identical with and without it.
   PipelineSim(model::TransformerSpec spec, parallel::ParallelConfig cfg,
-              hw::ClusterSpec cluster, hw::KernelModel kernel = {});
+              hw::ClusterSpec cluster, hw::KernelModel kernel = {},
+              std::shared_ptr<SimCache> cache = nullptr);
 
   // Builds the task graph and runs it. Throws bfpp::ConfigError /
   // bfpp::OutOfMemoryError for invalid or infeasible configurations.
@@ -96,6 +113,12 @@ class PipelineSim {
 
  private:
   void build();
+  // Evaluates every cost the graph can reference (one kernel-model and
+  // collective evaluation per stage/device - the memoizable unit).
+  [[nodiscard]] OpCostTable build_cost_table() const;
+  // Emits the task graph with durations resolved through `table_`,
+  // recording each task's CostRef for incremental re-timing.
+  [[nodiscard]] SimSkeleton build_skeleton() const;
   [[nodiscard]] double stage_flops(int stage, bool forward) const;
   [[nodiscard]] double tp_comm_seconds() const;
 
@@ -105,6 +128,8 @@ class PipelineSim {
   hw::KernelModel kernel_;
   parallel::StagePlacement placement_;
 
+  std::shared_ptr<SimCache> cache_;
+  std::shared_ptr<const OpCostTable> table_;
   sim::TaskGraph graph_;
   std::unique_ptr<sim::SimResult> result_;
   std::vector<sim::StreamId> compute_streams_;

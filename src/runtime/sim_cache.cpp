@@ -1,0 +1,177 @@
+#include "runtime/sim_cache.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace bfpp::runtime {
+
+namespace {
+
+// %.17g round-trips doubles exactly, so two inputs serialize to the same
+// key iff every field is bit-equal (modulo -0.0/0.0, which no spec uses).
+void put(std::string& key, double v) {
+  key += str_format("%.17g;", v);
+}
+
+void put(std::string& key, int v) {
+  key += std::to_string(v);
+  key += ';';
+}
+
+void put_tier(std::string& key, const hw::NetTier& tier) {
+  put(key, tier.allreduce_bw);
+  put(key, tier.p2p_bw);
+  put(key, tier.latency);
+  put(key, tier.sync_overhead);
+  put(key, tier.blocking_p2p_overhead);
+}
+
+// Everything both keys share: the model and cluster numbers and the
+// config axes that shape placement, schedule and device grid.
+void put_common(std::string& key, const model::TransformerSpec& spec,
+                const parallel::ParallelConfig& cfg,
+                const hw::ClusterSpec& cluster) {
+  put(key, spec.n_layers);
+  put(key, spec.n_heads);
+  put(key, spec.head_size);
+  put(key, spec.hidden_size);
+  put(key, spec.seq_len);
+  put(key, spec.vocab_size);
+  put(key, cluster.gpu.peak_flops);
+  put(key, cluster.gpu.memory_bytes);
+  put(key, cluster.gpu.hbm_bw);
+  put(key, cluster.n_nodes);
+  put(key, cluster.gpus_per_node);
+  put_tier(key, cluster.intra_node);
+  put_tier(key, cluster.inter_node);
+  put(key, cfg.n_dp);
+  put(key, cfg.n_tp);
+  put(key, cfg.n_pp);
+  put(key, cfg.n_loop);
+  put(key, static_cast<int>(cfg.schedule));
+  put(key, static_cast<int>(cfg.sharding));
+  put(key, cfg.overlap_dp ? 1 : 0);
+  put(key, cfg.overlap_pp ? 1 : 0);
+}
+
+}  // namespace
+
+double resolve(const CostRef& ref, const OpCostTable& table) {
+  const auto i = static_cast<size_t>(ref.index);
+  double base = 0.0;
+  switch (ref.cls) {
+    case CostRef::Class::kZero:
+      base = 0.0;
+      break;
+    case CostRef::Class::kForward:
+      base = table.forward[i];
+      break;
+    case CostRef::Class::kBackward:
+      base = table.backward[i];
+      break;
+    case CostRef::Class::kBackwardInput:
+      base = table.backward_input[i];
+      break;
+    case CostRef::Class::kBackwardWeight:
+      base = table.backward_weight[i];
+      break;
+    case CostRef::Class::kGather:
+      base = table.gather[i];
+      break;
+    case CostRef::Class::kReduceScatter:
+      base = table.reduce_scatter[i];
+      break;
+    case CostRef::Class::kAllReduce:
+      base = table.all_reduce[i];
+      break;
+    case CostRef::Class::kFusedReduce:
+      base = table.fused_reduce[i];
+      break;
+    case CostRef::Class::kOptimizer:
+      base = table.optimizer[i];
+      break;
+    case CostRef::Class::kRegather:
+      base = table.regather[i];
+      break;
+    case CostRef::Class::kXferIntra:
+      base = table.xfer_intra;
+      break;
+    case CostRef::Class::kXferInter:
+      base = table.xfer_inter;
+      break;
+    case CostRef::Class::kBlockingIntra:
+      base = table.blocking_intra;
+      break;
+    case CostRef::Class::kBlockingInter:
+      base = table.blocking_inter;
+      break;
+  }
+  // Matches the legacy `op + op_stall` sum (op_stall == 0.0 when the op
+  // is not the first of a DP_FS run), so refilled durations are
+  // bit-identical to freshly built ones.
+  return ref.fs_stall ? base + table.fs_stall[i] : base;
+}
+
+std::string op_cost_key(const model::TransformerSpec& spec,
+                        const parallel::ParallelConfig& cfg,
+                        const hw::ClusterSpec& cluster,
+                        const hw::KernelModel& kernel) {
+  std::string key = "cost:";
+  put_common(key, spec, cfg, cluster);
+  put(key, cfg.s_mb);  // N_mb deliberately excluded: no table input reads it
+  put(key, kernel.max_efficiency);
+  put(key, kernel.narrow_half);
+  put(key, kernel.rows_half);
+  return key;
+}
+
+std::string sim_topology_key(const model::TransformerSpec& spec,
+                             const parallel::ParallelConfig& cfg,
+                             const hw::ClusterSpec& cluster) {
+  std::string key = "topo:";
+  put_common(key, spec, cfg, cluster);
+  put(key, cfg.n_mb);  // S_mb and kernel deliberately excluded: they only
+                       // scale durations, never the graph structure
+  return key;
+}
+
+std::shared_ptr<const OpCostTable> SimCache::costs(
+    const std::string& key, const std::function<OpCostTable()>& build) {
+  {
+    LockGuard lock(mu_);
+    auto it = costs_.find(key);
+    if (it != costs_.end()) {
+      ++stats_.cost_hits;
+      return it->second;
+    }
+    ++stats_.cost_misses;
+  }
+  auto built = std::make_shared<const OpCostTable>(build());
+  LockGuard lock(mu_);
+  // First insert wins on a race; builders are deterministic in the key,
+  // so either copy is the same table.
+  return costs_.emplace(key, std::move(built)).first->second;
+}
+
+std::shared_ptr<const SimSkeleton> SimCache::skeleton(
+    const std::string& key, const std::function<SimSkeleton()>& build) {
+  {
+    LockGuard lock(mu_);
+    auto it = skeletons_.find(key);
+    if (it != skeletons_.end()) {
+      ++stats_.skeleton_hits;
+      return it->second;
+    }
+    ++stats_.skeleton_misses;
+  }
+  auto built = std::make_shared<const SimSkeleton>(build());
+  LockGuard lock(mu_);
+  return skeletons_.emplace(key, std::move(built)).first->second;
+}
+
+SimCache::Stats SimCache::stats() const {
+  LockGuard lock(mu_);
+  return stats_;
+}
+
+}  // namespace bfpp::runtime

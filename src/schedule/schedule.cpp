@@ -381,6 +381,22 @@ Schedule make_schedule(parallel::ScheduleKind kind, int n_pp, int n_loop,
   throw Error("make_schedule: unknown schedule kind");
 }
 
+int arena_task_bound(const Schedule& s) {
+  const int cells = s.n_stages() * s.n_mb;
+  // Per cell: the compute ops themselves (total_ops), plus at most one
+  // incoming edge transfer, one send launch and two rendezvous markers
+  // in each direction. Per device: one weight gather per run (bounded by
+  // ops), plus reductions, fused reduce, optimizer and regather.
+  return s.total_ops() + 8 * cells + s.total_ops() + 4 * s.n_pp;
+}
+
+int arena_dep_bound(const Schedule& s) {
+  // Compute ops carry at most 3 deps (gather, producer, edge); edges at
+  // most 2 (launch, post); collectives at most one per reduce feeding
+  // the optimizer plus one each.
+  return 3 * arena_task_bound(s);
+}
+
 void validate(const Schedule& s) {
   check(static_cast<int>(s.device_ops.size()) == s.n_pp,
         "schedule: device count mismatch");

@@ -1,0 +1,128 @@
+// FROZEN legacy implementation - see legacy_task_graph.h. Kept verbatim
+// (module the namespace) as the differential-testing reference for the
+// arena/SoA rework; do not modify.
+#include "sim/legacy_task_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace bfpp::sim::legacy {
+
+StreamId TaskGraph::add_stream(std::string name) {
+  stream_names_.push_back(std::move(name));
+  stream_order_.emplace_back();
+  return static_cast<StreamId>(stream_names_.size()) - 1;
+}
+
+TaskId TaskGraph::reserve_task() {
+  tasks_.emplace_back();
+  return static_cast<TaskId>(tasks_.size()) - 1;
+}
+
+void TaskGraph::define_task(TaskId id, StreamId stream, double duration,
+                            std::vector<TaskId> deps, TaskMeta meta) {
+  check(id >= 0 && id < task_count(), "define_task: invalid task id");
+  check(stream >= 0 && stream < stream_count(),
+        "define_task: invalid stream id");
+  check(duration >= 0.0, "define_task: negative duration");
+  Task& t = tasks_[static_cast<size_t>(id)];
+  check(!t.defined, "define_task: task already defined");
+  for (TaskId d : deps) {
+    check(d >= 0 && d < task_count(), "define_task: invalid dependency id");
+  }
+  t.stream = stream;
+  t.duration = duration;
+  t.deps = std::move(deps);
+  t.meta = std::move(meta);
+  t.defined = true;
+  stream_order_[static_cast<size_t>(stream)].push_back(id);
+}
+
+TaskId TaskGraph::add_task(StreamId stream, double duration,
+                           std::vector<TaskId> deps, TaskMeta meta) {
+  const TaskId id = reserve_task();
+  define_task(id, stream, duration, std::move(deps), std::move(meta));
+  return id;
+}
+
+SimResult run(const TaskGraph& graph) {
+  const int n = graph.task_count();
+  for (int i = 0; i < n; ++i) {
+    check(graph.tasks_[static_cast<size_t>(i)].defined,
+          "run: reserved task was never defined: id " + std::to_string(i));
+  }
+
+  // Build the full dependency structure: explicit deps plus the implicit
+  // same-stream predecessor edge.
+  std::vector<int> indegree(static_cast<size_t>(n), 0);
+  std::vector<std::vector<TaskId>> successors(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (TaskId d : graph.tasks_[static_cast<size_t>(i)].deps) {
+      successors[static_cast<size_t>(d)].push_back(i);
+      ++indegree[static_cast<size_t>(i)];
+    }
+  }
+  for (StreamId s = 0; s < graph.stream_count(); ++s) {
+    const auto& order = graph.stream_tasks(s);
+    for (size_t k = 1; k < order.size(); ++k) {
+      successors[static_cast<size_t>(order[k - 1])].push_back(order[k]);
+      ++indegree[static_cast<size_t>(order[k])];
+    }
+  }
+
+  // Kahn's algorithm, propagating times. Processing order does not matter
+  // for correctness because start times only depend on predecessors.
+  std::vector<TaskTime> times(static_cast<size_t>(n));
+  std::queue<TaskId> ready;
+  for (int i = 0; i < n; ++i) {
+    if (indegree[static_cast<size_t>(i)] == 0) ready.push(i);
+  }
+  int processed = 0;
+  double makespan = 0.0;
+  std::vector<double> start(static_cast<size_t>(n), 0.0);
+  while (!ready.empty()) {
+    const TaskId t = ready.front();
+    ready.pop();
+    ++processed;
+    auto& tt = times[static_cast<size_t>(t)];
+    tt.start = start[static_cast<size_t>(t)];
+    tt.end = tt.start + graph.duration(t);
+    makespan = std::max(makespan, tt.end);
+    for (TaskId succ : successors[static_cast<size_t>(t)]) {
+      auto& s_start = start[static_cast<size_t>(succ)];
+      s_start = std::max(s_start, tt.end);
+      if (--indegree[static_cast<size_t>(succ)] == 0) ready.push(succ);
+    }
+  }
+
+  if (processed != n) {
+    // Deadlock: report a few blocked tasks to aid debugging schedules.
+    std::vector<std::string> blocked;
+    for (int i = 0; i < n && blocked.size() < 5; ++i) {
+      if (indegree[static_cast<size_t>(i)] > 0) {
+        blocked.push_back(
+            str_format("#%d '%s' on %s", i, graph.meta(i).label.c_str(),
+                       graph.stream_name(graph.stream_of(i)).c_str()));
+      }
+    }
+    throw Error("simulation deadlock (dependency cycle); blocked tasks: " +
+                join(blocked, ", "));
+  }
+
+  std::vector<StreamStats> stats(static_cast<size_t>(graph.stream_count()));
+  for (StreamId s = 0; s < graph.stream_count(); ++s) {
+    auto& st = stats[static_cast<size_t>(s)];
+    const auto& order = graph.stream_tasks(s);
+    if (order.empty()) continue;
+    st.first_start = times[static_cast<size_t>(order.front())].start;
+    st.last_end = times[static_cast<size_t>(order.back())].end;
+    for (TaskId t : order) st.busy += graph.duration(t);
+  }
+
+  return SimResult(std::move(times), std::move(stats), makespan);
+}
+
+}  // namespace bfpp::sim::legacy

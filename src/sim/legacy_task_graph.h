@@ -1,0 +1,99 @@
+// FROZEN legacy task-graph simulator (pre-PR-8 implementation).
+//
+// This is the per-node-allocation AoS implementation that
+// sim/task_graph.h shipped before the arena/SoA rework: every task is a
+// heap node carrying its own std::vector<TaskId> dependency list and an
+// eagerly formatted std::string label, and legacy::run() builds a
+// vector-of-vectors successor table plus a std::queue ready list.
+//
+// It exists for exactly two consumers and nothing else:
+//   * tests/test_sim_diff.cpp - the differential harness that proves the
+//     arena/SoA path produces byte-identical Reports and gantt timelines;
+//   * bench/sim_hotpath.cpp - the cold-cell baseline the >=5x speedup is
+//     measured against.
+//
+// Do not use it from production code, and do not "fix" or optimise it:
+// its value is being a faithful reference. Scheduled for deletion one
+// release after PR 8.
+//
+// TaskTime / StreamStats / SimResult / TaskKind are shared with the
+// arena implementation (sim/task_graph.h) so results from the two paths
+// compare directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/task_graph.h"
+
+namespace bfpp::sim::legacy {
+
+// The pre-rework TaskMeta: an owned, eagerly formatted label string per
+// task (the allocation pattern the arena path removes).
+struct TaskMeta {
+  std::string label;
+  TaskKind kind = TaskKind::kGeneric;
+  int stage = -1;
+  int micro_batch = -1;
+};
+
+class TaskGraph;
+SimResult run(const TaskGraph& graph);
+
+// The pre-rework graph container: one heap node per task, each with its
+// own dependency vector.
+class TaskGraph {
+ public:
+  StreamId add_stream(std::string name);
+
+  TaskId add_task(StreamId stream, double duration, std::vector<TaskId> deps,
+                  TaskMeta meta = {});
+
+  TaskId reserve_task();
+  void define_task(TaskId id, StreamId stream, double duration,
+                   std::vector<TaskId> deps, TaskMeta meta = {});
+
+  [[nodiscard]] int task_count() const {
+    return static_cast<int>(tasks_.size());
+  }
+  [[nodiscard]] int stream_count() const {
+    return static_cast<int>(stream_names_.size());
+  }
+  [[nodiscard]] const std::string& stream_name(StreamId s) const {
+    return stream_names_[static_cast<size_t>(s)];
+  }
+  [[nodiscard]] const TaskMeta& meta(TaskId t) const {
+    return tasks_[static_cast<size_t>(t)].meta;
+  }
+  [[nodiscard]] double duration(TaskId t) const {
+    return tasks_[static_cast<size_t>(t)].duration;
+  }
+  [[nodiscard]] StreamId stream_of(TaskId t) const {
+    return tasks_[static_cast<size_t>(t)].stream;
+  }
+  [[nodiscard]] const std::vector<TaskId>& stream_tasks(StreamId s) const {
+    return stream_order_[static_cast<size_t>(s)];
+  }
+
+ private:
+  friend SimResult run(const TaskGraph& graph);
+
+  struct Task {
+    StreamId stream = -1;
+    double duration = 0.0;
+    std::vector<TaskId> deps;
+    TaskMeta meta;
+    bool defined = false;
+  };
+
+  std::vector<Task> tasks_;
+  std::vector<std::string> stream_names_;
+  std::vector<std::vector<TaskId>> stream_order_;
+};
+
+// The pre-rework simulation algorithm (vector-of-vectors successors,
+// std::queue ready list). Same fixed point as sim::run, so task times
+// are bit-identical between the two.
+SimResult run(const TaskGraph& graph);
+
+}  // namespace bfpp::sim::legacy

@@ -17,9 +17,23 @@
 // circular wait patterns (e.g. two devices that both block on a receive
 // before their send). run() detects such cycles and reports them as
 // deadlocks instead of silently mis-simulating.
+//
+// Storage layout: the graph is arena-allocated structure-of-arrays.
+// Per-task fields (stream, duration, meta, dependency extent) live in
+// flat parallel vectors indexed by TaskId, and all dependency lists
+// share one contiguous arena. Building a graph therefore performs O(1)
+// heap allocations per *container growth*, not per task, and TaskMeta
+// carries a static tag (see below) instead of an owned, eagerly
+// formatted label string. run() builds its successor table in CSR form
+// (count, prefix-sum, fill) and drives Kahn's algorithm off a flat
+// ready vector. Task times are bit-identical to the pre-arena
+// implementation (frozen as sim::legacy in legacy_task_graph.h) because
+// start times are a max over predecessor end times, which is
+// independent of both processing order and successor-list order.
 #pragma once
 
-#include <limits>
+#include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,11 +59,20 @@ enum class TaskKind {
   kTensorComm,     // tensor-parallel all-reduce folded into compute
 };
 
+// Per-task metadata. POD by design: `tag` must point to storage that
+// outlives the graph (in practice a string literal such as "F" or
+// "recv b"); the human-readable label is synthesized on demand by
+// label() as `tag[ s<stage>][ m<micro_batch>]`, so building a graph
+// never formats strings.
 struct TaskMeta {
-  std::string label;
+  const char* tag = "";
   TaskKind kind = TaskKind::kGeneric;
   int stage = -1;        // pipeline stage index, if applicable
   int micro_batch = -1;  // micro-batch index, if applicable
+
+  // Diagnostic label, e.g. {"F", ..., 2, 5} -> "F s2 m5". Matches the
+  // strings the pre-arena implementation stored eagerly.
+  [[nodiscard]] std::string label() const;
 };
 
 class SimResult;
@@ -57,25 +80,49 @@ class TaskGraph;
 SimResult run(const TaskGraph& graph);
 
 // A static DAG of tasks on in-order streams. Build once, run once.
+// Copyable by design: cached topology skeletons (runtime/sim_cache.h)
+// are cloned and re-timed instead of rebuilt.
 class TaskGraph {
  public:
   // Creates a stream (an in-order execution resource). `name` is used in
   // diagnostics and timeline output, e.g. "gpu0.compute".
   StreamId add_stream(std::string name);
 
+  // Pre-sizes the arenas. Purely an optimization: builders that know
+  // their task/dependency counts (schedule generators emitting a whole
+  // batch) avoid all growth reallocations.
+  void reserve(int tasks, int total_deps);
+
   // Adds a fully-defined task. `deps` are completion dependencies on
   // previously created (or reserved) tasks; the implicit predecessor in
   // the same stream is always an additional dependency.
-  TaskId add_task(StreamId stream, double duration, std::vector<TaskId> deps,
+  TaskId add_task(StreamId stream, double duration, std::span<const TaskId> deps,
                   TaskMeta meta = {});
+  TaskId add_task(StreamId stream, double duration,
+                  std::initializer_list<TaskId> deps, TaskMeta meta = {}) {
+    return add_task(stream, duration,
+                    std::span<const TaskId>(deps.begin(), deps.size()), meta);
+  }
 
   // Reserves a task id so that earlier tasks can depend on it; the task
   // must be defined later with define_task() before run().
   TaskId reserve_task();
   void define_task(TaskId id, StreamId stream, double duration,
-                   std::vector<TaskId> deps, TaskMeta meta = {});
+                   std::span<const TaskId> deps, TaskMeta meta = {});
+  void define_task(TaskId id, StreamId stream, double duration,
+                   std::initializer_list<TaskId> deps, TaskMeta meta = {}) {
+    define_task(id, stream, duration,
+                std::span<const TaskId>(deps.begin(), deps.size()), meta);
+  }
 
-  [[nodiscard]] int task_count() const { return static_cast<int>(tasks_.size()); }
+  // Overwrites the duration of an already defined task. Used by the
+  // incremental re-simulation path, which clones a cached topology
+  // skeleton and re-times it for a neighboring operating point.
+  void set_duration(TaskId t, double duration);
+
+  [[nodiscard]] int task_count() const {
+    return static_cast<int>(duration_.size());
+  }
   [[nodiscard]] int stream_count() const {
     return static_cast<int>(stream_names_.size());
   }
@@ -83,31 +130,43 @@ class TaskGraph {
     return stream_names_[static_cast<size_t>(s)];
   }
   [[nodiscard]] const TaskMeta& meta(TaskId t) const {
-    return tasks_[static_cast<size_t>(t)].meta;
+    return meta_[static_cast<size_t>(t)];
   }
+  [[nodiscard]] std::string label(TaskId t) const { return meta(t).label(); }
   [[nodiscard]] double duration(TaskId t) const {
-    return tasks_[static_cast<size_t>(t)].duration;
+    return duration_[static_cast<size_t>(t)];
   }
   [[nodiscard]] StreamId stream_of(TaskId t) const {
-    return tasks_[static_cast<size_t>(t)].stream;
+    return stream_[static_cast<size_t>(t)];
+  }
+  // Dependencies of a task, in the order they were declared.
+  [[nodiscard]] std::span<const TaskId> deps(TaskId t) const {
+    return {deps_arena_.data() + dep_begin_[static_cast<size_t>(t)],
+            static_cast<size_t>(dep_count_[static_cast<size_t>(t)])};
   }
   // Tasks of a stream in submission (== execution) order.
   [[nodiscard]] const std::vector<TaskId>& stream_tasks(StreamId s) const {
     return stream_order_[static_cast<size_t>(s)];
   }
+  // Total dependency-arena size (sum of per-task dep counts).
+  [[nodiscard]] int total_deps() const {
+    return static_cast<int>(deps_arena_.size());
+  }
 
  private:
   friend SimResult run(const TaskGraph& graph);
 
-  struct Task {
-    StreamId stream = -1;
-    double duration = 0.0;
-    std::vector<TaskId> deps;
-    TaskMeta meta;
-    bool defined = false;
-  };
+  // SoA per-task fields, all indexed by TaskId.
+  std::vector<StreamId> stream_;
+  std::vector<double> duration_;
+  std::vector<TaskMeta> meta_;
+  std::vector<int> dep_begin_;  // offset into deps_arena_
+  std::vector<int> dep_count_;
+  std::vector<char> defined_;
+  // Shared dependency arena; each task's deps are one contiguous slice,
+  // appended at define time (definition order, not id order).
+  std::vector<TaskId> deps_arena_;
 
-  std::vector<Task> tasks_;
   std::vector<std::string> stream_names_;
   std::vector<std::vector<TaskId>> stream_order_;
 };

@@ -1,0 +1,301 @@
+// Differential harness for the simulator hot-path rework: a seeded
+// scenario corpus runs through both the arena/SoA simulator
+// (runtime::PipelineSim) and the frozen pre-rework implementation
+// (runtime::legacy::PipelineSim), asserting bit-identical results at
+// every level - task times, rendered timelines, RunResult and the full
+// api::Report wire form. Also pins the SimCache memoized and
+// incremental re-simulation paths to the cold path.
+//
+// The legacy simulator exists only to back this harness and the
+// sim_hotpath bench; both it and this file are scheduled for deletion
+// one release after the rework lands.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/api.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "hw/cluster.h"
+#include "model/transformer.h"
+#include "parallel/config.h"
+#include "runtime/legacy_pipeline_sim.h"
+#include "runtime/pipeline_sim.h"
+#include "sim/gantt.h"
+#include "sim/legacy_task_graph.h"
+
+namespace bfpp::runtime {
+namespace {
+
+using parallel::DpSharding;
+using parallel::ParallelConfig;
+using parallel::ScheduleKind;
+
+struct Scenario {
+  model::TransformerSpec spec;
+  ParallelConfig cfg;
+  hw::ClusterSpec cluster;
+  std::string tag;  // for failure messages
+};
+
+// Outcome of running one simulator: either a result bundle or the
+// thrown error's message (exceptions must match across implementations
+// too - same type of rejection, same diagnostic).
+struct Outcome {
+  bool ok = false;
+  std::string error;
+  RunResult result;
+  std::string gantt;
+  int task_count = 0;
+  std::vector<std::string> labels;
+  std::vector<sim::TaskTime> times;
+};
+
+Outcome run_legacy(const Scenario& sc) {
+  Outcome out;
+  try {
+    legacy::PipelineSim sim(sc.spec, sc.cfg, sc.cluster);
+    out.result = sim.run();
+    out.gantt = sim::render_gantt(sim.graph(), sim.result(),
+                                  sim.display_streams());
+    out.task_count = sim.graph().task_count();
+    for (int t = 0; t < out.task_count; ++t) {
+      out.labels.push_back(sim.graph().meta(t).label);
+      out.times.push_back(sim.result().time(t));
+    }
+    out.ok = true;
+  } catch (const Error& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+Outcome run_arena(const Scenario& sc, std::shared_ptr<SimCache> cache = {}) {
+  Outcome out;
+  try {
+    PipelineSim sim(sc.spec, sc.cfg, sc.cluster, {}, std::move(cache));
+    out.result = sim.run();
+    out.gantt = sim::render_gantt(sim.graph(), sim.result(),
+                                  sim.display_streams());
+    out.task_count = sim.graph().task_count();
+    for (int t = 0; t < out.task_count; ++t) {
+      out.labels.push_back(sim.graph().label(t));
+      out.times.push_back(sim.result().time(t));
+    }
+    out.ok = true;
+  } catch (const Error& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+// Full-depth comparison of two outcomes; returns true when the scenario
+// simulated cleanly on both (for corpus coverage accounting).
+bool expect_identical(const Outcome& legacy, const Outcome& arena,
+                      const std::string& tag) {
+  EXPECT_EQ(legacy.ok, arena.ok) << tag << ": legacy said '" << legacy.error
+                                 << "', arena said '" << arena.error << "'";
+  if (!legacy.ok || !arena.ok) {
+    EXPECT_EQ(legacy.error, arena.error) << tag;
+    return false;
+  }
+  // RunResult: exact double equality, not approximate - the rework is
+  // semantics-preserving by construction.
+  EXPECT_EQ(legacy.result.batch_time, arena.result.batch_time) << tag;
+  EXPECT_EQ(legacy.result.throughput_per_gpu, arena.result.throughput_per_gpu)
+      << tag;
+  EXPECT_EQ(legacy.result.utilization, arena.result.utilization) << tag;
+  EXPECT_EQ(legacy.result.compute_idle_fraction,
+            arena.result.compute_idle_fraction)
+      << tag;
+  // Structure: same tasks in the same id order with the same labels
+  // (exercises every synthesized-label pattern) and the same times.
+  EXPECT_EQ(legacy.task_count, arena.task_count) << tag;
+  if (legacy.task_count != arena.task_count) return false;
+  for (int t = 0; t < legacy.task_count; ++t) {
+    const auto u = static_cast<size_t>(t);
+    EXPECT_EQ(legacy.labels[u], arena.labels[u]) << tag << " task " << t;
+    EXPECT_EQ(legacy.times[u].start, arena.times[u].start)
+        << tag << " task " << t << " (" << legacy.labels[u] << ")";
+    EXPECT_EQ(legacy.times[u].end, arena.times[u].end)
+        << tag << " task " << t;
+    if (legacy.labels[u] != arena.labels[u] ||
+        legacy.times[u].start != arena.times[u].start ||
+        legacy.times[u].end != arena.times[u].end) {
+      return false;  // one divergent task is enough detail per scenario
+    }
+  }
+  // Rendered timeline: both graphs flow through the same render_gantt
+  // template, so the charts must match character for character.
+  EXPECT_EQ(legacy.gantt, arena.gantt) << tag;
+  return true;
+}
+
+// Seeded corpus: random (family x grid x micro-batching x sharding x
+// overlap) points, including non-power-of-two pipelines. Infeasible
+// points stay in the corpus - both implementations must reject them
+// with the same diagnostic.
+std::vector<Scenario> corpus(uint64_t seed, int n) {
+  struct Grid {
+    int pp, tp, dp, nodes;
+  };
+  static const Grid kGrids[] = {
+      {8, 8, 1, 8}, {4, 2, 8, 8}, {2, 4, 8, 8}, {4, 4, 4, 8},
+      {2, 2, 16, 8}, {8, 2, 4, 8}, {1, 8, 8, 8}, {3, 8, 1, 3},
+      {5, 4, 2, 5}, {6, 4, 1, 3},
+  };
+  static const ScheduleKind kKinds[] = {
+      ScheduleKind::kGpipe,        ScheduleKind::kOneFOneB,
+      ScheduleKind::kDepthFirst,   ScheduleKind::kBreadthFirst,
+      ScheduleKind::kOneFOneBAsync, ScheduleKind::kUnbalanced,
+      ScheduleKind::kVSchedule,    ScheduleKind::kTwoBP,
+  };
+  Rng rng(seed);
+  std::vector<Scenario> out;
+  for (int i = 0; i < n; ++i) {
+    const Grid& g = kGrids[rng.uniform_index(std::size(kGrids))];
+    const ScheduleKind kind = kKinds[rng.uniform_index(std::size(kKinds))];
+    Scenario sc;
+    sc.spec = rng.uniform() < 0.2 ? model::model_52b() : model::model_6_6b();
+    sc.cluster = rng.uniform() < 0.5 ? hw::dgx1_v100_infiniband(g.nodes)
+                                     : hw::dgx1_v100_ethernet(g.nodes);
+    ParallelConfig& cfg = sc.cfg;
+    cfg.n_pp = g.pp;
+    cfg.n_tp = g.tp;
+    cfg.n_dp = g.dp;
+    cfg.schedule = kind;
+    switch (kind) {
+      case ScheduleKind::kBreadthFirst:
+        cfg.n_loop = 1 << rng.uniform_index(3);  // 1, 2 or 4
+        break;
+      case ScheduleKind::kDepthFirst:
+        cfg.n_loop = 1 << rng.uniform_index(3);
+        break;
+      case ScheduleKind::kVSchedule:
+        cfg.n_loop = 2;
+        break;
+      default:
+        cfg.n_loop = 1;
+        break;
+    }
+    cfg.n_mb = kind == ScheduleKind::kDepthFirst
+                   ? g.pp * static_cast<int>(1 + rng.uniform_index(4))
+                   : 2 << rng.uniform_index(3);  // 2, 4 or 8
+    cfg.s_mb = 1 + static_cast<int>(rng.uniform_index(2));
+    const DpSharding shardings[] = {DpSharding::kNone, DpSharding::kPartial,
+                                    DpSharding::kFull};
+    cfg.sharding = shardings[rng.uniform_index(3)];
+    cfg.overlap_pp = rng.uniform() < 0.7;
+    cfg.overlap_dp = cfg.sharding == DpSharding::kFull || rng.uniform() < 0.7;
+    sc.tag = "seed " + std::to_string(seed) + " #" + std::to_string(i) + ": " +
+             cfg.describe();
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+TEST(SimDiff, SeededCorpusIsByteIdentical) {
+  int clean = 0;
+  for (const Scenario& sc : corpus(/*seed=*/0xbf2023, /*n=*/96)) {
+    if (expect_identical(run_legacy(sc), run_arena(sc), sc.tag)) ++clean;
+  }
+  // The corpus must actually exercise the simulator, not just the
+  // validators - require a healthy feasible share (~40% of the points
+  // survive the structural checks at this seed).
+  EXPECT_GE(clean, 32);
+}
+
+TEST(SimDiff, CachedPathsMatchColdPath) {
+  // One shared cache across four cells: exact repeat (full hit),
+  // batch-size neighbor (cost-table hit, new topology) and
+  // micro-batch-split neighbor (skeleton clone + re-time). Every cached
+  // evaluation must be bit-identical to a cold, cache-less one.
+  Scenario base;
+  base.spec = model::model_6_6b();
+  base.cluster = hw::dgx1_v100_infiniband();
+  base.cfg.n_pp = 4;
+  base.cfg.n_tp = 2;
+  base.cfg.n_dp = 8;
+  base.cfg.s_mb = 1;
+  base.cfg.n_mb = 8;
+  base.cfg.n_loop = 4;
+  base.cfg.schedule = ScheduleKind::kBreadthFirst;
+  base.tag = "cache base";
+
+  Scenario batch_neighbor = base;  // different N_mb, same S_mb
+  batch_neighbor.cfg.n_mb = 16;
+  batch_neighbor.tag = "cache batch-neighbor";
+  Scenario split_neighbor = base;  // different S_mb, same N_mb
+  split_neighbor.cfg.s_mb = 2;
+  split_neighbor.tag = "cache split-neighbor";
+
+  auto cache = std::make_shared<SimCache>();
+  EXPECT_TRUE(expect_identical(run_legacy(base), run_arena(base, cache),
+                               base.tag));
+  auto stats = cache->stats();
+  EXPECT_EQ(stats.cost_misses, 1);
+  EXPECT_EQ(stats.skeleton_misses, 1);
+
+  // Exact repeat: both lookups hit.
+  EXPECT_TRUE(expect_identical(run_legacy(base), run_arena(base, cache),
+                               "cache repeat"));
+  stats = cache->stats();
+  EXPECT_EQ(stats.cost_hits, 1);
+  EXPECT_EQ(stats.skeleton_hits, 1);
+
+  // Batch-size neighbor: same model x cluster costs, new topology.
+  EXPECT_TRUE(expect_identical(run_legacy(batch_neighbor),
+                               run_arena(batch_neighbor, cache),
+                               batch_neighbor.tag));
+  stats = cache->stats();
+  EXPECT_EQ(stats.cost_hits, 2);
+  EXPECT_EQ(stats.skeleton_misses, 2);
+
+  // Micro-batch-split neighbor: cached skeleton cloned and re-timed
+  // through the CostRefs (the incremental re-simulation path).
+  EXPECT_TRUE(expect_identical(run_legacy(split_neighbor),
+                               run_arena(split_neighbor, cache),
+                               split_neighbor.tag));
+  stats = cache->stats();
+  EXPECT_EQ(stats.skeleton_hits, 2);
+  EXPECT_EQ(stats.cost_misses, 2);
+}
+
+TEST(SimDiff, ReportsAreByteIdenticalAcrossEngines) {
+  // The acceptance-level check: whole api::Reports (JSON and wire form)
+  // from the arena engine match the legacy engine byte for byte.
+  const auto legacy_engine = api::make_legacy_simulator_engine_for_tests();
+  const auto arena_engine = api::make_engine();
+  int compared = 0;
+  for (const Scenario& sc : corpus(/*seed=*/0x51fd1ff, /*n=*/12)) {
+    std::optional<api::Scenario> scenario;
+    try {
+      scenario = api::ScenarioBuilder()
+                     .name(sc.tag)
+                     .model(sc.spec)
+                     .cluster(sc.cluster)
+                     .config(sc.cfg)
+                     .build();
+    } catch (const ConfigError&) {
+      continue;  // structurally invalid corpus point; neither engine runs
+    }
+    const std::optional<api::Report> a =
+        api::try_run_with(*scenario, *legacy_engine);
+    const std::optional<api::Report> b =
+        api::try_run_with(*scenario, *arena_engine);
+    ASSERT_EQ(a.has_value(), b.has_value()) << sc.tag;
+    if (!a) continue;
+    EXPECT_EQ(a->to_wire(), b->to_wire()) << sc.tag;
+    EXPECT_EQ(a->to_json(), b->to_json()) << sc.tag;
+    EXPECT_EQ(a->to_csv_row(), b->to_csv_row()) << sc.tag;
+    ++compared;
+  }
+  EXPECT_GE(compared, 4);  // the corpus must yield real comparisons
+}
+
+}  // namespace
+}  // namespace bfpp::runtime

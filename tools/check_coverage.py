@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over gcov --json-format output. Stdlib only.
+
+Walks a --coverage build tree for .gcda files, asks gcov for JSON
+(uncompressed, on stdout), unions execution counts per source line
+across translation units, and reports line coverage for the filtered
+source prefixes. Exits non-zero when total coverage falls below the
+floor, so CI fails on coverage regressions in the simulator core.
+
+Usage:
+  python3 tools/check_coverage.py --build-dir build-cov \
+      --source-root . --min-percent 85 \
+      --filter src/sim --filter src/runtime --filter src/schedule
+
+gcovr renders prettier reports, but this gate deliberately depends on
+nothing beyond gcov + the standard library so it runs identically on a
+bare container and on CI.
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def gcov_json(gcda_path):
+    """Runs gcov in JSON mode on one .gcda; yields its per-file records."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", os.path.basename(gcda_path)],
+        cwd=os.path.dirname(gcda_path),
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        print(f"warning: gcov failed on {gcda_path}: {proc.stderr.strip()}",
+              file=sys.stderr)
+        return
+    # --stdout emits one JSON document per .gcda on a single line each.
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        yield from doc.get("files", [])
+
+
+def normalize(path, source_root):
+    if not os.path.isabs(path):
+        path = os.path.join(source_root, path)
+    return os.path.relpath(os.path.realpath(path),
+                           os.path.realpath(source_root))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-root", default=".")
+    parser.add_argument("--min-percent", type=float, default=0.0)
+    parser.add_argument("--filter", action="append", default=[],
+                        help="source path prefix to include (repeatable)")
+    args = parser.parse_args()
+
+    prefixes = [p.rstrip("/") + "/" for p in args.filter] or [""]
+
+    # line_hits[file][line] = max count seen across TUs (union coverage:
+    # a line is covered if any test binary executed it).
+    line_hits = collections.defaultdict(dict)
+    gcda_count = 0
+    for gcda in find_gcda(args.build_dir):
+        gcda_count += 1
+        for record in gcov_json(gcda):
+            rel = normalize(record.get("file", ""), args.source_root)
+            if not any(rel.startswith(p) for p in prefixes):
+                continue
+            hits = line_hits[rel]
+            for line in record.get("lines", []):
+                number = line.get("line_number")
+                count = line.get("count", 0)
+                if number is None:
+                    continue
+                hits[number] = max(hits.get(number, 0), count)
+
+    if gcda_count == 0:
+        print(f"error: no .gcda files under {args.build_dir} - build with "
+              "--coverage and run the tests first", file=sys.stderr)
+        return 2
+    if not line_hits:
+        print("error: no instrumented lines matched the filters "
+              f"{args.filter}", file=sys.stderr)
+        return 2
+
+    per_dir = collections.defaultdict(lambda: [0, 0])  # dir -> [covered, total]
+    total_covered = 0
+    total_lines = 0
+    for rel in sorted(line_hits):
+        hits = line_hits[rel]
+        covered = sum(1 for c in hits.values() if c > 0)
+        total = len(hits)
+        total_covered += covered
+        total_lines += total
+        key = os.path.dirname(rel)
+        per_dir[key][0] += covered
+        per_dir[key][1] += total
+        pct = 100.0 * covered / total if total else 0.0
+        print(f"{rel:<44} {covered:>5}/{total:<5} {pct:6.1f}%")
+
+    print("-" * 64)
+    for key in sorted(per_dir):
+        covered, total = per_dir[key]
+        pct = 100.0 * covered / total if total else 0.0
+        print(f"{key + '/':<44} {covered:>5}/{total:<5} {pct:6.1f}%")
+    total_pct = 100.0 * total_covered / total_lines
+    print(f"{'TOTAL':<44} {total_covered:>5}/{total_lines:<5} "
+          f"{total_pct:6.1f}%")
+
+    if total_pct < args.min_percent:
+        print(f"FAIL: line coverage {total_pct:.1f}% is below the "
+              f"{args.min_percent:.1f}% floor", file=sys.stderr)
+        return 1
+    print(f"OK: line coverage {total_pct:.1f}% >= "
+          f"{args.min_percent:.1f}% floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
