@@ -1,0 +1,14 @@
+// Fixture: one of every banned nondeterminism source (bad twin).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+int entropy_soup() {
+  std::unordered_map<int, int> counts{{1, 2}, {3, 4}};
+  int acc = 0;
+  for (const auto& kv : counts) acc += kv.second;
+  srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device dev;
+  return acc + rand() + static_cast<int>(dev());
+}

@@ -1,0 +1,12 @@
+// Fixture: deterministic code only (good twin).
+#include <map>
+#include <vector>
+
+int sum_ordered() {
+  std::map<int, int> counts{{1, 2}, {3, 4}};
+  int acc = 0;
+  for (const auto& kv : counts) acc += kv.second;
+  std::vector<int> v{1, 2, 3};
+  for (int x : v) acc += x;
+  return acc;
+}

@@ -1,0 +1,8 @@
+#include "schedule.h"
+namespace schedule {
+static const FamilyInfo kFamilies[] = {
+    {Family::kGpipe, ScheduleKind::kGpipe, "Gpipe", "Huang et al. 2019"},
+    {Family::kOneFOneB, ScheduleKind::kOneFOneB, "1F1B",
+     "Narayanan et al. 2019"},
+};
+}  // namespace schedule

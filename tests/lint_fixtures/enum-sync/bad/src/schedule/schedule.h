@@ -1,0 +1,4 @@
+#pragma once
+namespace schedule {
+enum class Family { kGpipe, kOneFOneB, kDepthFirst };
+}  // namespace schedule

@@ -1,0 +1,7 @@
+namespace {
+const char* cli_usage() {
+  return "usage: bfpp <command>\n"
+         "  --schedule gpipe|1f1b\n"
+         "  --backend sim|analytic\n";
+}
+}  // namespace

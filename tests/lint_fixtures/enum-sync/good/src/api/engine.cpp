@@ -1,0 +1,16 @@
+#include "engine.h"
+#include <string>
+namespace api {
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kSimulator: return "sim";
+    case Backend::kAnalytic: return "analytic";
+  }
+  return "?";
+}
+Backend parse_backend(const std::string& s) {
+  if (s == "sim" || s == "simulator") return Backend::kSimulator;
+  if (s == "analytic" || s == "theory") return Backend::kAnalytic;
+  throw s;
+}
+}  // namespace api

@@ -1,0 +1,4 @@
+#pragma once
+namespace api {
+enum class Backend { kSimulator, kAnalytic };
+}  // namespace api

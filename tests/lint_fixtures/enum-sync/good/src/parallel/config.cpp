@@ -1,0 +1,28 @@
+#include "config.h"
+#include <string>
+namespace parallel {
+const char* to_string(ScheduleKind k) {
+  switch (k) {
+    case ScheduleKind::kGpipe: return "GPipe";
+    case ScheduleKind::kOneFOneB: return "1F1B";
+  }
+  return "?";
+}
+const char* to_string(DpSharding s) {
+  switch (s) {
+    case DpSharding::kNone: return "none";
+    case DpSharding::kFull: return "full";
+  }
+  return "?";
+}
+ScheduleKind parse_schedule_kind(const std::string& s) {
+  if (s == "gpipe") return ScheduleKind::kGpipe;
+  if (s == "1f1b" || s == "one-f-one-b") return ScheduleKind::kOneFOneB;
+  throw s;
+}
+DpSharding parse_sharding(const std::string& s) {
+  if (s == "none") return DpSharding::kNone;
+  if (s == "full") return DpSharding::kFull;
+  throw s;
+}
+}  // namespace parallel

@@ -1,0 +1,6 @@
+// Fixture: two-family miniature of the real enum surface (good twin).
+#pragma once
+namespace parallel {
+enum class ScheduleKind { kGpipe, kOneFOneB };
+enum class DpSharding { kNone, kFull };
+}  // namespace parallel

@@ -1,0 +1,28 @@
+// Fixture, deliberately broken: start() inverts documented pair 1,
+// poke() nests an undocumented pair, wedge() re-locks a held mutex,
+// and documented pair 3 is never exercised anywhere.
+#include "server.h"
+
+void Cache::save() {
+  const LockGuard lock(mutex_);
+}
+
+void Server::start() {
+  const LockGuard outer(b_mutex_);
+  const LockGuard inner(a_mutex_);
+}
+
+void Server::flush() {
+  const LockGuard lock(a_mutex_);
+  cache_.save();
+}
+
+void Server::poke() {
+  const LockGuard lock(b_mutex_);
+  const LockGuard lock2(e_mutex_);
+}
+
+void Server::wedge() {
+  const LockGuard lock(a_mutex_);
+  const LockGuard again(a_mutex_);
+}

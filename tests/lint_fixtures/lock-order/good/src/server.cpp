@@ -1,0 +1,15 @@
+#include "server.h"
+
+void Cache::save() {
+  const LockGuard lock(mutex_);
+}
+
+void Server::start() {
+  const LockGuard outer(a_mutex_);
+  const LockGuard inner(b_mutex_);
+}
+
+void Server::flush() {
+  const LockGuard lock(a_mutex_);
+  cache_.save();
+}

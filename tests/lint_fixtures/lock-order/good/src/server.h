@@ -1,0 +1,15 @@
+// Fixture: two classes whose nesting matches the documented order.
+#pragma once
+
+struct Cache {
+  void save();
+  Mutex mutex_;
+};
+
+struct Server {
+  void start();
+  void flush();
+  Cache cache_;
+  Mutex a_mutex_;
+  Mutex b_mutex_;
+};

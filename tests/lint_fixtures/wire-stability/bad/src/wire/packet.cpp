@@ -1,0 +1,29 @@
+// Fixture implementation, deliberately broken two ways:
+//   * member `b` never reaches to_wire() (silent drop on persist);
+//   * from_wire() reads a key "c" that to_wire() never emits.
+#include "packet.h"
+
+namespace mini {
+
+namespace {
+std::string wire_field(const std::string& text, const char* key) {
+  (void)text;
+  (void)key;
+  return "0";
+}
+}  // namespace
+
+std::string Packet::to_wire() const {
+  std::string out;
+  out += "\"a\":" + std::to_string(a);
+  return out;
+}
+
+Packet Packet::from_wire(const std::string& text) {
+  Packet p;
+  p.a = std::stoi(wire_field(text, "a"));
+  p.b = std::stod(wire_field(text, "c"));
+  return p;
+}
+
+}  // namespace mini

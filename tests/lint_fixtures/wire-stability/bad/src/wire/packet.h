@@ -1,0 +1,15 @@
+// Fixture: wire-format struct whose emitters drifted (bad twin).
+#pragma once
+#include <string>
+
+namespace mini {
+
+struct Packet {
+  int a = 0;
+  double b = 0.0;
+
+  std::string to_wire() const;
+  static Packet from_wire(const std::string& text);
+};
+
+}  // namespace mini

@@ -1,0 +1,76 @@
+"""CLI for bfpp-lint. Run as `python3 tools/bfpp_lint <command>`.
+
+Commands:
+  run [--pass NAME ...] [--root DIR]   run passes (default: all) against
+                                       a source tree; exit 1 on findings
+  list                                 list passes with descriptions
+  selftest                             prove every pass distinguishes its
+                                       good/bad fixture twins under
+                                       tests/lint_fixtures/ (CI runs this
+                                       before trusting `run`)
+  analyze --tool {fanalyzer,scan-build} [--root DIR]
+                                       compiler-analyzer legs over the
+                                       curated target list (analyzers.py)
+
+Exit status: 0 clean, 1 findings/selftest failure, 2 usage or setup
+error (missing inputs, unknown pass, analyzer binary absent).
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from core import REPO_ROOT, all_passes, main_run
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bfpp-lint",
+        description="project-invariant static analysis for the bfpp tree")
+    sub = parser.add_subparsers(dest="command")
+
+    p_run = sub.add_parser("run", help="run lint passes")
+    p_run.add_argument("--pass", dest="passes", action="append",
+                       metavar="NAME",
+                       help="run only this pass (repeatable)")
+    p_run.add_argument("--root", type=Path, default=REPO_ROOT,
+                       help="source tree to lint (default: repo root)")
+
+    sub.add_parser("list", help="list passes")
+    sub.add_parser("selftest",
+                   help="run every pass against its fixture twins")
+
+    p_an = sub.add_parser("analyze", help="compiler-analyzer legs")
+    p_an.add_argument("--tool", required=True,
+                      choices=["fanalyzer", "scan-build"])
+    p_an.add_argument("--root", type=Path, default=REPO_ROOT)
+    p_an.add_argument("--build-dir", type=Path, default=None,
+                      help="build tree with compile_commands.json "
+                           "(default: <root>/build)")
+
+    args = parser.parse_args(argv)
+    if args.command in (None, "run"):
+        root = getattr(args, "root", REPO_ROOT)
+        names = getattr(args, "passes", None)
+        return main_run(root.resolve(), names)
+    if args.command == "list":
+        for p in all_passes():
+            print(f"{p.name:16} {p.description}")
+            if p.allowlist:
+                print(f"{'':16} allowlist: {p.allowlist}")
+        return 0
+    if args.command == "selftest":
+        import selftest
+        return selftest.main(REPO_ROOT)
+    if args.command == "analyze":
+        import analyzers
+        build = args.build_dir or (args.root / "build")
+        return analyzers.main(args.root.resolve(), build.resolve(),
+                              args.tool)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,277 @@
+"""Compiler-analyzer legs: gcc -fanalyzer and the clang static
+analyzer, driven over a curated target list through one suppression
+mechanism.
+
+Both analyzers re-run the real compile command (flags recovered from
+build/compile_commands.json) with the analysis engine swapped in:
+
+  fanalyzer   g++ -fanalyzer -fsyntax-only   (path-sensitive leak /
+              use-after-free / null-deref analysis; counts only
+              [-Wanalyzer-*] diagnostics, plain warnings belong to the
+              build job's -Werror)
+  scan-build  clang++ --analyze (the Clang Static Analyzer engine that
+              the scan-build wrapper drives; invoked directly so the
+              curated list and suppression file apply identically)
+
+Targets live in analyzer_targets.txt (curation rationale in its
+header: the big TUs blow up -fanalyzer's path exploration).
+Suppressions live in analyzer_suppressions.txt as `path:substring`
+entries, each with a justification comment; a suppression that matches
+nothing fails the leg, so the file can only shrink.
+
+Anti-vacuity canaries: gcc 12's analyzer officially supports C only;
+on C++ it silently drops malloc-family diagnostics for any TU that
+constructs a std::string (verified by bisection: appending a textbook
+leak to such a TU reports nothing, while the same leak in a minimal
+TU reports fine). A leg that "runs clean" because the engine went
+blind is worse than no leg, so the driver checks twice:
+
+  * engine canary: before scanning, a minimal known-leaky TU must
+    produce the leak diagnostic, else exit 2 (the analyzer itself is
+    broken/blind);
+  * per-TU canary: each curated target is compiled as a temp copy
+    with the same known leak appended; if the planted leak goes
+    unreported the TU is announced as BLIND in the summary instead of
+    masquerading as clean. Blind TUs do not fail the leg - the clang
+    leg has full C++ support and covers them, and a newer gcc
+    upgrades this leg automatically.
+
+Exit status: 0 clean, 1 diagnostics or stale suppressions, 2 setup
+error (missing binary / compile_commands.json / unknown target /
+blind analyzer).
+"""
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from core import LintError, load_allowlist
+
+TARGETS = "tools/bfpp_lint/analyzer_targets.txt"
+SUPPRESSIONS = "tools/bfpp_lint/analyzer_suppressions.txt"
+
+# Flags worth carrying over from the real compile command: include
+# paths, defines and the language standard. Codegen/warning/output
+# flags are the build job's business.
+_KEEP_FLAG = re.compile(r"-(?:I|isystem|D|std=)")
+
+_DIAG = re.compile(r"^(?P<path>[^:\n]+):(?P<line>\d+):(?P<col>\d+):\s+"
+                   r"warning:\s+(?P<text>.*)$", re.M)
+
+TOOLS = {
+    "fanalyzer": {
+        "binary": "g++",
+        "binary_env": "BFPP_LINT_GXX",
+        # NOT -fsyntax-only: gcc 12's analyzer runs as an IPA pass and
+        # silently does nothing without codegen, so compile to the bin.
+        "flags": ["-fanalyzer", "-c", "-o", "/dev/null"],
+        # Only the analyzer's own findings count for this leg.
+        "select": lambda text: "[-Wanalyzer" in text,
+        "per_tu_timeout": 300,
+    },
+    "scan-build": {
+        "binary": "clang++",
+        "binary_env": "BFPP_LINT_CLANGXX",
+        "flags": ["--analyze", "--analyzer-output", "text"],
+        "select": lambda text: True,
+        "per_tu_timeout": 300,
+    },
+}
+
+
+_CANARY = """\
+#include <cstdlib>
+int leak_canary(int n) {
+  int* p = static_cast<int*>(malloc(sizeof(int) * 4));
+  if (n < 0) return -1;
+  p[0] = n;
+  const int v = p[0];
+  free(p);
+  return v;
+}
+"""
+
+
+def _canary_ok(binary: str, spec: dict) -> bool:
+    """True when the analyzer reports the canary's early-return leak."""
+    with tempfile.TemporaryDirectory(prefix="bfpp-lint-canary") as tmp:
+        canary = Path(tmp) / "canary.cpp"
+        canary.write_text(_CANARY, encoding="utf-8")
+        proc = subprocess.run(
+            [binary, *spec["flags"], "-std=c++20", str(canary)],
+            capture_output=True, text=True, timeout=60)
+        return "leak" in proc.stderr
+
+
+def _load_targets(root: Path) -> list[str]:
+    path = root / TARGETS
+    if not path.exists():
+        raise LintError(f"{TARGETS} does not exist")
+    targets = []
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            targets.append(line)
+    if not targets:
+        raise LintError(f"{TARGETS} lists no targets")
+    return targets
+
+
+def _compile_flags(build_dir: Path, root: Path) -> dict[str, list[str]]:
+    ccjson = build_dir / "compile_commands.json"
+    if not ccjson.exists():
+        raise LintError(
+            f"{ccjson} not found - configure the build first "
+            "(cmake -B build ... exports compile commands)")
+    flags: dict[str, list[str]] = {}
+    for entry in json.loads(ccjson.read_text(encoding="utf-8")):
+        args = entry.get("arguments") or entry.get("command", "").split()
+        kept: list[str] = []
+        i = 0
+        while i < len(args):
+            arg = args[i]
+            if _KEEP_FLAG.match(arg):
+                kept.append(arg)
+                if arg in ("-I", "-isystem", "-D") and i + 1 < len(args):
+                    kept.append(args[i + 1])
+                    i += 1
+            i += 1
+        try:
+            rel = Path(entry["file"]).resolve().relative_to(root).as_posix()
+        except ValueError:
+            continue
+        flags[rel] = kept
+    return flags
+
+
+def _rel_path(raw: str, root: Path) -> str:
+    p = Path(raw)
+    if not p.is_absolute():
+        return p.as_posix()
+    try:
+        return p.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def main(root: Path, build_dir: Path, tool: str) -> int:
+    spec = TOOLS[tool]
+    # CI can point a leg at a newer compiler (e.g. BFPP_LINT_GXX=g++-14,
+    # whose analyzer gained real C++ support) without code changes.
+    wanted = os.environ.get(spec["binary_env"], spec["binary"])
+    binary = shutil.which(wanted)
+    if binary is None:
+        print(f"bfpp-lint analyze: {wanted} not found on PATH "
+              f"(the {tool} leg needs it)", file=sys.stderr)
+        return 2
+    if not _canary_ok(binary, spec):
+        print(f"bfpp-lint analyze[{tool}]: the analyzer failed to "
+              "report the known-leaky canary TU - it is blind, and a "
+              "clean scan would be meaningless", file=sys.stderr)
+        return 2
+    try:
+        targets = _load_targets(root)
+        flags = _compile_flags(build_dir, root)
+        suppressions = load_allowlist(root / SUPPRESSIONS)
+    except LintError as e:
+        print(f"bfpp-lint analyze: ERROR: {e}", file=sys.stderr)
+        return 2
+
+    missing = [t for t in targets if t not in flags]
+    if missing:
+        print("bfpp-lint analyze: target(s) not in "
+              f"compile_commands.json: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    diagnostics: list[tuple[str, int, str]] = []  # (rel, line, text)
+    blind: list[str] = []
+    for target in targets:
+        source = (root / target).read_text(encoding="utf-8")
+        n_lines = source.count("\n") + 1
+        with tempfile.TemporaryDirectory(prefix="bfpp-lint-an") as tmp:
+            # The per-TU canary rides along in a temp copy: the real
+            # TU's code can render the analyzer blind TU-wide (gcc 12
+            # goes silent for any TU constructing a std::string), and
+            # the only way to know is to hide a known leak in the same
+            # TU and see whether it surfaces.
+            tu = Path(tmp) / Path(target).name
+            tu.write_text(source + "\n" + _CANARY, encoding="utf-8")
+            cmd = [binary, *spec["flags"], *flags[target], str(tu)]
+            try:
+                proc = subprocess.run(
+                    cmd, capture_output=True, text=True,
+                    timeout=spec["per_tu_timeout"], cwd=root)
+            except subprocess.TimeoutExpired:
+                print(f"bfpp-lint analyze[{tool}]: {target} exceeded "
+                      f"{spec['per_tu_timeout']}s - move it off the "
+                      "curated list or split the TU", file=sys.stderr)
+                return 1
+            # A compiler *error* (bad flags, missing header) is a setup
+            # failure, not a clean result.
+            if proc.returncode != 0 and "error:" in proc.stderr:
+                print(f"bfpp-lint analyze[{tool}]: {target}: compile "
+                      f"failed:\n{proc.stderr}", file=sys.stderr)
+                return 2
+            count = 0
+            canary_seen = False
+            for m in _DIAG.finditer(proc.stderr):
+                if not spec["select"](m.group(0)):
+                    continue
+                rel = _rel_path(m.group("path"), root)
+                line = int(m.group("line"))
+                if rel.endswith(tu.name) and line > n_lines:
+                    canary_seen = True  # the planted leak, not a bug
+                    continue
+                if rel.endswith(tu.name):
+                    rel = target
+                diagnostics.append((rel, line, m.group("text").strip()))
+                count += 1
+            if canary_seen:
+                print(f"bfpp-lint analyze[{tool}]: {target}: "
+                      f"{count} diagnostic(s)")
+            else:
+                blind.append(target)
+                print(f"bfpp-lint analyze[{tool}]: {target}: BLIND - "
+                      "the planted canary leak went unreported, so a "
+                      "clean result for this TU means nothing "
+                      f"({count} diagnostic(s) still collected)")
+
+    used: set[tuple[str, str]] = set()
+    reported = 0
+    for rel, line, text in diagnostics:
+        suppressed = False
+        for entry in suppressions:
+            if entry[0] == rel and entry[1] in text:
+                used.add(entry)
+                suppressed = True
+                break
+        if not suppressed:
+            reported += 1
+            print(f"{rel}:{line}: {text}", file=sys.stderr)
+    for entry in suppressions:
+        if entry not in used:
+            reported += 1
+            print(f"{SUPPRESSIONS}: stale suppression (matched "
+                  f"nothing): {entry[0]}:{entry[1]}", file=sys.stderr)
+
+    if reported:
+        print(f"bfpp-lint analyze[{tool}]: FAIL ({reported} "
+              "diagnostic(s)/stale suppression(s))", file=sys.stderr)
+        return 1
+    analyzed = len(targets) - len(blind)
+    verdict = f"{analyzed}/{len(targets)} TU(s) honestly analyzed"
+    if blind:
+        verdict += (f"; {len(blind)} blind to this analyzer "
+                    "(known gcc 12 C++ limitation - the clang leg "
+                    "covers them; a newer gcc upgrades this leg "
+                    "automatically)")
+    print(f"bfpp-lint analyze[{tool}]: OK ({verdict}, "
+          f"{len(suppressions)} suppression(s))")
+    return 0

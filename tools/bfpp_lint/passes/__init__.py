@@ -1,0 +1,6 @@
+"""Individual bfpp-lint passes; each module exports PASS (core.Pass).
+
+Imported with tools/bfpp_lint on sys.path (directory execution:
+`python3 tools/bfpp_lint`), so passes import the framework as
+`from core import ...`.
+"""

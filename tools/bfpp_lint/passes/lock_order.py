@@ -1,0 +1,393 @@
+"""lock-order: nested mutex acquisitions match docs/CONCURRENCY.md.
+
+docs/CONCURRENCY.md's "Lock ordering" section is the contract: every
+pair of mutexes that may be held together nests in exactly one
+documented order, and every other pair is disjoint. clang's capability
+analysis (BFPP_GUARDED_BY/BFPP_REQUIRES, the thread-safety CI leg)
+proves *which* lock protects *what*; it does not check acquisition
+*order*, so an AB/BA inversion deadlock still compiles clean. This pass
+closes that gap from the other side:
+
+  * every observed nested acquisition (an acquisition or a call into a
+    method that locks internally, while another lock is held) must be a
+    documented pair, in the documented direction;
+  * a pair observed in the *reverse* of its documented direction is an
+    inversion - the classic deadlock;
+  * re-acquiring a held mutex is reported (bfpp::Mutex is not
+    recursive);
+  * every documented pair must actually be observed, so the doc cannot
+    go stale when the code is restructured.
+
+Mechanics: acquisitions are LockGuard declarations and manual
+.lock()/.unlock() calls, tracked with a scope-aware held-stack over
+comment/string-stripped sources. Bare member mutexes are qualified by
+the enclosing qualified method definition (Class::method) or local
+class body; one level of interprocedural nesting is resolved by mapping
+member calls (`cache_.save()`) through header member types to methods
+known to lock internally. Lambda bodies run on other threads (or, for
+SimCache builders, outside the lock by contract) and are scanned as
+independent regions with a fresh held-stack. CondVar wait/notify calls
+release their mutex and are ignored. Limitations (by design, documented
+here so nobody re-derives them): only .cpp files are scanned (the tree
+keeps lock acquisitions out of headers), and call chains deeper than
+one hop are not followed.
+"""
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from core import Finding, LintError, Pass, read_required, strip_comments
+
+NAME = "lock-order"
+
+CONCURRENCY_MD = "docs/CONCURRENCY.md"
+
+# CondVar / Mutex methods that are not fresh acquisitions.
+NON_ACQUIRING = {"wait", "wait_for", "wait_until", "notify_one",
+                 "notify_all", "try_lock"}
+
+_DOC_PAIR = re.compile(
+    r"`(\w+::\w+)`\s*(?:→|->)\s*`(\w+::\w+)`")
+_GUARD = re.compile(r"\bLockGuard\s+\w+\s*\(\s*([^()]+?)\s*\)")
+_CLASS_OPEN = re.compile(r"\b(?:class|struct)\s+(\w+)[^;{()]*{")
+_QUAL_DEF = re.compile(r"\b(\w+)::(~?\w+)\s*\(")
+_LAMBDA_OPEN = re.compile(
+    r"\[[^\[\]]*\]\s*(?:\([^()]*\))?\s*(?:mutable\b\s*)?"
+    r"(?:noexcept\b\s*)?(?:->\s*[\w:<>]+\s*)?{")
+_MEMBER_DECL = re.compile(
+    r"\b([A-Z]\w*)\s+(\w+_)\s*(?:BFPP_GUARDED_BY\([^)]*\))?\s*;")
+
+_EVENT = re.compile(
+    r"(?P<open>{)|(?P<close>})"
+    r"|(?P<guard>\bLockGuard\s+\w+\s*\(\s*(?P<gexpr>[^()]+?)\s*\))"
+    r"|(?P<lock>\b(?P<lexpr>[\w>.-]+?)\.lock\s*\(\s*\))"
+    r"|(?P<unlock>\b(?P<uexpr>[\w>.-]+?)\.unlock\s*\(\s*\))"
+    r"|(?P<mcall>\b(?P<mobj>\w+_)\.(?P<mmeth>\w+)\s*\()"
+    r"|(?P<pcall>(?<![\w.:>])(?P<pname>\w+)\s*\()")
+
+
+def _match_brace(text: str, open_idx: int) -> int:
+    """Index one past the brace matching text[open_idx] == '{'."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def _body_start(text: str, paren_close: int) -> int | None:
+    """Given the index after a definition's parameter ')', return the
+    index of the body '{' - skipping const/noexcept/annotation macros
+    and ctor-init lists - or None when this is a call, not a definition.
+    """
+    i = paren_close
+    n = len(text)
+    while i < n:
+        while i < n and text[i].isspace():
+            i += 1
+        if i >= n:
+            return None
+        c = text[i]
+        if c == "{":
+            return i
+        if c == ":":  # ctor-init list: skip to the body brace
+            while i < n and text[i] != "{":
+                if text[i] in ";)":
+                    return None
+                if text[i] == "(":
+                    depth = 0
+                    while i < n:
+                        if text[i] == "(":
+                            depth += 1
+                        elif text[i] == ")":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        i += 1
+                i += 1
+            return i if i < n else None
+        m = re.match(r"(?:const|noexcept|override|final|BFPP_\w+)\b",
+                     text[i:])
+        if m is None:
+            return None
+        i += m.end()
+        if i < n and text[i] == "(":  # macro/noexcept argument list
+            depth = 0
+            while i < n:
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        i += 1
+                        break
+                i += 1
+    return None
+
+
+def _skip_parens(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def _qualified_defs(clean: str) -> list[tuple[str, str, int, int]]:
+    """(class, method, body_start, body_end) for Class::method defs."""
+    out = []
+    for m in _QUAL_DEF.finditer(clean):
+        if m.group(1) in ("std", "net", "bfpp", "schedule", "parallel",
+                          "chrono"):
+            continue
+        paren_close = _skip_parens(clean, m.end() - 1)
+        body = _body_start(clean, paren_close)
+        if body is None:
+            continue
+        out.append((m.group(1), m.group(2), body, _match_brace(clean, body)))
+    return out
+
+
+def _class_units(clean: str) -> list[tuple[str, int, int]]:
+    out = []
+    for m in _CLASS_OPEN.finditer(clean):
+        out.append((m.group(1), m.end() - 1, _match_brace(clean, m.end() - 1)))
+    return out
+
+
+def _extract_lambdas(text: str) -> tuple[str, list[tuple[int, str]]]:
+    """Blanks every lambda body (braces included) out of `text`,
+    returning the blanked text and the bodies with their offsets.
+    Nested lambdas stay inside their parent's body and are peeled when
+    the parent region is scanned."""
+    bodies: list[tuple[int, str]] = []
+    chars = list(text)
+    pos = 0
+    while True:
+        m = _LAMBDA_OPEN.search("".join(chars), pos)
+        if m is None:
+            break
+        open_idx = m.end() - 1
+        end = _match_brace("".join(chars), open_idx)
+        bodies.append((open_idx, text[open_idx:end]))
+        for i in range(open_idx, end):
+            if chars[i] != "\n":
+                chars[i] = " "
+        pos = end
+    return "".join(chars), bodies
+
+
+class _Scanner:
+    def __init__(self, rel: str, full_text: str,
+                 lockers: dict[tuple[str, str], set[str]],
+                 plain_lockers: dict[str, set[str]],
+                 member_type: dict[str, str]):
+        self.rel = rel
+        self.full_text = full_text
+        self.lockers = lockers
+        self.plain_lockers = plain_lockers
+        self.member_type = member_type
+        self.pairs: dict[tuple[str, str], tuple[int, str]] = {}
+        self.findings: list[Finding] = []
+        self.n_acquisitions = 0
+
+    def _line(self, abs_off: int) -> int:
+        return self.full_text.count("\n", 0, abs_off) + 1
+
+    def _qualify(self, expr: str, cls: str | None) -> str:
+        expr = expr.strip()
+        if re.fullmatch(r"\w+", expr) and cls:
+            return f"{cls}::{expr}"
+        return expr
+
+    def scan(self, region: str, base: int, cls: str | None) -> None:
+        region, lambdas = _extract_lambdas(region)
+        for off, body in lambdas:
+            self.scan(body, base + off, cls)
+        held: list[tuple[str, int | None]] = []  # (mutex, scope depth)
+        depth = 0
+        for ev in _EVENT.finditer(region):
+            abs_off = base + ev.start()
+            if ev.group("open"):
+                depth += 1
+            elif ev.group("close"):
+                depth -= 1
+                held = [h for h in held
+                        if h[1] is None or h[1] <= depth]
+            elif ev.group("guard"):
+                mutex = self._qualify(ev.group("gexpr"), cls)
+                self._acquire(mutex, held, abs_off)
+                held.append((mutex, depth))
+            elif ev.group("lock"):
+                mutex = self._qualify(ev.group("lexpr"), cls)
+                self._acquire(mutex, held, abs_off)
+                held.append((mutex, None))
+            elif ev.group("unlock"):
+                mutex = self._qualify(ev.group("uexpr"), cls)
+                for i in range(len(held) - 1, -1, -1):
+                    if held[i][0] == mutex:
+                        del held[i]
+                        break
+            elif ev.group("mcall"):
+                meth = ev.group("mmeth")
+                if meth in NON_ACQUIRING or meth in ("lock", "unlock"):
+                    continue
+                mtype = self.member_type.get(ev.group("mobj"))
+                if mtype is None:
+                    continue
+                for inner in sorted(
+                        self.lockers.get((mtype, meth), set())):
+                    self._acquire(inner, held, abs_off, via=(
+                        f"{ev.group('mobj')}.{meth}() locks {inner} "
+                        "internally"))
+            elif ev.group("pcall"):
+                name = ev.group("pname")
+                if held and name in self.plain_lockers:
+                    for inner in sorted(self.plain_lockers[name]):
+                        self._acquire(inner, held, abs_off, via=(
+                            f"{name}() locks {inner} internally"))
+
+    def _acquire(self, mutex: str, held: list[tuple[str, int | None]],
+                 abs_off: int, via: str | None = None) -> None:
+        self.n_acquisitions += 1
+        line = self._line(abs_off)
+        for h, _ in held:
+            if h == mutex:
+                self.findings.append(Finding(
+                    self.rel, line,
+                    f"{mutex} acquired while already held "
+                    "(bfpp::Mutex is not recursive - self-deadlock)",
+                    source=via or mutex))
+            else:
+                key = (h, mutex)
+                if key not in self.pairs:
+                    self.pairs[key] = (line, via or mutex)
+
+
+def _documented_pairs(md: str) -> list[tuple[str, str]]:
+    section = re.search(r"## Lock ordering(.*?)(?:\n## |\Z)", md, re.S)
+    if section is None:
+        raise LintError(
+            f"{CONCURRENCY_MD}: no '## Lock ordering' section")
+    return _DOC_PAIR.findall(section.group(1))
+
+
+def run(root: Path) -> list[Finding]:
+    doc_pairs = _documented_pairs(read_required(root, CONCURRENCY_MD))
+    if not doc_pairs:
+        raise LintError(
+            f"{CONCURRENCY_MD}: 'Lock ordering' section documents no "
+            "`A::m` -> `B::m` pairs (format drifted?)")
+
+    cpp_files = sorted((root / "src").rglob("*.cpp"))
+    h_files = sorted((root / "src").rglob("*.h"))
+    cleans = {p: strip_comments(p.read_text(encoding="utf-8"))
+              for p in cpp_files}
+
+    # Member name -> class type, from header declarations (ReportCache
+    # cache_; and friends). Ambiguous names are dropped.
+    member_type: dict[str, str] = {}
+    ambiguous: set[str] = set()
+    for p in h_files:
+        for m in _MEMBER_DECL.finditer(
+                strip_comments(p.read_text(encoding="utf-8"))):
+            mtype, name = m.group(1), m.group(2)
+            if name in member_type and member_type[name] != mtype:
+                ambiguous.add(name)
+            member_type[name] = mtype
+    for name in ambiguous:
+        member_type.pop(name, None)
+
+    # (class, method) -> mutexes the method acquires directly. Bare
+    # member mutexes qualify with the defining class, so a generic name
+    # like mutex_ stays unambiguous per class.
+    lockers: dict[tuple[str, str], set[str]] = {}
+    for p, clean in cleans.items():
+        for cls, meth, start, end in _qualified_defs(clean):
+            body, _ = _extract_lambdas(clean[start:end])
+            acquired = {
+                f"{cls}::{e}" if re.fullmatch(r"\w+", e.strip())
+                else e.strip()
+                for e in _GUARD.findall(body)}
+            acquired |= {
+                f"{cls}::{e}" if re.fullmatch(r"\w+", e) else e
+                for e in re.findall(r"\b([\w>.-]+?)\.lock\s*\(\s*\)",
+                                    body)}
+            if acquired:
+                lockers.setdefault((cls, meth), set()).update(acquired)
+    plain_lockers: dict[str, set[str]] = {}
+    for (_, meth), acquired in lockers.items():
+        plain_lockers.setdefault(meth, set()).update(acquired)
+
+    findings: list[Finding] = []
+    observed: dict[tuple[str, str], tuple[str, int, str]] = {}
+    total_acquisitions = 0
+    for p, clean in cleans.items():
+        rel = p.relative_to(root).as_posix()
+        scanner = _Scanner(rel, clean, lockers, plain_lockers,
+                           member_type)
+        qdefs = _qualified_defs(clean)
+        for cls, _, start, end in qdefs:
+            scanner.scan(clean[start:end], start, cls)
+        covered = [(s, e) for _, _, s, e in qdefs]
+        for cls, start, end in _class_units(clean):
+            if any(s <= start < e for s, e in covered):
+                continue
+            scanner.scan(clean[start:end], start, cls)
+        findings.extend(scanner.findings)
+        total_acquisitions += scanner.n_acquisitions
+        for pair, (line, src) in scanner.pairs.items():
+            observed.setdefault(pair, (rel, line, src))
+
+    if total_acquisitions == 0:
+        raise LintError(
+            "no lock acquisitions found anywhere under src/ - the "
+            "scanner's idiom assumptions no longer hold")
+
+    doc_set = set(doc_pairs)
+    for pair, (rel, line, src) in sorted(observed.items()):
+        if pair in doc_set:
+            continue
+        first, second = pair
+        if (second, first) in doc_set:
+            findings.append(Finding(
+                rel, line,
+                f"lock-order inversion: {first} -> {second} nests in "
+                f"the REVERSE of the documented order {second} -> "
+                f"{first} (docs/CONCURRENCY.md) - deadlock with any "
+                "thread following the documented order",
+                source=src))
+        else:
+            findings.append(Finding(
+                rel, line,
+                f"undocumented nested acquisition {first} -> {second}: "
+                "docs/CONCURRENCY.md declares every undocumented pair "
+                "disjoint; document the ordering there or restructure "
+                "to drop the outer lock first",
+                source=src))
+    for pair in doc_pairs:
+        if pair not in observed:
+            findings.append(Finding(
+                CONCURRENCY_MD, 0,
+                f"documented lock order {pair[0]} -> {pair[1]} is never "
+                "exercised in src/ - stale documentation (or the "
+                "scanner lost the idiom; either way, fix the contract)",
+                source=f"`{pair[0]}` -> `{pair[1]}`"))
+    return findings
+
+
+PASS = Pass(
+    name=NAME,
+    description="nested LockGuard/.lock() acquisitions in src/ respect "
+                "the documented order in docs/CONCURRENCY.md",
+    run=run,
+)

@@ -1,0 +1,84 @@
+"""Fixture-backed selftest: prove every pass still distinguishes its
+good/bad twins under tests/lint_fixtures/<pass>/.
+
+A regex-driven linter's failure mode is silence: the idiom it greps for
+drifts and the pass starts passing everything. CI therefore runs this
+BEFORE trusting `bfpp-lint run`: for each pass the good twin must
+produce zero findings, and the bad twin must produce at least one (the
+nonzero-exit contract) including every substring listed in the twin's
+expect.txt. A pass that errors on its fixtures, passes its bad twin, or
+loses an expected diagnostic fails the selftest - and with it the whole
+static-analysis job, lint results included.
+"""
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from core import LintError, all_passes, run_pass
+
+FIXTURES = "tests/lint_fixtures"
+
+
+def _expectations(path: Path) -> list[str]:
+    lines = []
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        if raw.strip() and not raw.lstrip().startswith("#"):
+            lines.append(raw.rstrip("\n"))
+    return lines
+
+
+def main(repo_root: Path) -> int:
+    failures: list[str] = []
+    for p in all_passes():
+        base = repo_root / FIXTURES / p.name
+        good, bad = base / "good", base / "bad"
+        expect_file = bad / "expect.txt"
+        missing = [d for d in (good, bad, expect_file) if not d.exists()]
+        if missing:
+            failures.append(
+                f"{p.name}: missing fixture piece(s): "
+                f"{', '.join(str(m) for m in missing)}")
+            continue
+
+        try:
+            good_findings = run_pass(p, good)
+        except LintError as e:
+            failures.append(f"{p.name}: good twin raised: {e}")
+            good_findings = None
+        if good_findings:
+            failures.append(
+                f"{p.name}: good twin produced {len(good_findings)} "
+                "finding(s); the first:\n    "
+                + good_findings[0].render().replace("\n", "\n    "))
+
+        try:
+            bad_findings = run_pass(p, bad)
+        except LintError as e:
+            failures.append(f"{p.name}: bad twin raised instead of "
+                            f"reporting findings: {e}")
+            continue
+        if not bad_findings:
+            failures.append(
+                f"{p.name}: bad twin produced NO findings - the pass "
+                "has gone blind (fixture drift or regex rot)")
+            continue
+        rendered = "\n".join(f.render() for f in bad_findings)
+        for expected in _expectations(expect_file):
+            if expected not in rendered:
+                failures.append(
+                    f"{p.name}: bad twin output lost expected "
+                    f"diagnostic {expected!r}; got:\n    "
+                    + rendered.replace("\n", "\n    "))
+        print(f"selftest[{p.name}]: OK "
+              f"(good clean, bad caught {len(bad_findings)} finding(s))")
+
+    if failures:
+        for f in failures:
+            print(f"selftest: FAIL - {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(Path(__file__).resolve().parent.parent.parent))

@@ -1,172 +1,27 @@
 #!/usr/bin/env python3
-"""Determinism lint for src/: ban nondeterminism sources from the library.
+"""Thin compatibility shim: the determinism lint moved into the
+bfpp-lint suite as the `determinism` pass.
 
-Reports are byte-for-byte reproducible artifacts (the serve cache
-persists them across runs, tests diff them, CI caches key on them), so
-the library must not consult wall-clock time, the C PRNG, or hardware
-entropy, and must not iterate an unordered container while emitting
-output. Everything random flows through common/rng.h (seeded SplitMix64)
-and everything emitted flows through deterministically ordered
-containers (e.g. json::Value keeps insertion order in a vector).
-
-Checks, over every *.h/*.cpp under src/:
-  1. `rand(` / `srand(`            - use bfpp::Rng (common/rng.h)
-  2. `time(nullptr)` variants      - timestamps do not belong in reports
-  3. `std::random_device`          - hardware entropy defeats --seed
-  4. range-for over a variable whose declaration says unordered_map /
-     unordered_set - iteration order feeding an emitter would make
-     output depend on the hash seed; use a vector or sort first
-
-Intentional exceptions go in tools/determinism_allowlist.txt as
-`path:substring` lines (path relative to the repo root, substring of the
-offending line). Stale allowlist entries fail the lint too, so the file
-can only shrink back to empty.
-
-Exit status: 0 clean, 1 findings or stale allowlist entries.
-Run from anywhere: paths resolve against the repo root (parent of this
-script's directory). CI runs this in the static-analysis job.
+Run `python3 tools/bfpp_lint run --pass determinism` (or just
+`python3 tools/bfpp_lint run` for all passes). This shim forwards and
+will be removed one release after the move; nothing in CI calls it any
+more. The allowlist stays at tools/determinism_allowlist.txt.
 """
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-SRC_ROOT = REPO_ROOT / "src"
-ALLOWLIST_PATH = REPO_ROOT / "tools" / "determinism_allowlist.txt"
-
-# (human label, compiled pattern) for the simple line-level bans.
-LINE_BANS = [
-    ("rand()/srand() [use bfpp::Rng, common/rng.h]",
-     re.compile(r"(?<![\w:])s?rand\s*\(")),
-    ("time(nullptr/NULL/0) [no wall-clock in report paths]",
-     re.compile(r"(?<![\w:])time\s*\(\s*(?:nullptr|NULL|0)\s*\)")),
-    ("std::random_device [hardware entropy defeats --seed]",
-     re.compile(r"std\s*::\s*random_device")),
-]
-
-# Declarations like `std::unordered_map<K, V> name` capture `name` so the
-# range-for scan below can recognize iteration over that variable.
-UNORDERED_DECL = re.compile(
-    r"\bunordered_(?:map|set|multimap|multiset)\s*<")
-DECL_NAME = re.compile(
-    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*&?\s*"
-    r"(\w+)\s*(?:[;={(,)]|$)")
-RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*?:\s*([\w.\->]+)\s*\)")
-
-
-def strip_comments(text: str) -> str:
-    """Blank out // and /* */ comments, preserving line structure."""
-    out: list[str] = []
-    i, n = 0, len(text)
-    while i < n:
-        if text.startswith("//", i):
-            j = text.find("\n", i)
-            i = n if j == -1 else j
-        elif text.startswith("/*", i):
-            j = text.find("*/", i + 2)
-            j = n if j == -1 else j + 2
-            out.append("\n" * text.count("\n", i, j))
-            i = j
-        elif text[i] in "\"'":
-            quote = text[i]
-            out.append(quote)
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\":
-                    out.append("..")
-                    i += 2
-                else:
-                    out.append("." if text[i] != "\n" else "\n")
-                    i += 1
-            if i < n:
-                out.append(quote)
-                i += 1
-        else:
-            out.append(text[i])
-            i += 1
-    return "".join(out)
-
-
-def find_violations(path: Path) -> list[tuple[int, str, str]]:
-    """Returns (line_number, label, source_line) findings for one file."""
-    raw_lines = path.read_text(encoding="utf-8").splitlines()
-    code = strip_comments("\n".join(raw_lines) + "\n")
-    code_lines = code.splitlines()
-    findings: list[tuple[int, str, str]] = []
-
-    unordered_vars: set[str] = set()
-    for line in code_lines:
-        if UNORDERED_DECL.search(line):
-            for match in DECL_NAME.finditer(line):
-                unordered_vars.add(match.group(1))
-
-    for lineno, line in enumerate(code_lines, start=1):
-        src = raw_lines[lineno - 1].strip() if lineno <= len(raw_lines) else ""
-        for label, pattern in LINE_BANS:
-            if pattern.search(line):
-                findings.append((lineno, label, src))
-        for match in RANGE_FOR.finditer(line):
-            target = match.group(1).split(".")[-1].split(">")[-1]
-            if target in unordered_vars:
-                findings.append((
-                    lineno,
-                    f"range-for over unordered container '{target}' "
-                    "[order feeds output; sort or use a vector]",
-                    src,
-                ))
-    return findings
-
-
-def load_allowlist() -> list[tuple[str, str]]:
-    entries: list[tuple[str, str]] = []
-    if not ALLOWLIST_PATH.exists():
-        return entries
-    for raw in ALLOWLIST_PATH.read_text(encoding="utf-8").splitlines():
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        path, _, substring = line.partition(":")
-        if not substring:
-            print(f"determinism-lint: malformed allowlist entry: {line!r} "
-                  "(want path:substring)", file=sys.stderr)
-            sys.exit(1)
-        entries.append((path.strip(), substring.strip()))
-    return entries
+LINT_DIR = Path(__file__).resolve().parent / "bfpp_lint"
 
 
 def main() -> int:
-    allowlist = load_allowlist()
-    used_entries: set[tuple[str, str]] = set()
-    failures: list[str] = []
-
-    for path in sorted(SRC_ROOT.rglob("*")):
-        if path.suffix not in (".h", ".cpp"):
-            continue
-        rel = path.relative_to(REPO_ROOT).as_posix()
-        for lineno, label, src in find_violations(path):
-            allowed = False
-            for entry in allowlist:
-                if entry[0] == rel and entry[1] in src:
-                    used_entries.add(entry)
-                    allowed = True
-                    break
-            if not allowed:
-                failures.append(f"{rel}:{lineno}: {label}\n    {src}")
-
-    for entry in allowlist:
-        if entry not in used_entries:
-            failures.append(
-                f"stale allowlist entry (matched nothing): {entry[0]}:{entry[1]}")
-
-    if failures:
-        print("determinism-lint: FAIL", file=sys.stderr)
-        for failure in failures:
-            print(failure, file=sys.stderr)
-        return 1
-    print(f"determinism-lint: OK ({len(allowlist)} allowlist entries)")
-    return 0
+    print("lint_determinism.py is now the bfpp-lint 'determinism' pass; "
+          "forwarding to `python3 tools/bfpp_lint run --pass "
+          "determinism`", file=sys.stderr)
+    sys.path.insert(0, str(LINT_DIR))
+    from core import REPO_ROOT, main_run
+    return main_run(REPO_ROOT, ["determinism"])
 
 
 if __name__ == "__main__":
