@@ -1,13 +1,11 @@
 // Simulator hot-path latency: what one sweep cell costs to evaluate,
-// before and after the arena/SoA rework, and what the SimCache buys on
-// the cells a sweep actually meets.
+// and what the SimCache buys on the cells a sweep actually meets.
 //
 // The workload is the fig5-quick shape (6.6B, pp4/tp2/dp8 on DGX-1
 // V100 InfiniBand) across the full schedule zoo and two micro-batch
-// counts. Five passes, each timed per cell:
+// counts. Four passes, each timed per cell:
 //
-//   legacy cold    the frozen pre-rework simulator, full rebuild
-//   arena cold     the arena/SoA simulator, no cache
+//   arena cold     the arena/SoA simulator, full rebuild, no cache
 //   memoized       exact repeat on a shared SimCache (cost table and
 //                  skeleton both hit: clone + re-time + run)
 //   nmb neighbor   a never-seen cell differing only in N_mb (the
@@ -17,7 +15,10 @@
 //                  CostRefs; new cost table)
 //
 // The neighbor rows are the honest "cold cell in a sweep" numbers: the
-// cell itself was never simulated, but a sibling on the same grid was.
+// cell itself was never simulated, but a sibling on the same grid was;
+// each is compared against a cold, cache-less rebuild of the *same*
+// cells. (The pre-rework simulator this bench originally baselined
+// against is gone; its last measured numbers live in ROADMAP.md.)
 // Byte-identity of every path is pinned by tests/test_sim_diff.cpp; this
 // bench only reports time.
 //
@@ -40,7 +41,6 @@
 #include "hw/cluster.h"
 #include "model/transformer.h"
 #include "parallel/config.h"
-#include "runtime/legacy_pipeline_sim.h"
 #include "runtime/pipeline_sim.h"
 
 using namespace bfpp;
@@ -124,8 +124,7 @@ struct Row {
 };
 
 std::string to_json(const std::vector<Row>& rows, int repeats,
-                    double cold_speedup, double neighbor_speedup,
-                    double memoized_speedup) {
+                    double neighbor_speedup, double memoized_speedup) {
   std::string out = str_format(
       "{\"bench\":\"sim_hotpath\",\"workload\":\"fig5-quick\","
       "\"repeats\":%d,\"results\":[",
@@ -136,9 +135,8 @@ std::string to_json(const std::vector<Row>& rows, int repeats,
                       rows[i].time.us_per_cell, rows[i].time.cells);
   }
   out += str_format(
-      "],\"cold_speedup\":%.2f,\"cold_neighbor_speedup\":%.2f,"
-      "\"memoized_speedup\":%.2f}\n",
-      cold_speedup, neighbor_speedup, memoized_speedup);
+      "],\"cold_neighbor_speedup\":%.2f,\"memoized_speedup\":%.2f}\n",
+      neighbor_speedup, memoized_speedup);
   return out;
 }
 
@@ -176,10 +174,6 @@ int main(int argc, char** argv) {
   std::vector<Cell> smb_neighbors = cells;
   for (Cell& cell : smb_neighbors) cell.cfg.s_mb = 2;
 
-  auto run_legacy = [&](const Cell& cell) {
-    runtime::legacy::PipelineSim sim(spec, cell.cfg, cluster);
-    (void)sim.run();
-  };
   auto run_arena = [&](std::shared_ptr<runtime::SimCache> cache) {
     return [&spec, &cluster, cache](const Cell& cell) {
       runtime::PipelineSim sim(spec, cell.cfg, cluster, {}, cache);
@@ -192,7 +186,6 @@ int main(int argc, char** argv) {
       cells.size(), repeats);
 
   std::vector<Row> rows;
-  rows.push_back({"legacy_cold", time_pass(cells, repeats, run_legacy)});
   rows.push_back({"arena_cold", time_pass(cells, repeats, run_arena(nullptr))});
 
   // One shared cache, warmed once by the base cells; the three cached
@@ -206,23 +199,22 @@ int main(int argc, char** argv) {
   rows.push_back(
       {"smb_neighbor", time_pass(smb_neighbors, repeats, run_arena(cache))});
 
-  const double legacy_us = rows[0].time.us_per_cell;
-  const double arena_us = rows[1].time.us_per_cell;
-  const double memo_us = rows[2].time.us_per_cell;
-  // The sweep-neighbor number compares against the legacy cost of the
-  // same neighbor cells (nmb neighbors are the larger graphs, so scale
-  // the legacy baseline by re-timing it on them).
-  const PassTime legacy_nmb = time_pass(nmb_neighbors, repeats, run_legacy);
-  const double neighbor_us = rows[3].time.us_per_cell;
-  const double cold_speedup = arena_us > 0.0 ? legacy_us / arena_us : 0.0;
+  const double cold_us = rows[0].time.us_per_cell;
+  const double memo_us = rows[1].time.us_per_cell;
+  // The sweep-neighbor number compares against a cache-less rebuild of
+  // the same neighbor cells (nmb neighbors are the larger graphs, so
+  // re-time the cold baseline on them).
+  const PassTime cold_nmb =
+      time_pass(nmb_neighbors, repeats, run_arena(nullptr));
+  const double neighbor_us = rows[2].time.us_per_cell;
   const double neighbor_speedup =
-      neighbor_us > 0.0 ? legacy_nmb.us_per_cell / neighbor_us : 0.0;
-  const double memoized_speedup = memo_us > 0.0 ? legacy_us / memo_us : 0.0;
+      neighbor_us > 0.0 ? cold_nmb.us_per_cell / neighbor_us : 0.0;
+  const double memoized_speedup = memo_us > 0.0 ? cold_us / memo_us : 0.0;
 
-  Table table({"Pass", "us/cell", "Cells", "vs legacy cold"});
+  Table table({"Pass", "us/cell", "Cells", "vs cold"});
   for (const Row& row : rows) {
     const double base =
-        row.pass == "nmb_neighbor" ? legacy_nmb.us_per_cell : legacy_us;
+        row.pass == "nmb_neighbor" ? cold_nmb.us_per_cell : cold_us;
     table.add_row({row.pass, str_format("%.1f", row.time.us_per_cell),
                    str_format("%d", row.time.cells),
                    str_format("%.1fx", row.time.us_per_cell > 0.0
@@ -231,16 +223,16 @@ int main(int argc, char** argv) {
   }
   std::fputs(table.to_string().c_str(), stdout);
   std::printf(
-      "\nlegacy cold = pre-rework simulator, full rebuild per cell; arena\n"
-      "cold = arena/SoA rebuild, no cache; memoized = exact repeat on a\n"
-      "shared SimCache; nmb/smb neighbor = never-seen cells reusing the\n"
-      "memoized cost table / skeleton the way sweep siblings do. Equality\n"
-      "of every path's output is pinned by tests/test_sim_diff.cpp.\n");
+      "\narena cold = full rebuild per cell, no cache; memoized = exact\n"
+      "repeat on a shared SimCache; nmb/smb neighbor = never-seen cells\n"
+      "reusing the memoized cost table / skeleton the way sweep siblings\n"
+      "do, each vs a cache-less rebuild of the same cells. Equality of\n"
+      "every path's output is pinned by tests/test_sim_diff.cpp.\n");
 
   if (!json_path.empty()) {
     if (!serialize::write_file_atomic(
-            json_path, to_json(rows, repeats, cold_speedup, neighbor_speedup,
-                               memoized_speedup))) {
+            json_path,
+            to_json(rows, repeats, neighbor_speedup, memoized_speedup))) {
       std::fprintf(stderr, "sim_hotpath: cannot write '%s'\n",
                    json_path.c_str());
       return 1;

@@ -10,7 +10,6 @@
 #include "common/strings.h"
 #include "exec/threaded_pipeline.h"
 #include "memmodel/memory.h"
-#include "runtime/legacy_pipeline_sim.h"
 #include "nn/layers.h"
 #include "schedule/schedule.h"
 #include "tensor/tensor.h"
@@ -48,30 +47,6 @@ class SimulatorEngine : public Engine {
   // tables across batch sizes and graph topology across micro-batch
   // splits - results are identical with or without it.
   std::shared_ptr<runtime::SimCache> cache_;
-};
-
-// ---- Legacy simulator backend (test-only) ----
-//
-// Drives runtime::legacy::PipelineSim, the frozen pre-arena simulator
-// kept as the differential reference for the hot-path rework. Scheduled
-// for deletion together with it (one release after the rework lands).
-class LegacySimulatorEngine : public Engine {
- public:
-  explicit LegacySimulatorEngine(hw::KernelModel kernel) : kernel_(kernel) {}
-
-  [[nodiscard]] Backend backend() const override {
-    return Backend::kSimulator;
-  }
-
-  [[nodiscard]] runtime::RunResult evaluate(
-      const model::TransformerSpec& spec, const ParallelConfig& cfg,
-      const hw::ClusterSpec& cluster) const override {
-    runtime::legacy::PipelineSim sim(spec, cfg, cluster, kernel_);
-    return sim.run();
-  }
-
- private:
-  hw::KernelModel kernel_;
 };
 
 // ---- Analytic backend ----
@@ -364,12 +339,6 @@ std::unique_ptr<Engine> make_engine(const RunOptions& options) {
       return std::make_unique<ThreadedEngine>();
   }
   throw Error("api: unhandled backend");
-}
-
-std::unique_ptr<Engine> make_legacy_simulator_engine_for_tests(
-    const RunOptions& options) {
-  return std::make_unique<LegacySimulatorEngine>(
-      options.kernel.value_or(hw::KernelModel{}));
 }
 
 BackendComparison compare_backends(const model::TransformerSpec& spec,

@@ -73,14 +73,6 @@ class Engine {
 
 std::unique_ptr<Engine> make_engine(const RunOptions& options = {});
 
-// The frozen pre-arena simulator (runtime::legacy::PipelineSim) behind
-// the Engine interface. Exists solely for the differential harness
-// (tests/test_sim_diff.cpp) and bench/sim_hotpath; scheduled for
-// deletion together with the legacy simulator, one release after the
-// arena rework. Reports a backend() of kSimulator.
-std::unique_ptr<Engine> make_legacy_simulator_engine_for_tests(
-    const RunOptions& options = {});
-
 // ---- Backend cross-validation (the `bfpp validate` command) ----
 
 // One configuration evaluated on two backends, with the relative

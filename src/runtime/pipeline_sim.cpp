@@ -181,7 +181,7 @@ std::vector<sim::StreamId> PipelineSim::display_streams() const {
 OpCostTable PipelineSim::build_cost_table() const {
   // One kernel-model / collective evaluation per stage or device; every
   // graph task duration is a lookup into this table. The expressions are
-  // byte-for-byte the ones the legacy per-op path evaluated inline.
+  // byte-for-byte the ones the pre-rework per-op path evaluated inline.
   const parallel::DeviceGrid grid(cfg_, cluster_);
   const hw::NetTier dp_tier = effective_dp_tier(grid, cluster_);
   const int n_stages = placement_.n_stages();

@@ -41,9 +41,10 @@
 // across cells: cells sharing a model x cluster pair skip the cost
 // evaluation, and cells differing only in batch/micro-batch split clone
 // a cached skeleton and re-time it instead of rebuilding. All of this is
-// semantics-preserving - simulated times are bit-identical to the frozen
-// pre-rework implementation in runtime/legacy_pipeline_sim.h, which
-// tests/test_sim_diff.cpp asserts byte-for-byte at the Report level.
+// semantics-preserving - simulated times are bit-identical to the
+// pre-rework implementation, pinned byte-for-byte at the Report level
+// by the golden corpus in tests/test_sim_diff.cpp (recorded while the
+// frozen pre-rework simulator still existed to diff against).
 #pragma once
 
 #include <memory>

@@ -106,7 +106,7 @@ double resolve(const CostRef& ref, const OpCostTable& table) {
       base = table.blocking_inter;
       break;
   }
-  // Matches the legacy `op + op_stall` sum (op_stall == 0.0 when the op
+  // Matches the pre-rework `op + op_stall` sum (op_stall == 0.0 when the op
   // is not the first of a DP_FS run), so refilled durations are
   // bit-identical to freshly built ones.
   return ref.fs_stall ? base + table.fs_stall[i] : base;

@@ -55,8 +55,8 @@ namespace bfpp::runtime {
 
 // Every duration a pipeline task graph draws from, pre-evaluated per
 // stage (index = pipeline stage) or per device (index = pipeline rank).
-// Built by PipelineSim from the same cost expressions the per-op legacy
-// path evaluated, so looked-up durations are bit-identical to it.
+// Built by PipelineSim from the same cost expressions the pre-rework
+// per-op path evaluated, so looked-up durations are bit-identical to it.
 struct OpCostTable {
   // Per stage.
   std::vector<double> forward;          // F op seconds (incl. TP comm)

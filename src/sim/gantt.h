@@ -12,12 +12,12 @@
 //   T    tensor-parallel communication
 //   .    idle
 //
-// render_gantt is a template over the graph type so the arena
-// (sim::TaskGraph) and the frozen legacy (sim::legacy::TaskGraph) graphs
-// render through the exact same code - which is what lets the
-// differential harness compare their timelines character for character.
-// It only needs stream_name / stream_tasks / meta (kind + micro_batch)
-// from the graph.
+// render_gantt is a template over the graph type: it only needs
+// stream_name / stream_tasks / meta (kind + micro_batch) from the
+// graph, so alternative graph representations render through the exact
+// same code and their timelines stay comparable character for
+// character (which is how the golden corpus in tests/test_sim_diff.cpp
+// pins rendered output).
 #pragma once
 
 #include <algorithm>
@@ -38,8 +38,7 @@ struct GanttOptions {
 
 namespace detail {
 
-// Works for any meta type exposing `kind` and `micro_batch` (both
-// sim::TaskMeta and sim::legacy::TaskMeta).
+// Works for any meta type exposing `kind` and `micro_batch`.
 template <typename Meta>
 char gantt_cell_char(const Meta& meta) {
   switch (meta.kind) {

@@ -128,7 +128,7 @@ SimResult run(const TaskGraph& graph) {
   // Kahn's algorithm, propagating times. Processing order does not matter
   // for correctness because start times only depend on predecessors (a
   // max over end times), so the flat ready list below yields exactly the
-  // times the legacy std::queue implementation produced.
+  // times the pre-arena std::queue implementation produced.
   std::vector<TaskTime> times(static_cast<size_t>(n));
   std::vector<TaskId> ready;
   ready.reserve(static_cast<size_t>(n));

@@ -27,9 +27,10 @@
 // formatted label string. run() builds its successor table in CSR form
 // (count, prefix-sum, fill) and drives Kahn's algorithm off a flat
 // ready vector. Task times are bit-identical to the pre-arena
-// implementation (frozen as sim::legacy in legacy_task_graph.h) because
-// start times are a max over predecessor end times, which is
-// independent of both processing order and successor-list order.
+// implementation (pinned by the golden corpus in
+// tests/test_sim_diff.cpp, recorded against it) because start times
+// are a max over predecessor end times, which is independent of both
+// processing order and successor-list order.
 #pragma once
 
 #include <initializer_list>

@@ -23,62 +23,10 @@
 #include "api/compare.h"
 #include "api/report.h"
 #include "api/sweep.h"
-
-#ifndef BFPP_GOLDEN_DIR
-#error "BFPP_GOLDEN_DIR must point at tests/golden (set by CMakeLists.txt)"
-#endif
+#include "golden_util.h"
 
 namespace bfpp::api {
 namespace {
-
-bool update_requested() {
-  if (const char* env = std::getenv("BFPP_UPDATE_GOLDEN");
-      env != nullptr && env[0] != '\0' && std::string(env) != "0") {
-    return true;
-  }
-  // The --update-golden spelling: gtest_main owns argv, so sniff the
-  // command line through /proc (fine to miss on non-Linux - the env var
-  // is the portable path).
-  std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
-  const std::string all((std::istreambuf_iterator<char>(cmdline)),
-                        std::istreambuf_iterator<char>());
-  return all.find("--update-golden") != std::string::npos;
-}
-
-std::string read_file(const std::string& path, bool* ok) {
-  std::ifstream in(path, std::ios::binary);
-  *ok = in.good();
-  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
-}
-
-void write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  ASSERT_TRUE(out.good()) << "cannot write " << path;
-  out << content;
-}
-
-// First line where the two strings disagree, for a reviewable failure
-// message instead of two multi-kilobyte blobs.
-std::string first_divergence(const std::string& want, const std::string& got) {
-  std::istringstream ws(want);
-  std::istringstream gs(got);
-  std::string wl;
-  std::string gl;
-  int line = 0;
-  while (true) {
-    ++line;
-    const bool have_w = static_cast<bool>(std::getline(ws, wl));
-    const bool have_g = static_cast<bool>(std::getline(gs, gl));
-    if (!have_w && !have_g) return "(identical line-wise; whitespace diff?)";
-    if (wl != gl || have_w != have_g) {
-      std::ostringstream msg;
-      msg << "first divergence at line " << line << "\n  golden: "
-          << (have_w ? wl : "<eof>") << "\n  actual: "
-          << (have_g ? gl : "<eof>");
-      return msg.str();
-    }
-  }
-}
 
 // One sweep per process; both serializations pin the same Reports.
 const std::vector<Report>& fig5_quick_reports() {
@@ -88,21 +36,6 @@ const std::vector<Report>& fig5_quick_reports() {
     return new std::vector<Report>(sweep(compare_grid("fig5-quick"), options));
   }();
   return *reports;
-}
-
-void check_golden(const std::string& name, const std::string& got) {
-  const std::string path = std::string(BFPP_GOLDEN_DIR) + "/" + name;
-  if (update_requested()) {
-    write_file(path, got);
-  }
-  bool ok = false;
-  const std::string want = read_file(path, &ok);
-  ASSERT_TRUE(ok) << "missing golden file " << path
-                  << " - record it with BFPP_UPDATE_GOLDEN=1";
-  EXPECT_EQ(want, got) << "golden mismatch for " << path << "\n"
-                       << first_divergence(want, got)
-                       << "\nIf the change is intentional, regenerate with "
-                          "BFPP_UPDATE_GOLDEN=1 and commit the diff.";
 }
 
 TEST(Golden, GridShapeCoversAllFamilies) {
@@ -124,11 +57,11 @@ TEST(Golden, GridShapeCoversAllFamilies) {
 }
 
 TEST(Golden, Fig5QuickJsonIsByteStable) {
-  check_golden("fig5_quick.json", to_json(fig5_quick_reports()));
+  bfpp::testing::check_golden("fig5_quick.json", to_json(fig5_quick_reports()));
 }
 
 TEST(Golden, Fig5QuickCsvIsByteStable) {
-  check_golden("fig5_quick.csv", to_csv(fig5_quick_reports()));
+  bfpp::testing::check_golden("fig5_quick.csv", to_csv(fig5_quick_reports()));
 }
 
 }  // namespace
