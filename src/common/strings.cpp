@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdarg>
 #include <limits>
 #include <system_error>
 
@@ -42,6 +43,24 @@ ScopedCLocale::~ScopedCLocale() = default;
 #endif
 
 }  // namespace detail
+
+std::string str_format(const char* fmt, ...) {
+  const detail::ScopedCLocale c_locale;
+  va_list args;
+  va_start(args, fmt);
+  va_list sizing;
+  va_copy(sizing, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, sizing);
+  va_end(sizing);
+  if (n <= 0) {
+    va_end(args);
+    return {};
+  }
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
 
 std::string join(const std::vector<std::string>& parts, const std::string& sep) {
   std::string out;

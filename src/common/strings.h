@@ -30,18 +30,21 @@ class ScopedCLocale {
 
 }  // namespace detail
 
-// snprintf into a std::string. The format string must be a literal-style
-// printf format; the result is exact (no truncation) and
-// locale-independent (always C-locale number formatting).
-template <typename... Args>
-std::string str_format(const char* fmt, Args... args) {
-  const detail::ScopedCLocale c_locale;
-  const int n = std::snprintf(nullptr, 0, fmt, args...);
-  if (n <= 0) return {};
-  std::string out(static_cast<size_t>(n), '\0');
-  std::snprintf(out.data(), out.size() + 1, fmt, args...);
-  return out;
-}
+// Marks a varargs function as printf-like so the compiler type-checks
+// format string against arguments at every call site (-Wformat).
+#if defined(__GNUC__) || defined(__clang__)
+#define BFPP_PRINTF_LIKE(fmt_index, first_arg) \
+  __attribute__((format(printf, fmt_index, first_arg)))
+#else
+#define BFPP_PRINTF_LIKE(fmt_index, first_arg)
+#endif
+
+// vsnprintf into a std::string. The result is exact (no truncation) and
+// locale-independent (always C-locale number formatting). A real
+// varargs function rather than a template so BFPP_PRINTF_LIKE applies:
+// the compiler rejects specifier/argument mismatches at the call site
+// instead of silently formatting garbage at runtime.
+std::string str_format(const char* fmt, ...) BFPP_PRINTF_LIKE(1, 2);
 
 // Joins `parts` with `sep`.
 std::string join(const std::vector<std::string>& parts, const std::string& sep);
