@@ -1,6 +1,7 @@
 #include "api/cli.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 
@@ -60,18 +61,31 @@ RunOptions run_options_from_cli(const CliOptions& options) {
   return run;
 }
 
-// Writes `text` to --output (or stdout when unset).
+// Writes `text` to --output (or stdout when unset). A failed or
+// truncated write must not exit 0: scripts consume --output files, and
+// a full disk otherwise looks like success with a partial CSV.
 void emit_text(const std::string& text, const CliOptions& options) {
   if (options.output.empty()) {
-    std::fputs(text.c_str(), stdout);
+    if (std::fputs(text.c_str(), stdout) < 0 || std::fflush(stdout) != 0) {
+      throw ConfigError(
+          str_format("cli: failed to write report to stdout: %s",
+                     errno_string(errno).c_str()));
+    }
     return;
   }
   std::FILE* file = std::fopen(options.output.c_str(), "w");
   check_config(file != nullptr,
-               str_format("cli: cannot open --output file '%s'",
-                          options.output.c_str()));
-  std::fputs(text.c_str(), file);
-  std::fclose(file);
+               str_format("cli: cannot open --output file '%s': %s",
+                          options.output.c_str(),
+                          errno_string(errno).c_str()));
+  int err = std::fputs(text.c_str(), file) < 0 ? errno : 0;
+  // stdio buffers: a full disk usually surfaces at the fclose flush,
+  // so its result is part of the write, not cleanup.
+  if (std::fclose(file) != 0 && err == 0) err = errno;
+  check_config(err == 0,
+               str_format("cli: failed to write --output file '%s': %s",
+                          options.output.c_str(),
+                          errno_string(err).c_str()));
 }
 
 void emit_report(const Report& report, const CliOptions& options) {

@@ -494,5 +494,25 @@ TEST(Cli, OutputFlagWritesTheReportToAFile) {
   std::remove(path.c_str());
 }
 
+TEST(Cli, OutputFlagFailsLoudlyWhenTheWriteFails) {
+  // /dev/full accepts the fopen but fails the flush with ENOSPC — the
+  // disk-full shape. The CLI must exit nonzero, not report success
+  // over a truncated file.
+  std::FILE* probe = std::fopen("/dev/full", "w");
+  if (probe == nullptr) GTEST_SKIP() << "/dev/full not available";
+  std::fclose(probe);
+  std::vector<std::string> args = {
+      "run",    "--model",    "6.6b", "--pp",   "4",      "--tp",
+      "2",      "--nmb",      "8",    "--schedule", "bf", "--loop",
+      "2",      "--csv",      "--output", "/dev/full"};
+  std::vector<char*> argv = {const_cast<char*>("bfpp")};
+  for (std::string& arg : args) argv.push_back(arg.data());
+  testing::internal::CaptureStderr();
+  const int exit_code = cli_main(static_cast<int>(argv.size()), argv.data());
+  const std::string message = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(exit_code, 1);
+  EXPECT_NE(message.find("/dev/full"), std::string::npos) << message;
+}
+
 }  // namespace
 }  // namespace bfpp::api
