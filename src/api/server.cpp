@@ -993,8 +993,15 @@ int Server::serve_on(net::Listener& listener) {
       break;
     }
     // A client that stops reading its responses must not be able to
-    // block a session writer (and the shutdown join) forever.
-    client->set_send_timeout(kSendTimeoutSeconds);
+    // block a session writer (and the shutdown join) forever. If the
+    // kernel rejects the timeout that guarantee is gone - serve the
+    // client anyway, but say so instead of silently losing the bound.
+    if (!client->set_send_timeout(kSendTimeoutSeconds)) {
+      std::fprintf(stderr,
+                   "bfpp serve: SO_SNDTIMEO failed for a client (%s); a "
+                   "stalled peer may block its session until shutdown\n",
+                   errno_string(errno).c_str());
+    }
     const LockGuard lock(session_mutex_);
     auto session = std::make_unique<Session>(std::move(*client));
     Session* raw = session.get();

@@ -86,10 +86,10 @@ bool Stream::write_all(const std::string& data) {
   return true;
 }
 
-void Stream::set_send_timeout(int seconds) {
+bool Stream::set_send_timeout(int seconds) {
   timeval tv{};
   tv.tv_sec = seconds;
-  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  return ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
 }
 
 void Stream::shutdown_read() {

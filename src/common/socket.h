@@ -50,8 +50,11 @@ class Stream {
   // Bounds every blocking ::send (SO_SNDTIMEO): once the peer stops
   // reading for `seconds`, write_all gives up and reports the peer
   // gone. Without it a client that never drains its socket could block
-  // a writer - and the server's shutdown join - forever.
-  void set_send_timeout(int seconds);
+  // a writer - and the server's shutdown join - forever. Returns false
+  // when the kernel rejects the option (e.g. ENOTSOCK on a pipe-backed
+  // Stream): writes are then unbounded and the caller must not rely on
+  // the timeout for liveness.
+  [[nodiscard]] bool set_send_timeout(int seconds);
 
   [[nodiscard]] int fd() const { return fd_; }
 

@@ -922,6 +922,23 @@ TEST(Transports, LoneCarriageReturnAtEofIsEofOnBothLineReaders) {
   std::fclose(file);
 }
 
+TEST(Transports, SendTimeoutReportsWhetherTheKernelTookIt) {
+  // The server leans on SO_SNDTIMEO for its bounded-shutdown guarantee,
+  // so a rejected setsockopt (here: ENOTSOCK on a pipe-backed Stream)
+  // must be reported, not silently swallowed as if the bound held.
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  net::Stream pipe_end(pipe_fds[0]);
+  EXPECT_FALSE(pipe_end.set_send_timeout(1));
+  ::close(pipe_fds[1]);
+
+  int sock_fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sock_fds), 0);
+  net::Stream writer(sock_fds[0]);
+  net::Stream reader(sock_fds[1]);
+  EXPECT_TRUE(writer.set_send_timeout(1));
+}
+
 TEST(Transports, SendTimeoutUnblocksWritersOnStuckPeers) {
   // A peer that never reads must not be able to block write_all forever
   // (it would also wedge the server's shutdown join). With a 1s send
@@ -930,7 +947,7 @@ TEST(Transports, SendTimeoutUnblocksWritersOnStuckPeers) {
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
   net::Stream writer(fds[0]);
   net::Stream reader(fds[1]);  // never reads a byte
-  writer.set_send_timeout(1);
+  ASSERT_TRUE(writer.set_send_timeout(1));
   const std::string blob(4 << 20, 'x');
   const auto start = std::chrono::steady_clock::now();
   EXPECT_FALSE(writer.write_all(blob));
