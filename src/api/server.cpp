@@ -213,13 +213,6 @@ ReportCache::Stats ReportCache::stats() const {
   return out;
 }
 
-void ReportCache::clear() {
-  const LockGuard lock(mutex_);
-  lru_.clear();
-  index_.clear();
-  counters_.entries = 0;
-}
-
 std::string cache_key(const Scenario& scenario,
                       const std::optional<autotune::Method>& method,
                       const RunOptions& options) {

@@ -166,8 +166,6 @@ class ReportCache {
   };
   [[nodiscard]] Stats stats() const;
 
-  void clear();
-
  private:
   // The one insert/promote/evict LRU body, shared by put() (which turns
   // the outcome into counter updates) and load() (which deliberately
