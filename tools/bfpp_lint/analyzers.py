@@ -5,7 +5,7 @@ mechanism.
 Both analyzers re-run the real compile command (flags recovered from
 build/compile_commands.json) with the analysis engine swapped in:
 
-  fanalyzer   g++ -fanalyzer -fsyntax-only   (path-sensitive leak /
+  fanalyzer   g++ -fanalyzer -c -o /dev/null (path-sensitive leak /
               use-after-free / null-deref analysis; counts only
               [-Wanalyzer-*] diagnostics, plain warnings belong to the
               build job's -Werror)
