@@ -275,13 +275,10 @@ int do_validate(const CliOptions& options) {
 }
 
 int do_serve(const CliOptions& options) {
-  ServeOptions serve;
-  serve.stdio = options.stdio;
-  serve.port = options.port;
-  serve.cache_capacity = static_cast<size_t>(options.cache_size);
-  serve.max_clients = options.max_clients;
-  serve.cache_file = options.cache_file;
-  serve.checkpoint_interval = options.checkpoint_interval;
+  // The serve flags already parsed straight into options.serve; only
+  // the execution defaults shared with every other command (--jobs,
+  // --backend, kernel overrides) are filled in here.
+  ServeOptions serve = options.serve;
   serve.jobs = options.jobs;
   serve.run = run_options_from_cli(options);
   Server server(serve);
@@ -429,33 +426,47 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     } else if (flag == "--port") {
       check_config(options.command == "serve",
                    "cli: --port only applies to 'bfpp serve'");
-      options.port = parse_int_flag(flag, value(flag));
-      check_config(options.port <= 65535, "cli: --port must be <= 65535");
+      options.serve.port = parse_int_flag(flag, value(flag));
+      check_config(options.serve.port <= 65535,
+                   "cli: --port must be <= 65535");
     } else if (flag == "--stdio") {
       check_config(options.command == "serve",
                    "cli: --stdio only applies to 'bfpp serve'");
-      options.stdio = true;
+      options.serve.stdio = true;
     } else if (flag == "--cache-size") {
       check_config(options.command == "serve",
                    "cli: --cache-size only applies to 'bfpp serve'");
-      options.cache_size = parse_int_flag(flag, value(flag));
-    } else if (flag == "--max-clients") {
+      const int entries = parse_int_flag(flag, value(flag));
+      check_config(entries >= 0, "cli: --cache-size must be >= 0");
+      options.serve.cache_capacity = static_cast<size_t>(entries);
+    } else if (flag == "--max-connections" || flag == "--max-clients") {
+      // --max-clients is the documented legacy alias from the
+      // thread-per-client era; both feed the one connection cap.
       check_config(options.command == "serve",
-                   "cli: --max-clients only applies to 'bfpp serve'");
-      options.max_clients = parse_int_flag(flag, value(flag));
-      check_config(options.max_clients >= 1,
-                   "cli: --max-clients must be at least 1");
+                   str_format("cli: %s only applies to 'bfpp serve'",
+                              flag.c_str()));
+      options.serve.max_connections = parse_int_flag(flag, value(flag));
+      check_config(options.serve.max_connections >= 1,
+                   str_format("cli: %s must be at least 1", flag.c_str()));
+    } else if (flag == "--max-inflight-per-client") {
+      check_config(
+          options.command == "serve",
+          "cli: --max-inflight-per-client only applies to 'bfpp serve'");
+      options.serve.max_inflight_per_client =
+          parse_int_flag(flag, value(flag));
+      check_config(options.serve.max_inflight_per_client >= 1,
+                   "cli: --max-inflight-per-client must be at least 1");
     } else if (flag == "--cache-file") {
       check_config(options.command == "serve",
                    "cli: --cache-file only applies to 'bfpp serve'");
-      options.cache_file = value(flag);
-      check_config(!options.cache_file.empty(),
+      options.serve.cache_file = value(flag);
+      check_config(!options.serve.cache_file.empty(),
                    "cli: --cache-file expects a path");
     } else if (flag == "--checkpoint-interval") {
       check_config(options.command == "serve",
                    "cli: --checkpoint-interval only applies to 'bfpp serve'");
-      options.checkpoint_interval = parse_int_flag(flag, value(flag));
-      check_config(options.checkpoint_interval >= 1,
+      options.serve.checkpoint_interval = parse_int_flag(flag, value(flag));
+      check_config(options.serve.checkpoint_interval >= 1,
                    "cli: --checkpoint-interval must be at least 1 second");
     } else if (flag == "--output") {
       options.output = value(flag);
@@ -486,7 +497,8 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   check_config(!(options.json && options.csv),
                "cli: --json and --csv are mutually exclusive");
   // An interval with nowhere to write would silently checkpoint nothing.
-  check_config(options.checkpoint_interval == 0 || !options.cache_file.empty(),
+  check_config(options.serve.checkpoint_interval == 0 ||
+                   !options.serve.cache_file.empty(),
                "cli: --checkpoint-interval requires --cache-file");
   parse_backend(options.backend);  // reject unknown backends early
   return options;
@@ -609,7 +621,8 @@ std::string cli_usage() {
       "  bfpp validate [--jobs N] [--backend B] [--csv]\n"
       "  bfpp serve    [--port N | --stdio] [--cache-size N]\n"
       "                [--cache-file F] [--checkpoint-interval S]\n"
-      "                [--max-clients N] [--jobs N] [--backend B]\n"
+      "                [--max-connections N] [--max-inflight-per-client N]\n"
+      "                [--jobs N] [--backend B]\n"
       "  bfpp list     [models|clusters|scenarios|all]\n"
       "  bfpp help\n"
       "\n"
@@ -678,13 +691,21 @@ std::string cli_usage() {
       "                      every mutating request (write-heavy\n"
       "                      workloads; requires --cache-file; the final\n"
       "                      shutdown save always happens)\n"
-      "  --max-clients N     concurrent TCP client sessions (default 32;\n"
-      "                      extra connections wait in the backlog)\n"
+      "  --max-connections N concurrent TCP connections (default 1024;\n"
+      "                      connections over the cap are rejected with an\n"
+      "                      explicit JSON error, not queued in the kernel\n"
+      "                      backlog; --max-clients is the legacy alias)\n"
+      "  --max-inflight-per-client N\n"
+      "                      pipelined requests buffered per connection\n"
+      "                      before the server stops reading from it\n"
+      "                      (default 4; backpressure, not an error)\n"
       "  requests are line-delimited JSON (docs/PROTOCOL.md); --backend\n"
-      "  and --jobs set per-request defaults. Clients are served\n"
-      "  concurrently; an idle client never delays another's requests,\n"
-      "  and requests racing on the same uncached cell are coalesced\n"
-      "  (one computes, the rest wait for its bytes)\n"
+      "  and --jobs set per-request defaults. A poll() event loop owns\n"
+      "  all sockets and a small executor pool runs the compute, so an\n"
+      "  idle or slow client never delays another's requests, and\n"
+      "  requests racing on the same uncached cell are coalesced (one\n"
+      "  computes, the rest wait for its bytes). A `metrics` request\n"
+      "  reports latency histograms, queue depths and connection states\n"
       "\n"
       "execution:\n"
       "  --backend B         sim (default) | analytic | threaded\n"
@@ -720,7 +741,7 @@ std::string cli_usage() {
       "  bfpp compare --grid fig5-quick --jobs 8\n"
       "  bfpp validate --jobs 8\n"
       "  bfpp serve --port 7070 --cache-size 4096 \\\n"
-      "             --cache-file reports.jsonl --max-clients 64\n"
+      "             --cache-file reports.jsonl --max-connections 256\n"
       "  printf '%s\\n' '{\"type\":\"run\",\"preset\":\"fig5a-bf-b16\"}' \\\n"
       "      | bfpp serve --stdio\n";
 }

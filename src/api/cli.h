@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "api/scenario.h"
+#include "api/server.h"
 #include "api/sweep.h"
 
 namespace bfpp::api {
@@ -61,15 +62,14 @@ struct CliOptions {
   std::string backend = "sim";  // --backend sim|analytic|threaded
   int jobs = 0;                 // --jobs (0 = all hardware threads)
 
-  // Server mode (serve only).
-  bool stdio = false;     // --stdio (serve stdin/stdout instead of TCP)
-  int port = 7070;        // --port (TCP port on 127.0.0.1)
-  int cache_size = 1024;  // --cache-size (ReportCache entries; 0 disables)
-  int max_clients = 32;   // --max-clients (concurrent TCP sessions)
-  std::string cache_file;  // --cache-file (durable ReportCache snapshot)
-  // --checkpoint-interval (seconds between background cache
-  // checkpoints; 0 = save after every mutating request instead)
-  int checkpoint_interval = 0;
+  // Server mode (serve only). The serve flags parse directly into the
+  // api::ServeOptions the Server is constructed from - no duplicated
+  // fields: --stdio, --port, --cache-size (ReportCache entries),
+  // --max-connections (--max-clients is the legacy alias),
+  // --max-inflight-per-client, --cache-file, --checkpoint-interval.
+  // serve.jobs and serve.run are filled from --jobs/--backend at
+  // dispatch, after the whole command line is parsed.
+  ServeOptions serve;
 
   // Output.
   bool json = false;      // --json

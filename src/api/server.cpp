@@ -1,5 +1,9 @@
 #include "api/server.h"
 
+#include <poll.h>
+
+#include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -25,11 +29,29 @@ namespace {
 // snapshot is ignored (cold start), never misread.
 constexpr int kCacheFileVersion = 1;
 
-// A session write to a client that has stopped reading gives up after
-// this long (the peer is treated as gone), which bounds how long a
-// stuck client can hold a session thread - and the shutdown drain -
-// hostage.
+// A client whose response bytes make zero progress for this long (the
+// socket stays unwritable) is treated as gone, which bounds how long a
+// stalled reader can pin its connection - and the shutdown drain -
+// open.
 constexpr int kSendTimeoutSeconds = 30;
+
+// Response bytes queued per connection before the event loop stops
+// reading new requests from it: a slow reader backpressures onto its
+// own socket instead of growing an unbounded outbox.
+constexpr size_t kOutboxHighWater = 4u << 20;
+
+// Kernel queue of not-yet-accepted connections. A fixed burst buffer:
+// admission is enforced explicitly by the event loop (accept, then
+// admit or answer-and-close), not by hiding excess connections in the
+// backlog.
+constexpr int kListenBacklog = 128;
+
+// How many executor threads run handle(). Matching the compute pool
+// keeps a fully-busy server from queueing behind fewer dispatchers,
+// the floor keeps several coalescing followers (which block their
+// executor in ReportCache::wait) from starving unrelated requests,
+// and the cap bounds idle threads on huge machines.
+int executor_count() { return std::clamp(ThreadPool::shared().size(), 4, 16); }
 
 }  // namespace
 
@@ -238,6 +260,116 @@ std::string cache_key(const Scenario& scenario,
       to_string(options.backend), kernel.c_str());
 }
 
+// ---- ServeStats wire format ----
+
+namespace {
+
+// Same contract as report.cpp's reader helpers: a wire field must be
+// present, so its absence is a parse error naming the key.
+const json::Value& serve_wire_field(const json::Value& v, const char* key) {
+  const json::Value* field = v.get(key);
+  check_config(field != nullptr,
+               str_format("serve stats wire: missing \"%s\"", key));
+  return *field;
+}
+
+uint64_t serve_wire_u64(const json::Value& v, const char* key) {
+  const double x = serve_wire_field(v, key).as_number(key);
+  check_config(x >= 0 && x == std::floor(x),
+               str_format("serve stats wire: \"%s\" must be a non-negative "
+                          "integer",
+                          key));
+  return static_cast<uint64_t>(x);
+}
+
+std::string u64_list(const std::vector<uint64_t>& xs) {
+  std::vector<std::string> out;
+  out.reserve(xs.size());
+  for (const uint64_t x : xs) {
+    out.push_back(str_format("%llu", static_cast<unsigned long long>(x)));
+  }
+  return "[" + join(out, ",") + "]";
+}
+
+}  // namespace
+
+std::string ServeStats::to_wire() const {
+  std::string out = str_format(
+      "{\"schema\":%d,\"requests\":%llu,", schema,
+      static_cast<unsigned long long>(requests));
+  out += str_format(
+      "\"cache\":{\"entries\":%zu,\"capacity\":%zu,\"hits\":%llu,"
+      "\"misses\":%llu,\"insertions\":%llu,\"evictions\":%llu,"
+      "\"coalesced\":%llu,\"inflight\":%zu},",
+      cache.entries, cache.capacity,
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.insertions),
+      static_cast<unsigned long long>(cache.evictions),
+      static_cast<unsigned long long>(cache.coalesced), cache.inflight);
+  out += str_format(
+      "\"connections\":{\"active\":%d,\"reading\":%d,\"processing\":%d,"
+      "\"writing\":%d,\"accepted\":%llu,\"rejected\":%llu},",
+      connections.active, connections.reading, connections.processing,
+      connections.writing, static_cast<unsigned long long>(connections.accepted),
+      static_cast<unsigned long long>(connections.rejected));
+  out += str_format(
+      "\"queues\":{\"dispatch_backlog\":%llu,\"executing\":%llu},",
+      static_cast<unsigned long long>(queues.dispatch_backlog),
+      static_cast<unsigned long long>(queues.executing));
+  out += str_format(
+      "\"latency\":{\"count\":%llu,\"sum_us\":%llu,\"p50_us\":%llu,"
+      "\"p99_us\":%llu,\"buckets\":",
+      static_cast<unsigned long long>(latency.count),
+      static_cast<unsigned long long>(latency.sum_us),
+      static_cast<unsigned long long>(latency.p50_us),
+      static_cast<unsigned long long>(latency.p99_us));
+  out += u64_list(latency.buckets) + "}}";
+  return out;
+}
+
+ServeStats ServeStats::from_wire(const json::Value& value) {
+  ServeStats s;
+  s.schema = serve_wire_field(value, "schema").as_int("schema");
+  s.requests = serve_wire_u64(value, "requests");
+  const json::Value& cache = serve_wire_field(value, "cache");
+  s.cache.entries = static_cast<size_t>(serve_wire_u64(cache, "entries"));
+  s.cache.capacity = static_cast<size_t>(serve_wire_u64(cache, "capacity"));
+  s.cache.hits = serve_wire_u64(cache, "hits");
+  s.cache.misses = serve_wire_u64(cache, "misses");
+  s.cache.insertions = serve_wire_u64(cache, "insertions");
+  s.cache.evictions = serve_wire_u64(cache, "evictions");
+  s.cache.coalesced = serve_wire_u64(cache, "coalesced");
+  s.cache.inflight = static_cast<size_t>(serve_wire_u64(cache, "inflight"));
+  const json::Value& conn = serve_wire_field(value, "connections");
+  s.connections.active = serve_wire_field(conn, "active").as_int("active");
+  s.connections.reading = serve_wire_field(conn, "reading").as_int("reading");
+  s.connections.processing =
+      serve_wire_field(conn, "processing").as_int("processing");
+  s.connections.writing = serve_wire_field(conn, "writing").as_int("writing");
+  s.connections.accepted = serve_wire_u64(conn, "accepted");
+  s.connections.rejected = serve_wire_u64(conn, "rejected");
+  const json::Value& queues = serve_wire_field(value, "queues");
+  s.queues.dispatch_backlog = serve_wire_u64(queues, "dispatch_backlog");
+  s.queues.executing = serve_wire_u64(queues, "executing");
+  const json::Value& lat = serve_wire_field(value, "latency");
+  s.latency.count = serve_wire_u64(lat, "count");
+  s.latency.sum_us = serve_wire_u64(lat, "sum_us");
+  s.latency.p50_us = serve_wire_u64(lat, "p50_us");
+  s.latency.p99_us = serve_wire_u64(lat, "p99_us");
+  const json::Value& buckets = serve_wire_field(lat, "buckets");
+  check_config(buckets.is_array(),
+               "serve stats wire: \"buckets\" must be an array");
+  for (const json::Value& b : buckets.items()) {
+    const double x = b.as_number("buckets");
+    check_config(x >= 0 && x == std::floor(x),
+                 "serve stats wire: \"buckets\" entries must be "
+                 "non-negative integers");
+    s.latency.buckets.push_back(static_cast<uint64_t>(x));
+  }
+  return s;
+}
+
 // ---- Request parsing ----
 
 namespace {
@@ -318,8 +450,8 @@ std::vector<int> ints_from(const json::Value& v, const char* key) {
 // Everything one run/search/sweep/compare request carries, after
 // validation.
 struct Request {
-  std::string type;     // run | search | sweep | compare | stats | list |
-                        // ping | shutdown
+  std::string type;     // run | search | sweep | compare | stats | metrics |
+                        // list | ping | shutdown
   std::string id_echo;  // compact JSON to echo back ("" = no id)
   std::string format = "json";  // json | csv
   CliOptions cli;               // scenario / grid / method fields
@@ -381,16 +513,17 @@ Request parse_request(const json::Value& root, const ServeOptions& defaults) {
   const json::Value* type = root.get("type");
   check_config(type != nullptr,
                "serve: a request needs a \"type\" (run, search, sweep, "
-               "compare, stats, list, ping or shutdown)");
+               "compare, stats, metrics, list, ping or shutdown)");
   req.type = to_lower(type->as_string("type"));
   const bool scenario_request =
       req.type == "run" || req.type == "search" || req.type == "sweep" ||
       req.type == "compare";
   check_config(scenario_request || req.type == "stats" ||
-                   req.type == "list" || req.type == "ping" ||
-                   req.type == "shutdown",
+                   req.type == "metrics" || req.type == "list" ||
+                   req.type == "ping" || req.type == "shutdown",
                str_format("serve: unknown request type '%s' (run, search, "
-                          "sweep, compare, stats, list, ping or shutdown)",
+                          "sweep, compare, stats, metrics, list, ping or "
+                          "shutdown)",
                           req.type.c_str()));
   const bool sweeping = req.type == "sweep";
   req.cli.command = req.type;
@@ -621,16 +754,17 @@ void Server::stop_checkpointer() {
   thread.join();
 }
 
-Server::Session::Session(net::Stream&& s)
+Server::Conn::Conn(net::Stream&& s)
     : stream(std::make_unique<net::Stream>(std::move(s))) {}
 
-Server::Session::~Session() = default;
+Server::Conn::~Conn() = default;
 
 void Server::request_shutdown() {
   shutdown_ = true;
-  const LockGuard lock(session_mutex_);
-  if (listener_ != nullptr) listener_->wake();
-  session_done_.notify_all();
+  // One lock-free signal: the event loop polls the wake pipe and reads
+  // shutdown_ at the top of every iteration. Callable from anywhere -
+  // an executor mid-request, a signal-ish control thread, a test.
+  wake_.signal();
 }
 
 bool Server::persist_cache() {
@@ -823,22 +957,15 @@ std::string Server::handle_or_throw(std::string& id_echo,
     request_shutdown();
     return response_line(id_echo, "\"ok\":true,\"type\":\"shutdown\"");
   }
-  if (req.type == "stats") {
-    const ReportCache::Stats s = cache_.stats();
+  if (req.type == "stats" || req.type == "metrics") {
+    // Both responses splice the one versioned ServeStats emitter (outer
+    // braces stripped) after the preamble, so the two surfaces share a
+    // single schema and cannot drift apart field by field.
+    const std::string wire = snapshot_stats().to_wire();
     return response_line(
         id_echo,
-        str_format("\"ok\":true,\"type\":\"stats\",\"requests\":%llu,"
-                   "\"cache\":{\"entries\":%zu,\"capacity\":%zu,"
-                   "\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,"
-                   "\"evictions\":%llu,\"coalesced\":%llu,\"inflight\":%zu}",
-                   static_cast<unsigned long long>(requests_.load()),
-                   s.entries, s.capacity,
-                   static_cast<unsigned long long>(s.hits),
-                   static_cast<unsigned long long>(s.misses),
-                   static_cast<unsigned long long>(s.insertions),
-                   static_cast<unsigned long long>(s.evictions),
-                   static_cast<unsigned long long>(s.coalesced),
-                   s.inflight));
+        str_format("\"ok\":true,\"type\":\"%s\",", req.type.c_str()) +
+            wire.substr(1, wire.size() - 2));
   }
   if (req.type == "list") {
     const std::string what = to_lower(req.list_what);
@@ -900,14 +1027,71 @@ std::string Server::handle(const std::string& request_line) {
   const size_t begin = request_line.find_first_not_of(" \t\r\n");
   if (begin == std::string::npos) return {};  // blank keep-alive line
   ++requests_;
+  const auto started = std::chrono::steady_clock::now();
   std::string id_echo;
+  std::string response;
   try {
-    return handle_or_throw(id_echo, request_line);
+    response = handle_or_throw(id_echo, request_line);
   } catch (const Error& e) {
-    return error_line(id_echo, e.what());
+    response = error_line(id_echo, e.what());
   } catch (const std::exception& e) {
-    return error_line(id_echo, std::string("internal: ") + e.what());
+    response = error_line(id_echo, std::string("internal: ") + e.what());
   }
+  // Service time (parse to response built), bucketed into the log2
+  // histogram behind the metrics request. Lock-free: every transport
+  // (event loop executors, stdio, embedders driving handle() directly)
+  // feeds the same histogram.
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
+  const auto elapsed = static_cast<uint64_t>(std::max<int64_t>(us, 0));
+  const size_t bucket =
+      elapsed < 2 ? 0
+                  : std::min<size_t>(std::bit_width(elapsed) - 1,
+                                     ServeStats::kLatencyBuckets - 1);
+  metrics_.latency_count.fetch_add(1, std::memory_order_relaxed);
+  metrics_.latency_sum_us.fetch_add(elapsed, std::memory_order_relaxed);
+  metrics_.latency_buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+ServeStats Server::snapshot_stats() const {
+  ServeStats s;
+  s.requests = requests_.load();
+  s.cache = cache_.stats();
+  s.connections.active = metrics_.active.load(std::memory_order_relaxed);
+  s.connections.reading = metrics_.reading.load(std::memory_order_relaxed);
+  s.connections.processing =
+      metrics_.processing.load(std::memory_order_relaxed);
+  s.connections.writing = metrics_.writing.load(std::memory_order_relaxed);
+  s.connections.accepted = metrics_.accepted.load(std::memory_order_relaxed);
+  s.connections.rejected = metrics_.rejected.load(std::memory_order_relaxed);
+  s.queues.dispatch_backlog =
+      metrics_.dispatch_backlog.load(std::memory_order_relaxed);
+  s.queues.executing = metrics_.executing.load(std::memory_order_relaxed);
+  s.latency.count = metrics_.latency_count.load(std::memory_order_relaxed);
+  s.latency.sum_us = metrics_.latency_sum_us.load(std::memory_order_relaxed);
+  s.latency.buckets.reserve(ServeStats::kLatencyBuckets);
+  for (const auto& bucket : metrics_.latency_buckets) {
+    s.latency.buckets.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  // Percentiles from the histogram: walk the cumulative counts and
+  // report the matched bucket's inclusive upper bound (2^(i+1) - 1 us),
+  // a deliberate over-estimate - monitoring should err slow, not fast.
+  const auto percentile = [&s](double q) -> uint64_t {
+    if (s.latency.count == 0) return 0;
+    const auto rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(s.latency.count)));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < s.latency.buckets.size(); ++i) {
+      seen += s.latency.buckets[i];
+      if (seen >= rank) return (uint64_t{2} << i) - 1;
+    }
+    return (uint64_t{2} << (s.latency.buckets.size() - 1)) - 1;
+  };
+  s.latency.p50_us = percentile(0.50);
+  s.latency.p99_us = percentile(0.99);
+  return s;
 }
 
 int Server::serve_stdio(std::FILE* in, std::FILE* out) {
@@ -926,138 +1110,318 @@ int Server::serve_stdio(std::FILE* in, std::FILE* out) {
   return 0;
 }
 
-void Server::run_session(net::Stream& stream) {
-  std::string line;
-  while (stream.read_line(line)) {
-    const std::string response = handle(line);
-    if (!response.empty() && !stream.write_all(response)) break;
+void Server::executor_loop() {
+  while (true) {
+    DispatchItem item;
+    {
+      const LockGuard lock(dispatch_mutex_);
+      // Plain while-loop, not a predicate lambda: dispatch_queue_ and
+      // executors_stop_ are guarded by dispatch_mutex_ and the analysis
+      // must see the reads under the held lock.
+      while (!executors_stop_ && dispatch_queue_.empty()) {
+        dispatch_ready_.wait(dispatch_mutex_);
+      }
+      // Stop only once the queue is drained: every dispatched request
+      // was admitted, so its client still gets an answer during a
+      // shutdown drain.
+      if (dispatch_queue_.empty()) return;
+      item = std::move(dispatch_queue_.front());
+      dispatch_queue_.pop_front();
+    }
+    metrics_.dispatch_backlog.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.executing.fetch_add(1, std::memory_order_relaxed);
+    const std::string response = handle(item.line);
     persist_after_request();
-    // Checked *after* responding so the client that requested the
-    // shutdown still receives its acknowledgement.
-    if (shutdown_) break;
+    {
+      const LockGuard lock(conn_mutex_);
+      item.conn->outbox += response;
+      item.conn->busy = false;
+    }
+    metrics_.executing.fetch_sub(1, std::memory_order_relaxed);
+    // The event loop owns the socket: hand the response over and wake
+    // its poll() so the flush happens there, never from this thread.
+    wake_.signal();
   }
 }
 
-void Server::reap_finished_sessions_locked() {
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    if ((*it)->done) {
-      (*it)->thread.join();
-      it = sessions_.erase(it);
-    } else {
-      ++it;
+void Server::start_executors() {
+  {
+    const LockGuard lock(dispatch_mutex_);
+    executors_stop_ = false;
+  }
+  const int want = executor_count();
+  executors_.reserve(static_cast<size_t>(want));
+  for (int i = 0; i < want; ++i) {
+    try {
+      executors_.emplace_back([this] { executor_loop(); });
+    } catch (const std::system_error& e) {
+      // Thread exhaustion (EAGAIN under tight rlimits): run with the
+      // executors that did spawn rather than dying - unless none did,
+      // in which case no request could ever be answered.
+      std::fprintf(stderr,
+                   "bfpp serve: spawned %zu of %d executor threads (%s)\n",
+                   executors_.size(), want, e.what());
+      break;
     }
   }
+  check_config(!executors_.empty(),
+               "serve: cannot spawn any executor thread");
+}
+
+void Server::stop_executors() {
+  {
+    const LockGuard lock(dispatch_mutex_);
+    executors_stop_ = true;
+  }
+  dispatch_ready_.notify_all();
+  for (std::thread& thread : executors_) {
+    if (thread.joinable()) thread.join();
+  }
+  executors_.clear();
 }
 
 int Server::serve_on(net::Listener& listener) {
-  {
-    const LockGuard lock(session_mutex_);
-    listener_ = &listener;
-    if (shutdown_) listener.wake();  // requested before the loop started
-  }
   start_checkpointer();
+  start_executors();
   int exit_code = 0;
-  while (!shutdown_) {
+
+  // The connection registry, owned by this thread. A vector (not an
+  // unordered container) so every sweep below iterates in admission
+  // order - the determinism lint bans unordered iteration feeding
+  // emitters, and poll() fairness does not care.
+  std::vector<std::shared_ptr<Conn>> conns;
+  std::vector<pollfd> fds;
+  std::vector<size_t> fd_to_conn;  // fds index -> conns index
+  std::vector<char> closing;       // per-conn close decision, each sweep
+  bool draining = false;
+
+  while (true) {
+    if (shutdown_ && !draining) {
+      draining = true;
+      // The drain contract: stop accepting and reading, answer what was
+      // already dispatched, flush every outbox, then close. Parsed but
+      // undispatched lines are dropped - a drain finishes work, it does
+      // not start more.
+      for (const std::shared_ptr<Conn>& conn : conns) conn->input.clear();
+    }
+    if (draining && conns.empty()) break;
+
+    // ---- Build the poll set ----
+    fds.clear();
+    fd_to_conn.clear();
+    fds.push_back({wake_.fd(), POLLIN, 0});
+    if (!draining) fds.push_back({listener.fd(), POLLIN, 0});
+    const size_t first_conn_fd = fds.size();
     {
-      // Respect --max-clients: wait for a session slot (or shutdown)
-      // before accepting. Excess connections queue in the kernel
-      // backlog, they are never dropped mid-session. (While-loop, not a
-      // predicate lambda: active_sessions_ is guarded by session_mutex_
-      // and the read must be visible to the analysis under the lock.)
-      const LockGuard lock(session_mutex_);
-      while (!shutdown_.load() && active_sessions_ >= options_.max_clients) {
-        session_done_.wait(session_mutex_);
+      const LockGuard lock(conn_mutex_);
+      for (size_t i = 0; i < conns.size(); ++i) {
+        Conn& conn = *conns[i];
+        if (conn.dead) continue;
+        const size_t pending = conn.outbox.size() - conn.out_off;
+        const size_t inflight = conn.input.size() + (conn.busy ? 1 : 0);
+        short events = 0;
+        // Backpressure: stop reading from a client that already has its
+        // fair share in flight, or whose unread responses have piled
+        // past the high-water mark - it blocks on its own socket while
+        // everyone else keeps being served.
+        if (!conn.read_eof && !draining && pending < kOutboxHighWater &&
+            inflight <
+                static_cast<size_t>(options_.max_inflight_per_client)) {
+          events |= POLLIN;
+        }
+        if (pending > 0) events |= POLLOUT;
+        if (events == 0) continue;  // progress will come via wake_
+        fds.push_back({conn.stream->fd(), events, 0});
+        fd_to_conn.push_back(i);
       }
-      if (shutdown_) break;
-      reap_finished_sessions_locked();
     }
-    std::optional<net::Stream> client = listener.accept();
-    if (!client.has_value()) {
-      if (shutdown_ || listener.last_error() == 0) break;  // orderly wake
-      // A permanent accept failure (EMFILE, listener torn down, ...)
-      // must be tellable from a shutdown: name the errno and bail.
-      std::fprintf(stderr,
-                   "bfpp serve: accept() failed on 127.0.0.1:%d: %s "
-                   "(errno %d); shutting down\n",
-                   listener.port(),
-                   errno_string(listener.last_error()).c_str(),
-                   listener.last_error());
-      exit_code = 1;
-      break;
+
+    // Finite timeout: the stalled-writer clock below must keep ticking
+    // even when no fd turns ready.
+    if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), 500) < 0) {
+      for (pollfd& pfd : fds) pfd.revents = 0;  // undefined after failure
+      if (errno != EINTR) {
+        std::fprintf(stderr, "bfpp serve: poll() failed: %s; shutting down\n",
+                     errno_string(errno).c_str());
+        exit_code = 1;
+        shutdown_ = true;
+      }
     }
-    // A client that stops reading its responses must not be able to
-    // block a session writer (and the shutdown join) forever. If the
-    // kernel rejects the timeout that guarantee is gone - serve the
-    // client anyway, but say so instead of silently losing the bound.
-    if (!client->set_send_timeout(kSendTimeoutSeconds)) {
-      std::fprintf(stderr,
-                   "bfpp serve: SO_SNDTIMEO failed for a client (%s); a "
-                   "stalled peer may block its session until shutdown\n",
-                   errno_string(errno).c_str());
+    if ((fds[0].revents & POLLIN) != 0) wake_.drain();
+
+    // ---- Read: parse complete request lines off readable sockets ----
+    for (size_t fi = first_conn_fd; fi < fds.size(); ++fi) {
+      if ((fds[fi].events & POLLIN) == 0) continue;
+      if ((fds[fi].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      Conn& conn = *conns[fd_to_conn[fi - first_conn_fd]];
+      const net::IoStatus status = conn.stream->fill();
+      if (status == net::IoStatus::kError) {
+        conn.dead = true;
+        continue;
+      }
+      std::string line;
+      while (conn.stream->next_line(line)) {
+        conn.input.push_back(std::move(line));
+      }
+      if (status == net::IoStatus::kEof) {
+        conn.read_eof = true;
+        // The shared final-line contract: a client that forgot the
+        // trailing newline before half-closing still gets its answer.
+        if (conn.stream->take_final_line(line)) {
+          conn.input.push_back(std::move(line));
+        }
+      }
     }
-    const LockGuard lock(session_mutex_);
-    auto session = std::make_unique<Session>(std::move(*client));
-    Session* raw = session.get();
-    try {
-      raw->thread = std::thread([this, raw] {
-        run_session(*raw->stream);
-        const LockGuard done_lock(session_mutex_);
-        --active_sessions_;
-        raw->done = true;
-        session_done_.notify_all();
-      });
-    } catch (const std::system_error& e) {
-      // Thread exhaustion (EAGAIN under tight rlimits) must drop this
-      // one connection, not std::terminate() the whole server.
-      std::fprintf(stderr,
-                   "bfpp serve: cannot spawn a session thread (%s); "
-                   "dropping the connection\n",
-                   e.what());
-      continue;  // `session` closes the socket on destruction
+
+    // ---- Accept: admit up to the connection cap, reject the rest ----
+    if (!draining && (fds[1].revents & POLLIN) != 0) {
+      while (true) {
+        std::optional<net::Stream> client = listener.try_accept();
+        if (!client.has_value()) {
+          if (listener.last_error() != 0) {
+            // A permanent accept failure (EMFILE, listener torn down)
+            // must be tellable from a shutdown: name the errno and
+            // drain out.
+            std::fprintf(stderr,
+                         "bfpp serve: accept() failed on 127.0.0.1:%d: %s "
+                         "(errno %d); shutting down\n",
+                         listener.port(),
+                         errno_string(listener.last_error()).c_str(),
+                         listener.last_error());
+            exit_code = 1;
+            shutdown_ = true;
+          }
+          break;
+        }
+        if (conns.size() >= static_cast<size_t>(options_.max_connections)) {
+          // Over the cap: answer explicitly and close, instead of
+          // leaving the connection to rot invisibly in a kernel queue.
+          // Best-effort single write - a freshly connected socket's
+          // buffer is empty, so the line virtually always fits.
+          const std::string refusal = error_line(
+              "", str_format("serve: connection limit reached "
+                             "(--max-connections %d)",
+                             options_.max_connections));
+          size_t offset = 0;
+          (void)client->write_some(refusal, offset);
+          metrics_.rejected.fetch_add(1, std::memory_order_relaxed);
+          continue;  // ~Stream closes the socket
+        }
+        conns.push_back(std::make_shared<Conn>(std::move(*client)));
+        metrics_.accepted.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    ++active_sessions_;
-    sessions_.push_back(std::move(session));
-  }
-  // Drain: wake sessions blocked on idle clients (half-close their read
-  // side; in-flight responses still go out), then join every session.
-  {
-    const LockGuard lock(session_mutex_);
-    for (const std::unique_ptr<Session>& session : sessions_) {
-      session->stream->shutdown_read();
-    }
-  }
-  for (;;) {
-    std::unique_ptr<Session> session;
+
+    // ---- Dispatch, flush, classify: the one locked pass per tick ----
+    std::vector<DispatchItem> to_dispatch;
+    closing.assign(conns.size(), 0);
+    int reading = 0;
+    int processing = 0;
+    int writing = 0;
     {
-      const LockGuard lock(session_mutex_);
-      if (sessions_.empty()) break;
-      session = std::move(sessions_.front());
-      sessions_.pop_front();
+      const LockGuard lock(conn_mutex_);
+      for (size_t i = 0; i < conns.size(); ++i) {
+        Conn& conn = *conns[i];
+        // One request per connection in flight at a time: responses
+        // come back in request order with no per-connection reordering
+        // machinery, and one client cannot flood the dispatch queue.
+        if (!conn.dead && !conn.busy && !conn.input.empty()) {
+          conn.busy = true;
+          to_dispatch.push_back({conns[i], std::move(conn.input.front())});
+          conn.input.pop_front();
+        }
+        size_t pending = conn.outbox.size() - conn.out_off;
+        if (!conn.dead && pending > 0) {
+          const net::IoStatus status =
+              conn.stream->write_some(conn.outbox, conn.out_off);
+          if (status == net::IoStatus::kError) {
+            conn.dead = true;  // peer vanished mid-response
+          } else if (conn.out_off == conn.outbox.size()) {
+            conn.outbox.clear();
+            conn.out_off = 0;
+            conn.stalled = false;
+          } else {
+            pending = conn.outbox.size() - conn.out_off;
+            const auto now = std::chrono::steady_clock::now();
+            if (!conn.stalled || pending != conn.last_pending) {
+              // (Re)arm the stall clock on any change in the backlog -
+              // drained bytes or a freshly appended response both count
+              // as signs of life.
+              conn.stalled = true;
+              conn.last_pending = pending;
+              conn.stalled_since = now;
+            } else if (now - conn.stalled_since >=
+                       std::chrono::seconds(kSendTimeoutSeconds)) {
+              conn.dead = true;  // peer stopped reading entirely
+            }
+            if (conn.out_off >= kOutboxHighWater) {
+              conn.outbox.erase(0, conn.out_off);
+              conn.out_off = 0;
+            }
+          }
+        }
+        const size_t left = conn.dead ? 0 : conn.outbox.size() - conn.out_off;
+        if (conn.dead ||
+            ((conn.read_eof || draining) && !conn.busy &&
+             conn.input.empty() && left == 0)) {
+          closing[i] = 1;
+          continue;
+        }
+        if (conn.busy) {
+          ++processing;
+        } else if (left > 0) {
+          ++writing;
+        } else {
+          ++reading;
+        }
+      }
     }
-    if (session->thread.joinable()) session->thread.join();
+    if (!to_dispatch.empty()) {
+      metrics_.dispatch_backlog.fetch_add(to_dispatch.size(),
+                                          std::memory_order_relaxed);
+      {
+        const LockGuard lock(dispatch_mutex_);
+        for (DispatchItem& item : to_dispatch) {
+          dispatch_queue_.push_back(std::move(item));
+        }
+      }
+      dispatch_ready_.notify_all();
+    }
+
+    // ---- Close sweep (outside conn_mutex_: destroying a Stream is a
+    // syscall) and gauge refresh ----
+    size_t kept = 0;
+    for (size_t i = 0; i < conns.size(); ++i) {
+      if (closing[i] == 0) conns[kept++] = std::move(conns[i]);
+    }
+    conns.resize(kept);
+    metrics_.active.store(static_cast<int>(conns.size()),
+                          std::memory_order_relaxed);
+    metrics_.reading.store(reading, std::memory_order_relaxed);
+    metrics_.processing.store(processing, std::memory_order_relaxed);
+    metrics_.writing.store(writing, std::memory_order_relaxed);
   }
-  {
-    const LockGuard lock(session_mutex_);
-    listener_ = nullptr;
-  }
+
+  stop_executors();
   stop_checkpointer();
   persist_cache();
   return exit_code;
 }
 
 int Server::serve() {
-  // Backlog sized to --max-clients: connections beyond the session
-  // bound queue in the kernel instead of being refused.
-  net::Listener listener(options_.port, options_.max_clients);
+  // The backlog is a fixed burst buffer: admission is enforced by the
+  // event loop itself (--max-connections, with explicit rejection), not
+  // by hiding excess connections in a kernel queue sized to the cap.
+  net::Listener listener(options_.port, kListenBacklog);
   std::fprintf(
       stderr,
       "bfpp serve: listening on 127.0.0.1:%d (backend %s, cache %zu "
-      "entries%s%s, up to %d concurrent clients); send "
+      "entries%s%s, up to %d concurrent connections); send "
       "{\"type\":\"shutdown\"} to stop\n",
       listener.port(), to_string(options_.run.backend),
       options_.cache_capacity,
       options_.cache_file.empty() ? "" : ", persisted to ",
-      options_.cache_file.c_str(), options_.max_clients);
+      options_.cache_file.c_str(), options_.max_connections);
   return serve_on(listener);
 }
 

@@ -12,14 +12,22 @@
 //   $ printf '%s\n' '{"type":"run","preset":"fig5a-bf-b16"}' | nc 127.0.0.1 7070
 //   {"ok":true,"type":"run","report":{...}}
 //
-// Clients are served concurrently: the serve() thread accepts
-// connections (woken by a self-pipe on shutdown) and hands each one to
-// a dedicated session thread, up to --max-clients at a time, so a
-// blocked or idle client never delays another client's requests.
-// Session threads only do transport I/O; all computation funnels
-// through the shared ThreadPool exactly as in single-client mode, so
-// concurrent sessions share one thread budget instead of
-// oversubscribing the machine. handle() is fully thread-safe.
+// Clients are served concurrently by an event loop, not by threads:
+// serve() runs one poll() loop over every connection, parsing
+// line-delimited requests from non-blocking sockets, handing each
+// parsed line to a small fixed pool of executor threads, and streaming
+// the response bytes back as each socket becomes writable - so
+// thousands of mostly-idle clients cost file descriptors, not threads.
+// Admission control caps concurrency at --max-connections (over-cap
+// connects get an explicit JSON error, counted in `rejected`), and
+// per-connection fairness stops reading from a client with
+// --max-inflight-per-client requests pending (backpressure instead of
+// unbounded queueing). Executor threads only run handle(); all
+// computation funnels through the shared ThreadPool exactly as in
+// single-client mode, so concurrent clients share one thread budget
+// instead of oversubscribing the machine. handle() is fully
+// thread-safe, and a `metrics` request exposes latency histograms,
+// queue depths and connection-state counts (see ServeStats).
 //
 // Repeated cells are served from an LRU ReportCache keyed by
 // (model, cluster, config, backend, kernel-override) - the simulator is
@@ -34,8 +42,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <list>
 #include <memory>
 #include <optional>
@@ -49,12 +59,12 @@
 #include "api/scenario.h"
 #include "autotune/autotune.h"
 #include "common/mutex.h"
+#include "common/socket.h"
 #include "common/thread_annotations.h"
 
-namespace bfpp::net {
-class Listener;
-class Stream;
-}  // namespace bfpp::net
+namespace bfpp::json {
+class Value;
+}  // namespace bfpp::json
 
 namespace bfpp::api {
 
@@ -211,12 +221,26 @@ std::string cache_key(const Scenario& scenario,
                       const std::optional<autotune::Method>& method,
                       const RunOptions& options);
 
+// The single source of truth for server configuration: the CLI parses
+// its serve flags directly into one of these (cli.h holds a ServeOptions
+// verbatim), and Server is constructed from it. Every knob lives here
+// and only here.
 struct ServeOptions {
   bool stdio = false;       // serve stdin/stdout instead of TCP
   int port = 7070;          // TCP port on 127.0.0.1 (0 = ephemeral)
   int jobs = 0;             // default --jobs for requests that set none
   size_t cache_capacity = 1024;  // ReportCache entries (0 disables)
-  int max_clients = 32;     // concurrent TCP sessions; extra accepts wait
+  // Concurrent TCP connections the event loop admits (--max-connections;
+  // --max-clients is the documented legacy alias). A connection beyond
+  // the cap is answered with one {"ok":false,...} line and closed -
+  // never left to rot invisibly in the kernel backlog - and counted in
+  // ServeStats::Connections::rejected.
+  int max_connections = 1024;
+  // Requests one connection may have queued-or-executing before the
+  // event loop stops reading from it (--max-inflight-per-client): a
+  // bursty client backpressures onto its own socket instead of growing
+  // an unbounded server-side queue, and cannot starve quieter clients.
+  int max_inflight_per_client = 4;
   std::string cache_file;   // durable cache path ("" = in-memory only)
   // Seconds between background cache checkpoints. 0 (the default) keeps
   // the write-through behaviour: the cache is saved after every request
@@ -228,6 +252,63 @@ struct ServeOptions {
   RunOptions run;           // default backend for requests that set none
 };
 
+// One versioned snapshot of the server's observable state - the shared
+// wire schema behind both the `stats` and the `metrics` response (the
+// two responses splice the same to_wire() fields after their
+// ok/type/id preamble, so they can never drift apart). Fields are
+// emitted in declaration order and the wire-stability lint holds
+// to_wire()/from_wire() to exactly this member list; bump `schema` on
+// any shape change. docs/PROTOCOL.md documents every field.
+struct ServeStats {
+  // Connection-state counts: the gauges partition every admitted
+  // connection by what it is waiting on; the counters are lifetime
+  // totals.
+  struct Connections {
+    int active = 0;      // admitted and not yet closed (gauge)
+    int reading = 0;     // idle or mid-request-line (gauge)
+    int processing = 0;  // a request dispatched, no response yet (gauge)
+    int writing = 0;     // response bytes queued on the socket (gauge)
+    uint64_t accepted = 0;  // connections ever admitted
+    uint64_t rejected = 0;  // connections refused over --max-connections
+  };
+  // Dispatch-queue depths: requests parsed but not yet picked up by an
+  // executor, and requests currently inside handle().
+  struct Queues {
+    uint64_t dispatch_backlog = 0;
+    uint64_t executing = 0;
+  };
+  // Service-time histogram over handle() (request arrival at an
+  // executor to response bytes queued), microseconds. buckets[i] counts
+  // requests in [2^i, 2^(i+1)) us (bucket 0 is [0, 2)); the percentiles
+  // are bucket-upper-bound estimates derived from the histogram.
+  struct Latency {
+    uint64_t count = 0;
+    uint64_t sum_us = 0;
+    uint64_t p50_us = 0;
+    uint64_t p99_us = 0;
+    std::vector<uint64_t> buckets;
+  };
+  // Log2 service-time buckets: 2^24 us ~ 16.7 s in the last bucket,
+  // far beyond any sane request; slower ones clamp into it.
+  static constexpr size_t kLatencyBuckets = 24;
+
+  int schema = 1;
+  uint64_t requests = 0;
+  ReportCache::Stats cache;
+  Connections connections;
+  Queues queues;
+  Latency latency;
+
+  // One compact JSON object, every field in declaration order. The
+  // serve responses splice out the outer braces and prepend
+  // "ok"/"type" (+"id"), so the `requests` and `cache` fields keep the
+  // exact top-level shape the pre-metrics `stats` response had.
+  [[nodiscard]] std::string to_wire() const;
+  // Reads back exactly the keys to_wire() emits. Tolerates (ignores)
+  // extra keys, so it parses a full stats/metrics *response* line too.
+  static ServeStats from_wire(const json::Value& value);
+};
+
 class Server {
  public:
   explicit Server(ServeOptions options = {});
@@ -237,7 +318,7 @@ class Server {
   // the complete, newline-terminated response (one JSON line, plus
   // payload lines for multi-row responses). Never throws: malformed or
   // failing requests become {"ok":false,"error":...} lines. Blank lines
-  // return the empty string (keep-alive no-ops). Thread-safe: session
+  // return the empty string (keep-alive no-ops). Thread-safe: executor
   // threads call this concurrently.
   std::string handle(const std::string& request_line);
 
@@ -245,20 +326,21 @@ class Server {
   // writing responses to `out` (flushed per response). Returns 0.
   int serve_stdio(std::FILE* in = stdin, std::FILE* out = stdout);
 
-  // Binds 127.0.0.1:options.port and serves clients concurrently (one
-  // session thread each, at most options.max_clients at a time) until a
-  // shutdown request or request_shutdown(). Returns 0 on orderly
-  // shutdown, 1 after an unrecoverable accept() failure (logged with
-  // its errno to stderr).
+  // Binds 127.0.0.1:options.port and serves clients through the event
+  // loop (up to options.max_connections concurrently; over-cap connects
+  // are explicitly rejected) until a shutdown request or
+  // request_shutdown(). Returns 0 on orderly shutdown, 1 after an
+  // unrecoverable accept() failure (logged with its errno to stderr).
   int serve();
 
   // serve() on a caller-owned listener - tests bind an ephemeral port
   // themselves and read it back before starting the loop.
   int serve_on(net::Listener& listener);
 
-  // Initiates an orderly shutdown from any thread: wakes the accept
-  // loop, which then drains in-flight sessions and persists the cache.
-  void request_shutdown() BFPP_EXCLUDES(session_mutex_);
+  // Initiates an orderly shutdown from any thread: wakes the event
+  // loop, which stops accepting and reading, finishes dispatched
+  // requests, flushes every response and persists the cache.
+  void request_shutdown();
 
   // Persists the cache to options.cache_file now (no-op returning false
   // when no cache file is configured). serve loops call this after
@@ -289,9 +371,6 @@ class Server {
  private:
   std::string handle_or_throw(std::string& id_echo, const std::string& line);
 
-  // One connected client: reads request lines until EOF / shutdown,
-  // answering each through handle().
-  void run_session(net::Stream& stream);
   // Saves the cache iff it changed since the last save (cheap no-op
   // otherwise). Called by the checkpoint thread, and - through
   // persist_after_request(), which defers to the checkpointer when a
@@ -319,31 +398,95 @@ class Server {
   std::atomic<uint64_t> requests_{0};
   std::atomic<bool> shutdown_{false};
 
-  // Accept-loop / session bookkeeping (serve_on only). session_mutex_
-  // guards sessions_, active_sessions_ and listener_; session_done_
-  // signals a freed --max-clients slot or shutdown. `done` is guarded by
-  // the owning Server's session_mutex_ (nested structs cannot name an
-  // outer instance member in BFPP_GUARDED_BY): the session thread sets
-  // it under that lock, the reaper reads it under the same lock.
-  struct Session {
-    explicit Session(net::Stream&& s);
-    ~Session();
-    std::unique_ptr<net::Stream> stream;  // stable address for wake-ups
-    std::thread thread;
-    bool done = false;
-  };
-  void reap_finished_sessions_locked() BFPP_REQUIRES(session_mutex_);
+  // ---- Event-loop serving core (serve_on only) ----
+  //
+  // One poll() loop owns every connection; a small fixed pool of
+  // executor threads runs handle(). The split of Conn state mirrors
+  // that: the parse-side fields belong exclusively to the event-loop
+  // thread, while the response-handoff fields cross between an executor
+  // (which appends the response and clears `busy`) and the event loop
+  // (which flushes) and are guarded by conn_mutex_.
+  struct Conn {
+    explicit Conn(net::Stream&& s);
+    ~Conn();
+    std::unique_ptr<net::Stream> stream;  // fd + read buffer
 
-  // session_mutex_ guards the session registry: the list of live
-  // sessions, the active count the --max-clients admission loop waits
-  // on, and the listener pointer request_shutdown() wakes through.
-  Mutex session_mutex_;
-  CondVar session_done_;  // a freed session slot, or shutdown
-  std::list<std::unique_ptr<Session>> sessions_
-      BFPP_GUARDED_BY(session_mutex_);
-  int active_sessions_ BFPP_GUARDED_BY(session_mutex_) = 0;
-  net::Listener* listener_ BFPP_GUARDED_BY(session_mutex_) =
-      nullptr;  // non-null while serve_on runs
+    // Event-loop-thread-only state (single writer, no concurrent
+    // reader - deliberately unguarded, see docs/CONCURRENCY.md).
+    std::deque<std::string> input;  // parsed, not yet dispatched lines
+    bool read_eof = false;          // peer half-closed; input may remain
+    bool dead = false;              // I/O error: close without flushing
+    bool stalled = false;           // outbox pending with zero progress
+    std::chrono::steady_clock::time_point stalled_since{};
+    size_t last_pending = 0;        // outbox remainder at last stall check
+
+    // Guarded by the owning Server's conn_mutex_ (nested structs cannot
+    // name an outer instance member in BFPP_GUARDED_BY; TSan covers
+    // these at runtime): response bytes queued for the socket, the
+    // flush offset into them, and whether a dispatched request is
+    // still pending for this connection.
+    std::string outbox;
+    size_t out_off = 0;
+    bool busy = false;
+  };
+  // One parsed request line bound for an executor. The shared_ptr keeps
+  // the Conn alive even if the event loop closes and unregisters the
+  // connection while the request is still computing.
+  struct DispatchItem {
+    std::shared_ptr<Conn> conn;
+    std::string line;
+  };
+
+  // Executor threads: each pops DispatchItems, runs handle() and hands
+  // the response back through the Conn outbox + a wake_ signal. Started
+  // and joined by serve_on (executors_ itself is touched only by the
+  // serve_on thread).
+  void executor_loop() BFPP_EXCLUDES(dispatch_mutex_, conn_mutex_);
+  void start_executors() BFPP_EXCLUDES(dispatch_mutex_);
+  void stop_executors() BFPP_EXCLUDES(dispatch_mutex_);
+
+  // Builds the ServeStats snapshot behind the stats/metrics responses.
+  [[nodiscard]] ServeStats snapshot_stats() const;
+
+  // conn_mutex_ guards the executor-to-event-loop response handoff: the
+  // outbox/out_off/busy fields of every Conn. Leaf lock: nothing else
+  // is ever acquired while it is held.
+  Mutex conn_mutex_;
+
+  // dispatch_mutex_ guards the parsed-request queue executors pop from
+  // and their stop flag; dispatch_ready_ signals a new item or stop.
+  // Leaf lock, disjoint from conn_mutex_: the event loop collects under
+  // one, releases, then takes the other.
+  Mutex dispatch_mutex_;
+  CondVar dispatch_ready_;
+  std::deque<DispatchItem> dispatch_queue_ BFPP_GUARDED_BY(dispatch_mutex_);
+  bool executors_stop_ BFPP_GUARDED_BY(dispatch_mutex_) = false;
+  std::vector<std::thread> executors_;  // serve_on-thread only
+
+  // Wakes the event loop's poll() when an executor finishes a response
+  // or request_shutdown() is called from another thread. Lock-free (see
+  // net::WakePipe).
+  net::WakePipe wake_;
+
+  // The metrics behind ServeStats, all atomics: executors and the event
+  // loop bump them lock-free, snapshot_stats() reads them without
+  // touching any mutex (so a metrics request can never contend with the
+  // serving hot path). Gauge-style fields (connection states) are
+  // refreshed by the event loop each iteration.
+  struct Metrics {
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<int> active{0};
+    std::atomic<int> reading{0};
+    std::atomic<int> processing{0};
+    std::atomic<int> writing{0};
+    std::atomic<uint64_t> dispatch_backlog{0};
+    std::atomic<uint64_t> executing{0};
+    std::atomic<uint64_t> latency_count{0};
+    std::atomic<uint64_t> latency_sum_us{0};
+    std::atomic<uint64_t> latency_buckets[ServeStats::kLatencyBuckets] = {};
+  };
+  Metrics metrics_;
 
   // Persistence bookkeeping: persist_mutex_ serializes whole
   // snapshot-then-save sequences (so two savers cannot interleave their

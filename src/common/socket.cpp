@@ -92,6 +92,63 @@ bool Stream::set_send_timeout(int seconds) {
   return ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
 }
 
+bool Stream::set_nonblocking() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+IoStatus Stream::fill() {
+  bool got_bytes = false;
+  // A short burst, not read-until-EAGAIN: one connection must not be
+  // able to starve the rest of the event loop with an endless firehose.
+  for (int i = 0; i < 4; ++i) {
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      got_bytes = true;
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;  // kernel drained
+      continue;
+    }
+    if (n == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return got_bytes ? IoStatus::kOk : IoStatus::kWouldBlock;
+    }
+    return IoStatus::kError;
+  }
+  return got_bytes ? IoStatus::kOk : IoStatus::kWouldBlock;
+}
+
+bool Stream::next_line(std::string& line) {
+  const size_t newline = buffer_.find('\n');
+  if (newline == std::string::npos) return false;
+  line = buffer_.substr(0, newline);
+  buffer_.erase(0, newline + 1);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+bool Stream::take_final_line(std::string& line) {
+  line = std::move(buffer_);
+  buffer_.clear();
+  return finish_eof_line(line);
+}
+
+IoStatus Stream::write_some(const std::string& data, size_t& offset) {
+  while (offset < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + offset, data.size() - offset,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+      return IoStatus::kError;
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
 void Stream::shutdown_read() {
   // Errors (ENOTCONN on an already-gone peer, ENOTSOCK on a pipe-backed
   // Stream in tests) are harmless: the goal is only to nudge a blocked
@@ -190,12 +247,63 @@ std::optional<Stream> Listener::accept() {
   }
 }
 
+std::optional<Stream> Listener::try_accept() {
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      // The event loop needs every client socket non-blocking. Linux
+      // does not inherit O_NONBLOCK from the listener; set it here so
+      // callers never have to remember.
+      ::fcntl(client, F_SETFL, ::fcntl(client, F_GETFL, 0) | O_NONBLOCK);
+      last_error_ = 0;
+      return Stream(client);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      last_error_ = 0;  // nothing usable pending right now
+      return std::nullopt;
+    }
+    last_error_ = errno;
+    return std::nullopt;
+  }
+}
+
 void Listener::wake() {
   woken_.store(true, std::memory_order_release);
   const char byte = 'w';
   // A full pipe means a wake byte is already pending; either way every
   // accept() call observes woken_.
   [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
+WakePipe::WakePipe() {
+  check_config(::pipe(fds_) == 0,
+               str_format("socket: cannot create wake pipe: %s",
+                          errno_string(errno).c_str()));
+  for (const int fd : fds_) {
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    // Non-blocking on both ends: signal() must never stall a worker on
+    // a full pipe, and drain() must never stall the event loop.
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  }
+}
+
+WakePipe::~WakePipe() {
+  if (fds_[0] >= 0) ::close(fds_[0]);
+  if (fds_[1] >= 0) ::close(fds_[1]);
+}
+
+void WakePipe::signal() {
+  const char byte = 'w';
+  // EAGAIN (pipe full) is success: a pending byte already guarantees
+  // the next poll() wakes.
+  [[maybe_unused]] const ssize_t n = ::write(fds_[1], &byte, 1);
+}
+
+void WakePipe::drain() {
+  char sink[64];
+  while (::read(fds_[0], sink, sizeof(sink)) > 0) {
+  }
 }
 
 }  // namespace bfpp::net

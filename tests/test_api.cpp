@@ -458,16 +458,29 @@ TEST(Cli, MalformedIntegerFlagValuesAreUsageErrors) {
 }
 
 TEST(Cli, ServeFlagsParse) {
+  // The serve flags parse straight into the api::ServeOptions the
+  // Server is constructed from - CliOptions carries no duplicate
+  // fields.
   const CliOptions serve = parse_cli(
-      {"serve", "--port", "0", "--cache-size", "16", "--max-clients", "4",
-       "--cache-file", "reports.jsonl", "--checkpoint-interval", "30"});
-  EXPECT_EQ(serve.port, 0);
-  EXPECT_EQ(serve.cache_size, 16);
-  EXPECT_EQ(serve.max_clients, 4);
-  EXPECT_EQ(serve.cache_file, "reports.jsonl");
-  EXPECT_EQ(serve.checkpoint_interval, 30);
+      {"serve", "--port", "0", "--cache-size", "16", "--max-connections", "4",
+       "--max-inflight-per-client", "2", "--cache-file", "reports.jsonl",
+       "--checkpoint-interval", "30"});
+  EXPECT_EQ(serve.serve.port, 0);
+  EXPECT_EQ(serve.serve.cache_capacity, 16u);
+  EXPECT_EQ(serve.serve.max_connections, 4);
+  EXPECT_EQ(serve.serve.max_inflight_per_client, 2);
+  EXPECT_EQ(serve.serve.cache_file, "reports.jsonl");
+  EXPECT_EQ(serve.serve.checkpoint_interval, 30);
+  // --max-clients survives as a documented legacy alias.
+  EXPECT_EQ(parse_cli({"serve", "--max-clients", "7"}).serve.max_connections,
+            7);
+  EXPECT_THROW(parse_cli({"serve", "--max-connections", "0"}), ConfigError);
   EXPECT_THROW(parse_cli({"serve", "--max-clients", "0"}), ConfigError);
-  EXPECT_THROW(parse_cli({"run", "--max-clients", "4"}), ConfigError);
+  EXPECT_THROW(parse_cli({"serve", "--max-inflight-per-client", "0"}),
+               ConfigError);
+  EXPECT_THROW(parse_cli({"run", "--max-connections", "4"}), ConfigError);
+  EXPECT_THROW(parse_cli({"run", "--max-inflight-per-client", "4"}),
+               ConfigError);
   EXPECT_THROW(parse_cli({"run", "--cache-file", "f"}), ConfigError);
   // A checkpoint interval needs somewhere to write, a positive period,
   // and only makes sense for serve.

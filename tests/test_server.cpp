@@ -1068,7 +1068,7 @@ TEST(Server, ConcurrentClientsMatchSerialExecutionAndShareOneCache) {
 
   constexpr int kClients = 4;
   ServeOptions options;
-  options.max_clients = kClients + 2;  // all workers + the idle client
+  options.max_connections = kClients + 2;  // all workers + the idle client
   Server server(options);
   std::thread serve_thread([&] { EXPECT_EQ(server.serve_on(*listener), 0); });
 
@@ -1180,7 +1180,7 @@ TEST(Server, ConcurrentClientsRacingAColdCellCoalesceToOneComputation) {
   }
 
   ServeOptions options;
-  options.max_clients = 8;
+  options.max_connections = 8;
   Server server(options);
 
   // Claim leadership of the exact cell the clients will request: until
@@ -1259,7 +1259,7 @@ TEST(Server, InfeasibleCellReleasesFollowersAndCachesTheNegativeOnce) {
                                 .build();
 
   ServeOptions options;
-  options.max_clients = 8;
+  options.max_connections = 8;
   Server server(options);
   const std::string key = cache_key(oom_cell, std::nullopt, options.run);
   ASSERT_TRUE(server.cache().probe_or_lead(key).leader);
@@ -1371,6 +1371,341 @@ TEST(Server, TcpAnswersUnterminatedFinalRequestAndRequestShutdownDrains) {
   server.request_shutdown();
   serve_thread.join();
   EXPECT_TRUE(server.shutdown_requested());
+}
+
+// ---- Event-loop serving core: saturation, admission, backpressure ----
+
+TEST(ServeStatsWire, RoundTripsLosslesslyAndRejectsTruncation) {
+  ServeStats stats;
+  stats.requests = 42;
+  stats.cache.entries = 3;
+  stats.cache.capacity = 1024;
+  stats.cache.hits = 7;
+  stats.cache.misses = 5;
+  stats.cache.insertions = 5;
+  stats.cache.evictions = 2;
+  stats.cache.coalesced = 4;
+  stats.cache.inflight = 1;
+  stats.connections.active = 6;
+  stats.connections.reading = 3;
+  stats.connections.processing = 2;
+  stats.connections.writing = 1;
+  stats.connections.accepted = 9;
+  stats.connections.rejected = 2;
+  stats.queues.dispatch_backlog = 11;
+  stats.queues.executing = 4;
+  stats.latency.count = 13;
+  stats.latency.sum_us = 12345;
+  stats.latency.p50_us = 127;
+  stats.latency.p99_us = 1023;
+  for (size_t i = 0; i < ServeStats::kLatencyBuckets; ++i) {
+    stats.latency.buckets.push_back(i);
+  }
+  const std::string wire = stats.to_wire();
+  const ServeStats back = ServeStats::from_wire(json::parse(wire));
+  EXPECT_EQ(back.to_wire(), wire);  // byte-identical round trip
+  EXPECT_THROW(ServeStats::from_wire(json::parse(R"({"schema":1})")),
+               ConfigError);
+}
+
+TEST(Server, MetricsRequestSharesTheVersionedStatsSchema) {
+  Server server;
+  (void)server.handle(R"({"type":"ping"})");
+  (void)server.handle(R"({"type":"ping"})");
+  const std::string response = server.handle(R"({"type":"metrics"})");
+  ASSERT_EQ(response.rfind("{\"ok\":true,\"type\":\"metrics\",\"schema\":1,", 0),
+            0u);
+  // The whole response line parses back into a ServeStats: the payload
+  // is exactly the shared wire schema (from_wire ignores the ok/type
+  // preamble).
+  const ServeStats stats = ServeStats::from_wire(
+      json::parse(response.substr(0, response.size() - 1)));
+  EXPECT_EQ(stats.requests, 3u);       // stats/metrics count themselves...
+  EXPECT_EQ(stats.latency.count, 2u);  // ...but are timed after responding
+  ASSERT_EQ(stats.latency.buckets.size(), ServeStats::kLatencyBuckets);
+  uint64_t histogram_total = 0;
+  for (const uint64_t b : stats.latency.buckets) histogram_total += b;
+  EXPECT_EQ(histogram_total, 2u);
+  EXPECT_GE(stats.latency.p50_us, 1u);
+  EXPECT_GE(stats.latency.p99_us, stats.latency.p50_us);
+  // `stats` splices the identical emitter after its own type tag, and
+  // the pre-metrics response shape (top-level "requests", hits/misses
+  // adjacency) survives the unification.
+  const std::string stats_response = server.handle(R"({"type":"stats"})");
+  ASSERT_EQ(stats_response.rfind("{\"ok\":true,\"type\":\"stats\",\"schema\":1,",
+                                 0),
+            0u);
+  EXPECT_NE(stats_response.find("\"requests\":4"), std::string::npos);
+  EXPECT_NE(stats_response.find("\"hits\":0,\"misses\":0"), std::string::npos);
+}
+
+TEST(Server, OverCapConnectionsAreExplicitlyRejectedAndCounted) {
+  std::unique_ptr<net::Listener> listener;
+  try {
+    listener = std::make_unique<net::Listener>(0);
+  } catch (const ConfigError& e) {
+    GTEST_SKIP() << e.what();
+  }
+  ServeOptions options;
+  options.max_connections = 2;
+  Server server(options);
+  std::thread serve_thread([&] { EXPECT_EQ(server.serve_on(*listener), 0); });
+
+  // Fill the cap; a ping round trip per client proves both are admitted
+  // (admission happens on accept, inside the event loop).
+  const int fd1 = connect_loopback(listener->port());
+  const int fd2 = connect_loopback(listener->port());
+  ASSERT_GE(fd1, 0);
+  ASSERT_GE(fd2, 0);
+  net::Stream first(fd1);
+  net::Stream second(fd2);
+  std::string line;
+  for (net::Stream* admitted : {&first, &second}) {
+    ASSERT_TRUE(admitted->write_all("{\"type\":\"ping\"}\n"));
+    ASSERT_TRUE(admitted->read_line(line));
+    EXPECT_EQ(line, "{\"ok\":true,\"type\":\"pong\"}");
+  }
+
+  // The connection over the cap gets one explicit error line and EOF -
+  // never a silent stall in the kernel backlog.
+  const int fd3 = connect_loopback(listener->port());
+  ASSERT_GE(fd3, 0);
+  net::Stream third(fd3);
+  ASSERT_TRUE(third.read_line(line));
+  EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line.find("connection limit reached"), std::string::npos);
+  EXPECT_NE(line.find("--max-connections 2"), std::string::npos);
+  EXPECT_FALSE(third.read_line(line));  // closed right after the refusal
+
+  // The rejection is visible in the metrics an admitted client reads.
+  ASSERT_TRUE(first.write_all("{\"type\":\"metrics\"}\n"));
+  ASSERT_TRUE(first.read_line(line));
+  const ServeStats stats = ServeStats::from_wire(json::parse(line));
+  EXPECT_EQ(stats.connections.accepted, 2u);
+  EXPECT_EQ(stats.connections.rejected, 1u);
+  EXPECT_EQ(stats.connections.active, 2);
+
+  ASSERT_TRUE(first.write_all("{\"type\":\"shutdown\"}\n"));
+  ASSERT_TRUE(first.read_line(line));
+  serve_thread.join();
+}
+
+TEST(Server, BurstyClientIsBackpressuredWithoutStallingOthers) {
+  std::unique_ptr<net::Listener> listener;
+  try {
+    listener = std::make_unique<net::Listener>(0);
+  } catch (const ConfigError& e) {
+    GTEST_SKIP() << e.what();
+  }
+  ServeOptions options;
+  options.max_inflight_per_client = 2;
+  Server server(options);
+  // Hold the cell the burst will request: every dispatched copy parks as
+  // a coalescing follower until this test publishes.
+  const std::string key =
+      cache_key(coalesced_cell(), std::nullopt, options.run);
+  ASSERT_TRUE(server.cache().probe_or_lead(key).leader);
+  std::thread serve_thread([&] { EXPECT_EQ(server.serve_on(*listener), 0); });
+
+  Server reference;
+  const std::string expected = reference.handle(kCoalescedRun);
+
+  // A bursty client pipelines six copies without reading a byte. The
+  // per-connection in-flight rule dispatches exactly one at a time, so
+  // exactly one follower parks on the held cell; the rest wait their
+  // turn in the connection's own queue (or its socket, once the
+  // in-flight cap gates POLLIN off).
+  const int fd = connect_loopback(listener->port());
+  ASSERT_GE(fd, 0);
+  net::Stream bursty(fd);
+  std::string burst;
+  for (int i = 0; i < 6; ++i) burst += std::string(kCoalescedRun) + "\n";
+  ASSERT_TRUE(bursty.write_all(burst));
+  ASSERT_TRUE(poll_until([&] { return server.cache_stats().coalesced == 1u; }));
+
+  // A second client gets served while the burst is parked: the event
+  // loop never blocks behind a busy or backpressured connection.
+  const int fd2 = connect_loopback(listener->port());
+  ASSERT_GE(fd2, 0);
+  net::Stream nimble(fd2);
+  std::string line;
+  ASSERT_TRUE(nimble.write_all("{\"type\":\"ping\"}\n"));
+  ASSERT_TRUE(nimble.read_line(line));
+  EXPECT_EQ(line, "{\"ok\":true,\"type\":\"pong\"}");
+  EXPECT_EQ(server.cache_stats().coalesced, 1u);  // still exactly one
+
+  // Publishing releases the follower; the backlog drains in request
+  // order with byte-identical responses (one coalesced wait, five hits).
+  server.cache().publish(key, run(coalesced_cell(), options.run));
+  std::string got;
+  ASSERT_TRUE(read_lines(bursty, 6, got));
+  std::string six;
+  for (int i = 0; i < 6; ++i) six += expected;
+  EXPECT_EQ(got, six);
+  EXPECT_EQ(server.cache_stats().hits, 5u);
+
+  server.request_shutdown();
+  serve_thread.join();
+}
+
+TEST(Server, ClientVanishingMidResponseDoesNotDisturbOthers) {
+  std::unique_ptr<net::Listener> listener;
+  try {
+    listener = std::make_unique<net::Listener>(0);
+  } catch (const ConfigError& e) {
+    GTEST_SKIP() << e.what();
+  }
+  Server server;
+  std::thread serve_thread([&] { EXPECT_EQ(server.serve_on(*listener), 0); });
+
+  // A client that sends a request and vanishes before the response: the
+  // computation still finishes (and warms the cache); the dead socket is
+  // reaped, not crashed into.
+  {
+    const int fd = connect_loopback(listener->port());
+    ASSERT_GE(fd, 0);
+    net::Stream doomed(fd);
+    ASSERT_TRUE(doomed.write_all(std::string(kCoalescedRun) + "\n"));
+  }  // ~Stream closes the socket mid-computation
+  ASSERT_TRUE(
+      poll_until([&] { return server.cache_stats().insertions == 1u; }));
+
+  const int fd = connect_loopback(listener->port());
+  ASSERT_GE(fd, 0);
+  net::Stream survivor(fd);
+  Server reference;
+  const std::string expected = reference.handle(kCoalescedRun);
+  std::string got;
+  ASSERT_TRUE(survivor.write_all(std::string(kCoalescedRun) + "\n"));
+  ASSERT_TRUE(read_lines(survivor, 1, got));
+  EXPECT_EQ(got, expected);  // served from the cache the doomed run warmed
+  EXPECT_EQ(server.cache_stats().hits, 1u);
+
+  // The vanished connection is reaped (EOF or flush error), leaving only
+  // the survivor active. The gauge refreshes per loop tick, so poll.
+  ServeStats seen;
+  ASSERT_TRUE(poll_until([&] {
+    if (!survivor.write_all("{\"type\":\"metrics\"}\n")) return false;
+    std::string line;
+    if (!survivor.read_line(line)) return false;
+    seen = ServeStats::from_wire(json::parse(line));
+    return seen.connections.active == 1;
+  }));
+  EXPECT_EQ(seen.connections.accepted, 2u);
+
+  server.request_shutdown();
+  serve_thread.join();
+}
+
+TEST(Server, SaturationSixtyFourMixedClientsGetByteIdenticalResponses) {
+  std::unique_ptr<net::Listener> listener;
+  try {
+    listener = std::make_unique<net::Listener>(0);
+  } catch (const ConfigError& e) {
+    GTEST_SKIP() << e.what();
+  }
+  constexpr int kClients = 64;
+  constexpr int kIdle = 4;
+  ServeOptions options;
+  options.max_connections = kClients + kIdle + 2;
+  Server server(options);
+  std::thread serve_thread([&] { EXPECT_EQ(server.serve_on(*listener), 0); });
+
+  // Per-client unique cells plus one cell every client races on (nmb=6,
+  // disjoint from the unique nmb=4*(i+1) series).
+  auto unique_run = [](int i) {
+    return str_format(
+        R"({"type":"run","model":"6.6b","cluster":"dgx1-v100-ib","pp":4,)"
+        R"("tp":2,"dp":8,"nmb":%d,"schedule":"bf","loop":2,)"
+        R"("backend":"analytic"})",
+        4 * (i + 1));
+  };
+  const std::string shared_run =
+      R"({"type":"run","model":"6.6b","cluster":"dgx1-v100-ib","pp":4,)"
+      R"("tp":2,"dp":8,"nmb":6,"schedule":"bf","loop":2,)"
+      R"("backend":"analytic"})";
+
+  // The serial reference a fresh server produces on one thread: every
+  // concurrent transport response must be byte-identical to it.
+  std::vector<std::string> expected(kClients);
+  std::string expected_shared;
+  {
+    Server reference(options);
+    for (int i = 0; i < kClients; ++i) {
+      expected[static_cast<size_t>(i)] = reference.handle(unique_run(i));
+    }
+    expected_shared = reference.handle(shared_run);
+  }
+
+  // Idle connections held open across the whole run: they must cost
+  // nothing and delay no one.
+  std::vector<std::unique_ptr<net::Stream>> idles;
+  for (int i = 0; i < kIdle; ++i) {
+    const int fd = connect_loopback(listener->port());
+    ASSERT_GE(fd, 0);
+    idles.push_back(std::make_unique<net::Stream>(fd));
+  }
+
+  // Mixed traffic: even clients pipeline all three requests in one
+  // write; odd clients trickle them one round trip at a time.
+  std::vector<std::string> got(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      const int fd = connect_loopback(listener->port());
+      EXPECT_GE(fd, 0);
+      if (fd < 0) return;
+      net::Stream stream(fd);
+      const std::string requests =
+          unique_run(i) + "\n" + shared_run + "\n" + unique_run(i) + "\n";
+      std::string lines;
+      if (i % 2 == 0) {
+        EXPECT_TRUE(stream.write_all(requests));
+        if (read_lines(stream, 3, lines)) got[static_cast<size_t>(i)] = lines;
+        return;
+      }
+      for (const std::string& request :
+           {unique_run(i), shared_run, unique_run(i)}) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        EXPECT_TRUE(stream.write_all(request + "\n"));
+        if (!read_lines(stream, 1, lines)) return;
+        got[static_cast<size_t>(i)] += lines;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)],
+              expected[static_cast<size_t>(i)] + expected_shared +
+                  expected[static_cast<size_t>(i)])
+        << "client " << i;
+  }
+
+  // Exact shared-cache accounting: 64 unique cells each missed once and
+  // hit once, plus the shared cell - computed exactly once, with the
+  // other 63 requests split between coalesced waits and plain hits
+  // depending on arrival time (the split is timing, the sum is not).
+  const ReportCache::Stats stats = server.cache_stats();
+  EXPECT_EQ(stats.misses, kClients + 1u);
+  EXPECT_EQ(stats.insertions, kClients + 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, 2u * kClients - 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+
+  // Orderly drain: the idle clients get EOF, not abandonment.
+  const int fd = connect_loopback(listener->port());
+  ASSERT_GE(fd, 0);
+  net::Stream stopper(fd);
+  ASSERT_TRUE(stopper.write_all("{\"type\":\"shutdown\"}\n"));
+  std::string bye;
+  ASSERT_TRUE(stopper.read_line(bye));
+  EXPECT_EQ(bye, "{\"ok\":true,\"type\":\"shutdown\"}");
+  serve_thread.join();
+  for (const std::unique_ptr<net::Stream>& idle : idles) {
+    std::string nothing;
+    EXPECT_FALSE(idle->read_line(nothing));
+  }
 }
 
 TEST(Server, CacheFileWarmRestartServesEntirelyFromCache) {
